@@ -1,0 +1,115 @@
+"""Ablation A3 -- the bounded-recovery deadline (gap timeout).
+
+The CM profile's error correction is deliberately *time-bounded*
+(DESIGN.md section 5): a sequence gap is NACKed, but delivery skips on
+after ``gap_timeout`` rather than stall the isochronous stream.  This
+ablation sweeps the deadline on a 5 %-lossy link and measures the two
+things it trades:
+
+- residual loss (units abandoned because their retransmission missed
+  the deadline), which falls as the deadline grows, and
+- worst-case delivery stall (the head-of-line wait on a gap), which
+  grows with it.
+
+Expected shape: residual loss drops steeply once the deadline clears
+one NACK round trip and flattens; the worst stall grows ~linearly with
+the deadline.  The sweet spot sits a small multiple of the RTT --
+which is how a deployment should pick the knob.
+"""
+
+import pytest
+
+from repro.apps.testbed import Testbed
+from repro.metrics.table import Table
+from repro.netsim.link import BernoulliLoss
+from repro.transport.addresses import TransportAddress
+from repro.transport.osdu import OSDU
+from repro.transport.profiles import ClassOfService
+from repro.transport.qos import QoSSpec
+from repro.transport.service import build_transport, connect_pair
+
+RUN_UNITS = 1500
+LOSS = 0.05
+
+from benchmarks.common import emit, once
+
+
+def run_case(gap_timeout: float):
+    from repro.netsim.reservation import ReservationManager
+    from repro.netsim.topology import Network
+    from repro.sim.random import RandomStreams
+    from repro.sim.scheduler import Simulator
+
+    sim = Simulator()
+    net = Network(sim, RandomStreams(83))
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 10e6, prop_delay=0.008,
+                 loss=BernoulliLoss(LOSS))
+    entities = build_transport(
+        sim, net, ReservationManager(net), gap_timeout=gap_timeout
+    )
+    qos = QoSSpec.simple(4e6, max_osdu_bytes=1000, per=0.5, ber=0.5)
+    send, recv = connect_pair(
+        sim, entities, TransportAddress("a", 1), TransportAddress("b", 1),
+        qos, cos=ClassOfService.detect_and_correct(),
+    )
+    arrivals = []
+
+    def producer():
+        for i in range(RUN_UNITS):
+            yield from send.write(OSDU(size_bytes=1000, payload=i))
+
+    def consumer():
+        while True:
+            osdu = yield from recv.read()
+            arrivals.append((sim.now, osdu.payload))
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run(until=sim.now + 60.0)
+    recv_vc = entities["b"].recv_vcs[recv.vc_id]
+    times = [t for t, _p in arrivals][10:]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    return {
+        "delivered": len(arrivals),
+        "residual_lost": recv_vc.lost_count,
+        "recovered": recv_vc.reorder.recovered_count,
+        "worst_stall": max(gaps) if gaps else float("nan"),
+    }
+
+
+def run_experiment():
+    table = Table(
+        ["gap timeout (ms)", "residual lost", "recovered",
+         "residual loss rate", "worst delivery stall (ms)"],
+        title=f"A3: bounded-recovery deadline on a {LOSS:.0%}-lossy link "
+              f"(RTT 16 ms, {RUN_UNITS} units)",
+    )
+    results = {}
+    for timeout in (0.002, 0.005, 0.02, 0.1, 0.25):
+        result = run_case(timeout)
+        results[timeout] = result
+        table.add(timeout * 1e3, result["residual_lost"],
+                  result["recovered"],
+                  result["residual_lost"] / RUN_UNITS,
+                  result["worst_stall"] * 1e3)
+    return [table], results
+
+
+@pytest.mark.benchmark(group="a03")
+def test_a03_gap_timeout(benchmark):
+    tables, results = once(benchmark, run_experiment)
+    emit("a03_gap_timeout", tables)
+    # The receiver re-NACKs on each timer round (nack_retries=2), so
+    # the effective deadline is ~3x the knob: only a deadline whose
+    # retry budget expires inside one RTT abandons recovery.
+    assert results[0.002]["recovered"] == 0
+    assert results[0.002]["residual_lost"] > 0.03 * RUN_UNITS
+    # A deadline past the RTT recovers nearly everything.
+    assert results[0.25]["residual_lost"] < 0.01 * RUN_UNITS
+    assert results[0.25]["recovered"] > 0.03 * RUN_UNITS
+    # The price: the worst head-of-line stall grows with the deadline.
+    assert results[0.25]["worst_stall"] > results[0.02]["worst_stall"]
+    # Mid-range deadlines already recover: the knee sits near RTT/3.
+    assert results[0.02]["residual_lost"] <= results[0.005]["residual_lost"]

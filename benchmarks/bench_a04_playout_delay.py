@@ -1,0 +1,116 @@
+"""Ablation A4 -- dimensioning the de-jitter playout point.
+
+The QoS jitter parameter (section 3.2) exists so receivers can size
+their playout delay: every unit presented later than its playout point
+glitches, every millisecond of playout delay is added end-to-end
+latency.  This ablation sweeps the playout delay against two link
+jitter levels and reports the glitch (late-unit) fraction and the
+resulting presentation latency.
+
+Expected shape: late fraction falls from ~half to zero as the playout
+delay passes the link's jitter bound; presentation latency rises
+linearly with the delay.  The knee sits at the jitter bound -- which
+is exactly the number the transport's negotiated contract hands the
+application.
+"""
+
+import pytest
+
+from repro.apps.testbed import Testbed
+from repro.ansa.stream import VideoQoS
+from repro.media.encodings import video_cbr
+from repro.media.sink import PlayoutSink
+from repro.media.source import StoredMediaSource
+from repro.metrics.stats import summarize
+from repro.metrics.table import Table
+from repro.netsim.link import UniformJitter
+from repro.transport.addresses import TransportAddress
+
+from benchmarks.common import emit, once
+
+FPS = 25.0
+UNITS = 500
+
+
+def run_case(jitter_s: float, playout_delay: float, seed: int = 97):
+    bed = Testbed(seed=seed)
+    bed.host("src")
+    bed.host("dst")
+    bed.link("src", "dst", 20e6, prop_delay=0.004,
+             jitter=UniformJitter(jitter_s))
+    bed.up()
+    holder = {}
+
+    def connector():
+        holder["stream"] = yield from bed.factory.create(
+            TransportAddress("src", 1), TransportAddress("dst", 1),
+            VideoQoS.of(fps=FPS, jitter_bound=0.2, headroom=1.0,
+                        buffer_osdus=4),
+        )
+
+    bed.spawn(connector())
+    bed.run(5.0)
+    stream = holder["stream"]
+    source = StoredMediaSource(
+        bed.sim, stream.send_endpoint,
+        video_cbr(FPS, stream.media_qos.osdu_bytes), total_osdus=UNITS,
+    )
+    sink = PlayoutSink(
+        bed.sim, stream.recv_endpoint, FPS,
+        bed.network.host("dst").clock, mode="paced",
+        playout_delay=playout_delay,
+    )
+    source.play()
+    bed.run(UNITS / FPS + 15.0)
+    latencies = [
+        r.delivered_at - r.created_at
+        for r in sink.records if r.created_at is not None
+    ]
+    return {
+        "late_fraction": sink.late_count / max(sink.presented, 1),
+        "latency": summarize(latencies),
+        "presented": sink.presented,
+    }
+
+
+def run_experiment():
+    table = Table(
+        ["link jitter bound (ms)", "playout delay (ms)",
+         "late (glitching) units", "presentation latency p95 (ms)"],
+        title=f"A4: de-jitter playout point vs link jitter "
+              f"({UNITS} frames at {FPS:.0f} fps, media-rate arrival)",
+    )
+    results = {}
+    for jitter_s in (0.02, 0.05):
+        for playout_delay in (0.0, 0.01, 0.03, 0.06, 0.12):
+            result = run_case(jitter_s, playout_delay)
+            results[(jitter_s, playout_delay)] = result
+            table.add(jitter_s * 1e3, playout_delay * 1e3,
+                      f"{result['late_fraction']:.1%}",
+                      result["latency"].p95 * 1e3)
+    return [table], results
+
+
+@pytest.mark.benchmark(group="a04")
+def test_a04_playout_delay(benchmark):
+    tables, results = once(benchmark, run_experiment)
+    emit("a04_playout_delay", tables)
+    for jitter_s in (0.02, 0.05):
+        fractions = [
+            results[(jitter_s, d)]["late_fraction"]
+            for d in (0.0, 0.01, 0.03, 0.06, 0.12)
+        ]
+        # Glitches vanish once the playout delay clears the jitter bound.
+        assert fractions[0] > 0.1
+        assert fractions == sorted(fractions, reverse=True)
+        assert results[(jitter_s, 0.12)]["late_fraction"] == 0.0
+        # A delay past the bound is sufficient.
+        past_bound = next(
+            d for d in (0.0, 0.01, 0.03, 0.06, 0.12) if d >= jitter_s
+        )
+        assert results[(jitter_s, past_bound)]["late_fraction"] < 0.02
+    # Latency is the price: p95 grows with the playout delay.
+    lat = [
+        results[(0.05, d)]["latency"].p95 for d in (0.0, 0.03, 0.12)
+    ]
+    assert lat == sorted(lat)

@@ -1,0 +1,117 @@
+"""E1 -- Table 1 + Figure 3: connection establishment and admission.
+
+Reproduces the confirmed connect service: establishment latency as a
+function of path length, and admission-control behaviour as offered
+reservation demand sweeps past link capacity.
+
+Expected shape: latency grows linearly with hops (two control
+round-trips' worth of propagation); acceptance collapses once demand
+exceeds the reservable fraction (90%) of the bottleneck.
+"""
+
+import pytest
+
+from repro.apps.testbed import Testbed
+from repro.metrics.table import Table
+from repro.transport.addresses import TransportAddress
+from repro.transport.qos import QoSSpec
+from repro.transport.service import ConnectionRefused, TransportService
+
+from benchmarks.common import emit, once
+
+
+def chain_bed(hops: int, bandwidth: float = 10e6) -> Testbed:
+    bed = Testbed(seed=hops)
+    bed.host("src")
+    bed.host("dst")
+    previous = "src"
+    for i in range(hops - 1):
+        bed.router(f"r{i}")
+        bed.link(previous, f"r{i}", bandwidth, prop_delay=0.002)
+        previous = f"r{i}"
+    bed.link(previous, "dst", bandwidth, prop_delay=0.002)
+    return bed.up()
+
+
+def connect_latency(hops: int) -> float:
+    bed = chain_bed(hops)
+    service = TransportService(bed.entities["src"])
+    TransportService(bed.entities["dst"]).listen(1)
+    binding = service.bind(1)
+    done = {}
+
+    def driver():
+        start = bed.sim.now
+        yield from service.connect(
+            binding, TransportAddress("dst", 1),
+            QoSSpec.simple(1e6, max_osdu_bytes=1000),
+        )
+        done["latency"] = bed.sim.now - start
+
+    bed.spawn(driver())
+    bed.run(5.0)
+    return done["latency"]
+
+
+def admission_sweep(demand_fraction: float, vc_rate: float = 1e6):
+    """Offer VCs totalling ``demand_fraction`` of link capacity."""
+    bed = chain_bed(2)
+    service = TransportService(bed.entities["src"])
+    dst_service = TransportService(bed.entities["dst"])
+    count = int(demand_fraction * 10e6 / vc_rate)
+    outcomes = {"accepted": 0, "refused": 0}
+
+    def driver():
+        for i in range(count):
+            binding = service.bind(100 + i)
+            dst_service.listen(100 + i)
+            try:
+                yield from service.connect(
+                    binding, TransportAddress("dst", 100 + i),
+                    QoSSpec.simple(vc_rate, slack=1.0, max_osdu_bytes=1000),
+                )
+                outcomes["accepted"] += 1
+            except ConnectionRefused:
+                outcomes["refused"] += 1
+
+    bed.spawn(driver())
+    bed.run(30.0)
+    return outcomes
+
+
+def run_experiment():
+    latency_table = Table(
+        ["hops", "connect latency (ms)", "per-hop prop (ms)"],
+        title="E1a: T-Connect latency vs path length (confirmed service)",
+    )
+    for hops in (1, 2, 3, 4, 6):
+        latency = connect_latency(hops)
+        latency_table.add(hops, latency * 1e3, 2.0)
+
+    admission_table = Table(
+        ["offered demand (x capacity)", "VCs offered", "accepted", "refused",
+         "accept rate"],
+        title="E1b: admission control vs offered reservation demand "
+              "(10 Mbit/s link, 90% reservable, 1 Mbit/s VCs)",
+    )
+    for fraction in (0.3, 0.6, 0.9, 1.2, 1.5):
+        outcomes = admission_sweep(fraction)
+        total = outcomes["accepted"] + outcomes["refused"]
+        admission_table.add(
+            fraction, total, outcomes["accepted"], outcomes["refused"],
+            outcomes["accepted"] / total if total else 0.0,
+        )
+    return [latency_table, admission_table]
+
+
+@pytest.mark.benchmark(group="e01")
+def test_e01_connection(benchmark):
+    tables = once(benchmark, run_experiment)
+    emit("e01_connection", tables)
+    # Shape assertions: longer paths cost more; overload is refused.
+    hops = [float(r[0]) for r in tables[0].rows]
+    lat = [float(r[1]) for r in tables[0].rows]
+    assert lat == sorted(lat)
+    accept_rates = [float(r[4]) for r in tables[1].rows]
+    assert accept_rates[0] == 1.0
+    assert accept_rates[-1] < 1.0

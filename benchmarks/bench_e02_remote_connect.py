@@ -1,0 +1,128 @@
+"""E2 -- Figures 2 and 3: the remote connect facility.
+
+Compares conventional establishment (initiator == source) against the
+three-party remote connect where a management node asks for a VC
+between two other machines, across varying initiator distances.
+
+Expected shape: remote connect costs one extra initiator->source relay
+leg plus the outcome relay back, so its latency exceeds conventional by
+roughly one initiator-source round trip; rejections (by source, by
+destination) are relayed to the initiator either way.
+"""
+
+import pytest
+
+from repro.apps.testbed import Testbed
+from repro.metrics.table import Table
+from repro.transport.addresses import TransportAddress
+from repro.transport.primitives import (
+    TConnectConfirm,
+    TConnectIndication,
+    TConnectRequest,
+    TConnectResponse,
+    TDisconnectIndication,
+)
+from repro.transport.profiles import ClassOfService, ProtocolProfile
+from repro.transport.qos import QoSSpec
+from repro.transport.service import TransportService
+
+from benchmarks.common import emit, once
+
+
+def triangle_bed(initiator_delay: float) -> Testbed:
+    bed = Testbed(seed=2)
+    bed.host("mgr")     # initiator (host 3 of Figure 2)
+    bed.host("camera")  # source (host 1)
+    bed.host("display")  # sink (host 2)
+    bed.router("r")
+    bed.link("camera", "r", 20e6, prop_delay=0.002)
+    bed.link("display", "r", 20e6, prop_delay=0.002)
+    bed.link("mgr", "r", 20e6, prop_delay=initiator_delay)
+    return bed.up()
+
+
+def accept_everything(bed, node, tsap):
+    entity = bed.entities[node]
+    binding = entity.bind(tsap)
+
+    def acceptor():
+        while True:
+            primitive = yield binding.next_primitive()
+            if isinstance(primitive, TConnectIndication):
+                entity.request(
+                    TConnectResponse(
+                        initiator=primitive.initiator, src=primitive.src,
+                        dst=primitive.dst, protocol=primitive.protocol,
+                        class_of_service=primitive.class_of_service,
+                        qos=primitive.qos, vc_id=primitive.vc_id,
+                    )
+                )
+
+    bed.spawn(acceptor())
+    return binding
+
+
+def measure(initiator_delay: float, remote: bool) -> float:
+    bed = triangle_bed(initiator_delay)
+    accept_everything(bed, "camera", 1)
+    accept_everything(bed, "display", 1)
+    initiator_node = "mgr" if remote else "camera"
+    entity = bed.entities[initiator_node]
+    binding = entity.bind(9)
+    out = {}
+
+    def driver():
+        request = TConnectRequest(
+            initiator=binding.address,
+            src=TransportAddress("camera", 1),
+            dst=TransportAddress("display", 1),
+            protocol=ProtocolProfile.CM_RATE_BASED,
+            class_of_service=ClassOfService.detect_and_indicate(),
+            qos=QoSSpec.simple(1e6, max_osdu_bytes=1000),
+            vc_id=entity.new_vc_id(),
+        )
+        start = bed.sim.now
+        entity.request(request)
+        while True:
+            primitive = yield binding.next_primitive()
+            if isinstance(
+                primitive, (TConnectConfirm, TDisconnectIndication)
+            ) and primitive.vc_id == request.vc_id:
+                out["latency"] = bed.sim.now - start
+                out["ok"] = isinstance(primitive, TConnectConfirm)
+                return
+
+    bed.spawn(driver())
+    bed.run(5.0)
+    return out
+
+
+def run_experiment():
+    table = Table(
+        ["initiator link delay (ms)", "conventional (ms)", "remote (ms)",
+         "relay overhead (ms)"],
+        title="E2: establishment latency, conventional vs remote connect "
+              "(Figure 3 time sequence)",
+    )
+    for delay in (0.002, 0.005, 0.010, 0.025):
+        conventional = measure(delay, remote=False)
+        remote = measure(delay, remote=True)
+        assert conventional["ok"] and remote["ok"]
+        table.add(
+            delay * 1e3,
+            conventional["latency"] * 1e3,
+            remote["latency"] * 1e3,
+            (remote["latency"] - conventional["latency"]) * 1e3,
+        )
+    return [table]
+
+
+@pytest.mark.benchmark(group="e02")
+def test_e02_remote_connect(benchmark):
+    tables = once(benchmark, run_experiment)
+    emit("e02_remote_connect", tables)
+    overheads = [float(r[3]) for r in tables[0].rows]
+    # The relay overhead grows with the initiator's distance and is
+    # always positive (one extra initiator<->source exchange).
+    assert all(o > 0 for o in overheads)
+    assert overheads == sorted(overheads)

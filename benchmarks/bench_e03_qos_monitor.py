@@ -1,0 +1,115 @@
+"""E3 -- Table 2: QoS degradation notification.
+
+Sweeps induced packet loss against the contracted tolerance and the
+monitor sample period, measuring detection latency (first
+T-QoS.indication after the impairment begins) and the accuracy of the
+reported packet error rate.
+
+Expected shape: losses above the contracted tolerance are always
+reported within about one sample period; losses below tolerance are
+never reported; the reported PER tracks the induced rate.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.testbed import Testbed
+from repro.metrics.table import Table
+from repro.netsim.link import BernoulliLoss
+from repro.transport.addresses import TransportAddress
+from repro.transport.osdu import OSDU
+from repro.transport.primitives import TQoSIndication
+from repro.transport.qos import QoSSpec
+from repro.transport.service import TransportService
+
+from benchmarks.common import emit, once
+
+CONTRACT_PER = 0.02
+
+
+def run_case(loss_p: float, sample_period: float):
+    bed = Testbed(seed=int(loss_p * 1000) + 5, sample_period=sample_period)
+    bed.host("src")
+    bed.host("dst")
+    bed.link("src", "dst", 10e6, prop_delay=0.003,
+             loss=BernoulliLoss(loss_p))
+    bed.up()
+    service = TransportService(bed.entities["src"])
+    TransportService(bed.entities["dst"]).listen(1)
+    binding = service.bind(1)
+    out = {"indications": [], "t_start": None}
+
+    def driver():
+        endpoint = yield from service.connect(
+            binding, TransportAddress("dst", 1),
+            QoSSpec.simple(4e6, max_osdu_bytes=1000, per=0.5, ber=0.5),
+        )
+        recv_vc = bed.entities["dst"].recv_vcs[endpoint.vc_id]
+        recv_vc.contract = replace(
+            recv_vc.contract, packet_error_rate=CONTRACT_PER
+        )
+        out["t_start"] = bed.sim.now
+
+        def producer():
+            for i in range(20000):
+                yield from endpoint.write(OSDU(size_bytes=1000, payload=i))
+
+        def consumer():
+            recv = bed.entities["dst"].endpoint_for(endpoint.vc_id)
+            while True:
+                yield from recv.read()
+
+        bed.spawn(producer())
+        bed.spawn(consumer())
+        while True:
+            primitive = yield binding.next_primitive()
+            if isinstance(primitive, TQoSIndication):
+                per_violations = [
+                    v for v in primitive.violations
+                    if v.parameter == "packet_error_rate"
+                ]
+                if per_violations:
+                    out["indications"].append(
+                        (bed.sim.now, per_violations[0].observed)
+                    )
+
+    bed.spawn(driver())
+    bed.run(12.0)
+    return out
+
+
+def run_experiment():
+    table = Table(
+        ["induced loss", "sample period (s)", "PER indications / 10 s",
+         "detection latency (s)", "mean reported PER"],
+        title=f"E3: T-QoS.indication under induced loss "
+              f"(contracted PER {CONTRACT_PER})",
+    )
+    for loss_p in (0.0, 0.005, 0.05, 0.15):
+        for period in (0.5, 1.0):
+            out = run_case(loss_p, period)
+            indications = out["indications"]
+            if indications:
+                latency = indications[0][0] - out["t_start"]
+                mean_per = sum(v for _t, v in indications) / len(indications)
+            else:
+                latency = float("nan")
+                mean_per = float("nan")
+            table.add(loss_p, period, len(indications), latency, mean_per)
+    return [table]
+
+
+@pytest.mark.benchmark(group="e03")
+def test_e03_qos_monitor(benchmark):
+    tables = once(benchmark, run_experiment)
+    emit("e03_qos_monitor", tables)
+    rows = tables[0].rows
+    # Below-tolerance loss (0 and 1%) never triggers; above always does.
+    for row in rows:
+        loss_p, period, count = float(row[0]), float(row[1]), int(row[2])
+        if loss_p <= 0.005:
+            assert count == 0
+        else:
+            assert count > 0
+            assert float(row[3]) <= 2 * period + 0.5

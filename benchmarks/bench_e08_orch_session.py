@@ -1,0 +1,127 @@
+"""E8 -- Table 4: orchestration session establishment and release.
+
+Measures Orch.request latency as the group grows (more nodes must
+confirm) and verifies the two rejection paths the paper names: no
+table space at some LLO, and a named VC that does not exist.
+
+Expected shape: setup latency is one control round trip to the
+farthest involved node (the fan-out is parallel, so it grows only with
+the slowest leg, not the group size); rejections leave no session
+residue anywhere.
+"""
+
+import pytest
+
+from repro.apps.testbed import Testbed
+from repro.ansa.stream import AudioQoS
+from repro.metrics.table import Table
+from repro.orchestration.hlo_agent import HLOAgent, StreamSpec
+from repro.orchestration.llo import REASON_NO_SUCH_VC, REASON_NO_TABLE_SPACE
+from repro.transport.addresses import TransportAddress
+
+from benchmarks.common import emit, once
+
+
+def build(n: int, seed: int = 41):
+    bed = Testbed(seed=seed)
+    bed.host("ws")
+    bed.router("net")
+    bed.link("ws", "net", 30e6, prop_delay=0.002)
+    for i in range(n):
+        bed.host(f"srv{i}")
+        bed.link(f"srv{i}", "net", 10e6, prop_delay=0.002)
+    bed.up()
+    streams = []
+
+    def connector():
+        for i in range(n):
+            stream = yield from bed.factory.create(
+                TransportAddress(f"srv{i}", 1),
+                TransportAddress("ws", 10 + i),
+                AudioQoS.telephone(),
+            )
+            streams.append(stream)
+
+    bed.spawn(connector())
+    bed.run(5.0)
+    return bed, streams
+
+
+def setup_latency(n: int):
+    bed, streams = build(n)
+    specs = [s.spec() for s in streams]
+    agent = HLOAgent(bed.sim, bed.llos["ws"], "bench", specs)
+    out = {}
+
+    def driver():
+        start = bed.sim.now
+        reply = yield from agent.establish()
+        out["latency"] = bed.sim.now - start
+        out["accepted"] = reply.accept
+
+    bed.spawn(driver())
+    bed.run(5.0)
+    assert out["accepted"]
+    return out["latency"]
+
+
+def rejection(kind: str):
+    bed, streams = build(2)
+    if kind == "table-space":
+        bed.llos["srv1"].max_sessions = 0
+        specs = [s.spec() for s in streams]
+    else:
+        specs = [streams[0].spec(),
+                 StreamSpec("ghost", "srv1", "ws", 250.0)]
+    agent = HLOAgent(bed.sim, bed.llos["ws"], "bench-reject", specs)
+    out = {}
+
+    def driver():
+        reply = yield from agent.establish()
+        out["reason"] = reply.reason
+        out["accepted"] = reply.accept
+
+    bed.spawn(driver())
+    bed.run(10.0)
+    residue = sum(
+        1 for llo in bed.llos.values() if "bench-reject" in llo.sessions
+    )
+    return out, residue
+
+
+def run_experiment():
+    latency_table = Table(
+        ["group size (VCs)", "Orch.request latency (ms)"],
+        title="E8a: session establishment latency vs group size "
+              "(parallel fan-out to all source/sink LLOs)",
+    )
+    latencies = {}
+    for n in (1, 2, 4, 8):
+        latency = setup_latency(n)
+        latencies[n] = latency
+        latency_table.add(n, latency * 1e3)
+
+    reject_table = Table(
+        ["rejection cause", "reason reported", "session residue (nodes)"],
+        title="E8b: rejection paths of section 6.1",
+    )
+    outcomes = {}
+    for kind in ("table-space", "missing-vc"):
+        out, residue = rejection(kind)
+        outcomes[kind] = (out, residue)
+        reject_table.add(kind, out["reason"], residue)
+    return [latency_table, reject_table], latencies, outcomes
+
+
+@pytest.mark.benchmark(group="e08")
+def test_e08_orch_session(benchmark):
+    tables, latencies, outcomes = once(benchmark, run_experiment)
+    emit("e08_orch_session", tables)
+    # Parallel fan-out: latency essentially flat in group size.
+    assert latencies[8] < 2 * latencies[1] + 0.005
+    out, residue = outcomes["table-space"]
+    assert not out["accepted"] and out["reason"] == REASON_NO_TABLE_SPACE
+    assert residue == 0
+    out, residue = outcomes["missing-vc"]
+    assert not out["accepted"] and out["reason"] == REASON_NO_SUCH_VC
+    assert residue == 0

@@ -1,0 +1,39 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (or
+quantifies one of its claims -- the 1992 paper asserts but never
+measures).  Results are printed and also persisted under
+``benchmarks/results/`` so ``pytest benchmarks/ --benchmark-only``
+leaves inspectable artefacts even with output capture on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List
+
+from repro.metrics.table import Table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, tables: Iterable[Table], notes: str = "") -> str:
+    """Print and persist one benchmark's result tables."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    blocks: List[str] = []
+    if notes:
+        blocks.append(notes.strip())
+    for table in tables:
+        blocks.append(table.render())
+    text = "\n\n".join(blocks) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    print(f"\n=== {name} ===")
+    print(text)
+    return text
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,20 @@
+"""Reproduction of *A Continuous Media Transport and Orchestration
+Service* (Campbell, Coulson, Garcia, Hutchison — ACM SIGCOMM 1992).
+
+The package is layered exactly as Figure 1 of the paper:
+
+- :mod:`repro.ansa` -- the object-based distributed application platform
+  (ANSA with continuous-media extensions): invocation and Streams.
+- :mod:`repro.orchestration` -- the three-level orchestration service
+  (HLO, HLO agents, LLO) for co-ordinating related transport connections.
+- :mod:`repro.transport` -- the continuous-media transport service:
+  simplex VCs, extended QoS, remote connect, renegotiation, shared
+  circular-buffer data transfer, rate-based flow control.
+- :mod:`repro.netsim` -- the simulated multiservice network that stands
+  in for the paper's transputer-based high-speed network emulator.
+- :mod:`repro.sim` -- the discrete-event kernel everything runs on.
+- :mod:`repro.media` -- continuous-media sources, sinks and metrics.
+- :mod:`repro.apps` -- the paper's demonstration applications.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,42 @@
+"""The object-based distributed application platform (paper section 2.2).
+
+An ANSA-flavoured platform with the Lancaster continuous-media
+extensions.  Applications see two complementary communication
+abstractions:
+
+- **Invocation** -- named operations on abstract-data-type interfaces,
+  located through a trader and invoked via a REX-like RPC extended with
+  delay-bounded invocation for real-time control.
+- **Streams** -- first-class ADT services representing underlying CM
+  connections.  Streams are unidirectional, carry QoS expressed in
+  media-specific terms, and isolate users from the transport protocol
+  service interface.
+"""
+
+from repro.ansa.interface import InterfaceRef, Operation, ServiceInterface
+from repro.ansa.trader import Trader
+from repro.ansa.rex import InvocationError, InvocationTimeout, RexRPC
+from repro.ansa.stream import (
+    AudioQoS,
+    MediaQoS,
+    Stream,
+    StreamFactory,
+    TextQoS,
+    VideoQoS,
+)
+
+__all__ = [
+    "AudioQoS",
+    "InterfaceRef",
+    "InvocationError",
+    "InvocationTimeout",
+    "MediaQoS",
+    "Operation",
+    "RexRPC",
+    "ServiceInterface",
+    "Stream",
+    "StreamFactory",
+    "TextQoS",
+    "Trader",
+    "VideoQoS",
+]

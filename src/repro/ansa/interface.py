@@ -1,0 +1,72 @@
+"""ADT interfaces with named operations.
+
+"At the platform level, remote interaction is modelled as the
+invocation of named operations in abstract data type (ADT) interfaces
+which are accessed in a location independent fashion" (paper section
+2.2).  A :class:`ServiceInterface` lives on one node and registers
+callables; an :class:`InterfaceRef` is the location-independent handle
+clients pass around (and receive from the trader).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+
+@dataclass(frozen=True)
+class InterfaceRef:
+    """Location-transparent reference to a service interface."""
+
+    node: str
+    interface_id: int
+    type_name: str
+
+    def __str__(self) -> str:
+        return f"{self.type_name}@{self.node}#{self.interface_id}"
+
+
+@dataclass
+class Operation:
+    """One named operation of an interface."""
+
+    name: str
+    fn: Callable[..., Any]
+    #: Whether ``fn`` is a simulation coroutine (generator function)
+    #: that must be driven by the server's process, or a plain callable.
+    is_coroutine: bool = False
+
+
+_interface_ids = itertools.count(1)
+
+
+class ServiceInterface:
+    """Server-side ADT interface: a bag of named operations."""
+
+    def __init__(self, node: str, type_name: str):
+        self.node = node
+        self.type_name = type_name
+        self.interface_id = next(_interface_ids)
+        self.operations: Dict[str, Operation] = {}
+
+    @property
+    def ref(self) -> InterfaceRef:
+        return InterfaceRef(self.node, self.interface_id, self.type_name)
+
+    def export(self, name: str, fn: Callable[..., Any],
+               is_coroutine: bool = False) -> None:
+        """Register operation ``name``; rejects duplicates."""
+        if name in self.operations:
+            raise ValueError(
+                f"operation {name!r} already exported on {self.type_name}"
+            )
+        self.operations[name] = Operation(name, fn, is_coroutine)
+
+    def operation(self, name: str) -> Operation:
+        try:
+            return self.operations[name]
+        except KeyError:
+            raise KeyError(
+                f"interface {self.type_name!r} has no operation {name!r}"
+            ) from None

@@ -1,0 +1,348 @@
+"""The Stream abstraction (paper section 2.2).
+
+"Streams are the primary extension we have made to the basic ANSA
+model.  They represent underlying CM connections but ... appear as ADT
+services with first class status at the programming language level ...
+users at the platform level are isolated from the complexity of the
+protocol service interface.  Streams contain operations to manipulate
+QoS in media specific terms."
+
+A :class:`MediaQoS` subclass expresses QoS the way an application
+thinks about it (frames per second, sample rates, colour depth); the
+Stream factory translates it into the transport's five-parameter
+tolerance specification, establishes the simplex VC, and wraps the
+endpoints.  Streams know their physical endpoints, which is what the
+HLO consults when selecting the orchestrating node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Generator, Optional
+
+from repro.sim.scheduler import Simulator
+from repro.transport.addresses import TransportAddress
+from repro.transport.entity import TransportEntity, TSAPBinding, VCEndpoint
+from repro.transport.primitives import (
+    TDisconnectIndication,
+    TRenegotiateConfirm,
+    TRenegotiateRequest,
+)
+from repro.transport.profiles import ClassOfService, ProtocolProfile
+from repro.transport.osdu import OPDU
+from repro.transport.qos import QoSSpec, UNCONSTRAINED
+from repro.transport.tpdu import DATA_HEADER_BYTES
+from repro.transport.service import ConnectionRefused, TransportService
+from repro.orchestration.hlo_agent import StreamSpec
+
+
+@dataclass(frozen=True)
+class MediaQoS:
+    """Base media-level QoS description.
+
+    Attributes:
+        osdu_rate: logical units per media second.
+        osdu_bytes: nominal unit size (maximum for VBR media).
+        delay_bound: acceptable end-to-end delay, seconds.
+        jitter_bound: acceptable delay jitter, seconds.
+        loss_tolerance: acceptable fraction of lost units.
+        headroom: throughput over-provisioning factor (> 1 keeps the
+            transport ahead of the playout clock).
+        buffer_osdus: pipeline depth, which is also the priming fill.
+    """
+
+    osdu_rate: float
+    osdu_bytes: int
+    delay_bound: float = 0.5
+    jitter_bound: float = 0.1
+    loss_tolerance: float = 0.05
+    headroom: float = 1.3
+    buffer_osdus: int = 16
+
+    def __post_init__(self) -> None:
+        if self.osdu_rate <= 0 or self.osdu_bytes <= 0:
+            raise ValueError("osdu_rate and osdu_bytes must be positive")
+        if self.headroom < 1.0:
+            raise ValueError("headroom must be at least 1")
+
+    #: Per-OSDU wire overhead the transport adds (data header + OPDU).
+    WIRE_OVERHEAD_BYTES = DATA_HEADER_BYTES + OPDU.WIRE_BYTES
+
+    @property
+    def throughput_bps(self) -> float:
+        """Required *wire* throughput: payload plus per-unit overhead.
+
+        For small units (voice blocks) the header overhead dominates,
+        so translating media rate to transport throughput must count
+        it or the paced sender can never sustain the unit rate.
+        """
+        wire_bytes = self.osdu_bytes + self.WIRE_OVERHEAD_BYTES
+        return self.osdu_rate * wire_bytes * 8 * self.headroom
+
+    def to_transport_qos(self, slack: float = 1.5) -> QoSSpec:
+        """Translate media terms into the transport's five parameters."""
+        return QoSSpec.simple(
+            self.throughput_bps,
+            delay_s=self.delay_bound,
+            jitter_s=self.jitter_bound,
+            per=self.loss_tolerance,
+            ber=max(self.loss_tolerance / 10.0, 1e-9),
+            max_osdu_bytes=self.osdu_bytes,
+            buffer_osdus=self.buffer_osdus,
+            slack=slack,
+        )
+
+
+@dataclass(frozen=True)
+class VideoQoS(MediaQoS):
+    """Video expressed as frames (one OSDU per frame).
+
+    Factory: :meth:`of` computes byte sizes from resolution, colour
+    depth and an assumed compression ratio.
+    """
+
+    fps: float = 25.0
+    colour: bool = True
+
+    @staticmethod
+    def of(
+        fps: float = 25.0,
+        width: int = 352,
+        height: int = 288,
+        colour: bool = True,
+        compression_ratio: float = 50.0,
+        **overrides,
+    ) -> "VideoQoS":
+        bits_per_pixel = 24 if colour else 8
+        frame_bytes = max(
+            int(width * height * bits_per_pixel / 8 / compression_ratio), 1
+        )
+        defaults = dict(
+            osdu_rate=fps,
+            osdu_bytes=frame_bytes,
+            delay_bound=0.25,
+            jitter_bound=0.04,
+            loss_tolerance=0.05,
+            buffer_osdus=8,
+            fps=fps,
+            colour=colour,
+        )
+        defaults.update(overrides)
+        return VideoQoS(**defaults)
+
+
+@dataclass(frozen=True)
+class AudioQoS(MediaQoS):
+    """Audio expressed as sample blocks (one OSDU per block)."""
+
+    sample_rate: float = 8000.0
+    bytes_per_sample: int = 1
+
+    @staticmethod
+    def of(
+        sample_rate: float = 8000.0,
+        bytes_per_sample: int = 1,
+        samples_per_osdu: int = 32,
+        **overrides,
+    ) -> "AudioQoS":
+        defaults = dict(
+            osdu_rate=sample_rate / samples_per_osdu,
+            osdu_bytes=samples_per_osdu * bytes_per_sample,
+            delay_bound=0.15,
+            jitter_bound=0.02,
+            loss_tolerance=0.01,
+            buffer_osdus=16,
+            sample_rate=sample_rate,
+            bytes_per_sample=bytes_per_sample,
+        )
+        defaults.update(overrides)
+        return AudioQoS(**defaults)
+
+    @staticmethod
+    def telephone(**overrides) -> "AudioQoS":
+        """Telephone-quality voice: 8 kHz, 8-bit (64 kbit/s)."""
+        return AudioQoS.of(8000.0, 1, 32, **overrides)
+
+    @staticmethod
+    def cd(**overrides) -> "AudioQoS":
+        """CD-quality audio: 44.1 kHz, 16-bit stereo."""
+        return AudioQoS.of(44100.0, 4, 441, loss_tolerance=0.001, **overrides)
+
+
+@dataclass(frozen=True)
+class TextQoS(MediaQoS):
+    """Low-rate timed text (captions, annotations)."""
+
+    @staticmethod
+    def captions(units_per_second: float = 2.5, unit_bytes: int = 128,
+                 **overrides) -> "TextQoS":
+        defaults = dict(
+            osdu_rate=units_per_second,
+            osdu_bytes=unit_bytes,
+            delay_bound=0.5,
+            jitter_bound=0.2,
+            loss_tolerance=0.0,
+            buffer_osdus=4,
+        )
+        defaults.update(overrides)
+        return TextQoS(**defaults)
+
+
+class Stream:
+    """A first-class handle on one established CM connection."""
+
+    def __init__(
+        self,
+        factory: "StreamFactory",
+        media_qos: MediaQoS,
+        source: TransportAddress,
+        sink: TransportAddress,
+        send_endpoint: VCEndpoint,
+        recv_endpoint: VCEndpoint,
+        binding: TSAPBinding,
+        profile: ProtocolProfile,
+        cos: ClassOfService,
+    ):
+        self.factory = factory
+        self.media_qos = media_qos
+        self.source = source
+        self.sink = sink
+        self.send_endpoint = send_endpoint
+        self.recv_endpoint = recv_endpoint
+        self.binding = binding
+        self.profile = profile
+        self.cos = cos
+        self.closed = False
+
+    @property
+    def vc_id(self) -> str:
+        return self.send_endpoint.vc_id
+
+    @property
+    def source_node(self) -> str:
+        return self.source.node
+
+    @property
+    def sink_node(self) -> str:
+        return self.sink.node
+
+    @property
+    def osdu_rate(self) -> float:
+        return self.media_qos.osdu_rate
+
+    def spec(self, max_drop_per_interval: Optional[int] = None) -> StreamSpec:
+        """The stream as the orchestrator sees it.
+
+        The default drop budget follows the media's loss tolerance:
+        loss-intolerant media get max-drop# 0 ("a max-drop# of zero
+        will often be chosen where a no-loss medium such as voice is
+        involved", section 6.3.1.1).
+        """
+        if max_drop_per_interval is None:
+            if self.media_qos.loss_tolerance <= 0.0:
+                max_drop_per_interval = 0
+            else:
+                max_drop_per_interval = max(
+                    int(math.ceil(self.media_qos.loss_tolerance
+                                  * self.media_qos.osdu_rate * 0.2)), 1
+                )
+        return StreamSpec(
+            vc_id=self.vc_id,
+            source_node=self.source_node,
+            sink_node=self.sink_node,
+            osdu_rate=self.osdu_rate,
+            max_drop_per_interval=max_drop_per_interval,
+        )
+
+    def renegotiate(self, new_media_qos: MediaQoS) -> Generator:
+        """Coroutine: change the stream's QoS in media terms.
+
+        Translates to a T-Renegotiate exchange; returns True on
+        success.  On refusal the stream keeps its old QoS (the paper's
+        rule: the existing VC is not torn down).
+        """
+        entity = self.factory.entities[self.source_node]
+        new_qos = new_media_qos.to_transport_qos()
+        entity.request(
+            TRenegotiateRequest(
+                initiator=self.binding.address,
+                src=self.source,
+                dst=self.sink,
+                new_qos=new_qos,
+                vc_id=self.vc_id,
+            )
+        )
+        # Unrelated primitives are deferred and restored afterwards so
+        # the exchange does not swallow another consumer's traffic.
+        deferred = []
+        try:
+            while True:
+                primitive = yield self.binding.next_primitive()
+                if (
+                    isinstance(primitive, TRenegotiateConfirm)
+                    and primitive.vc_id == self.vc_id
+                ):
+                    self.media_qos = new_media_qos
+                    return True
+                if (
+                    isinstance(primitive, TDisconnectIndication)
+                    and primitive.vc_id == self.vc_id
+                ):
+                    return False
+                deferred.append(primitive)
+        finally:
+            for primitive in deferred:
+                self.binding.primitives.put_nowait(primitive)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        service = TransportService(self.factory.entities[self.source_node])
+        service.disconnect(self.binding, self.vc_id)
+
+
+class StreamFactory:
+    """Creates Streams over a transport entity population."""
+
+    def __init__(self, sim: Simulator, entities: Dict[str, TransportEntity]):
+        self.sim = sim
+        self.entities = entities
+
+    def create(
+        self,
+        source: TransportAddress,
+        sink: TransportAddress,
+        media_qos: MediaQoS,
+        profile: ProtocolProfile = ProtocolProfile.CM_RATE_BASED,
+        cos: Optional[ClassOfService] = None,
+    ) -> Generator:
+        """Coroutine: establish a stream and return the :class:`Stream`.
+
+        Binds the source TSAP, auto-accepts at the sink, and performs
+        the confirmed connect.  Raises
+        :class:`~repro.transport.service.ConnectionRefused` on failure.
+        """
+        cos = cos or ClassOfService.detect_and_indicate()
+        src_service = TransportService(self.entities[source.node])
+        sink_service = TransportService(self.entities[sink.node])
+        binding = src_service.bind(source.tsap)
+        sink_service.listen(sink.tsap)
+        send_endpoint = yield from src_service.connect(
+            binding, sink, media_qos.to_transport_qos(), profile=profile, cos=cos
+        )
+        recv_endpoint = self.entities[sink.node].endpoint_for(send_endpoint.vc_id)
+        if recv_endpoint is None:
+            raise ConnectionRefused("receive endpoint missing after connect")
+        return Stream(
+            self,
+            media_qos,
+            source,
+            sink,
+            send_endpoint,
+            recv_endpoint,
+            binding,
+            profile,
+            cos,
+        )

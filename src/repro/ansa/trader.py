@@ -1,0 +1,50 @@
+"""The trader: location-independent service binding.
+
+Modelled on the ANSA trader [APM,89]: servers *export* interface
+references under service names, clients *import* them without knowing
+locations.  Our trader is a logically centralised registry (the usual
+implementation choice of the period); access latency is charged to the
+client's subsequent invocation rather than simulated separately.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.ansa.interface import InterfaceRef, ServiceInterface
+
+
+class Trader:
+    """Service-name to interface-reference registry."""
+
+    def __init__(self) -> None:
+        self._registry: Dict[str, List[InterfaceRef]] = defaultdict(list)
+        self._interfaces: Dict[InterfaceRef, ServiceInterface] = {}
+
+    def export(self, service_name: str, interface: ServiceInterface) -> InterfaceRef:
+        """Advertise ``interface`` under ``service_name``."""
+        ref = interface.ref
+        self._registry[service_name].append(ref)
+        self._interfaces[ref] = interface
+        return ref
+
+    def withdraw(self, service_name: str, ref: InterfaceRef) -> None:
+        refs = self._registry.get(service_name, [])
+        if ref in refs:
+            refs.remove(ref)
+        self._interfaces.pop(ref, None)
+
+    def import_(self, service_name: str) -> InterfaceRef:
+        """Return one offer for ``service_name`` (first exported wins)."""
+        refs = self._registry.get(service_name)
+        if not refs:
+            raise KeyError(f"no offers for service {service_name!r}")
+        return refs[0]
+
+    def import_all(self, service_name: str) -> List[InterfaceRef]:
+        return list(self._registry.get(service_name, []))
+
+    def resolve(self, ref: InterfaceRef) -> Optional[ServiceInterface]:
+        """Server-side lookup used by the RPC runtime."""
+        return self._interfaces.get(ref)

@@ -1,0 +1,29 @@
+"""Demonstration applications (paper section 2.2).
+
+"We have built a number of applications which run on this platform.
+The largest is a microscope controller ... In addition ... an
+audiovisual telephone and a video disc jockey console."  Plus the two
+motivating orchestration scenarios of section 3.6: the language
+laboratory and caption/video association.
+
+:class:`Testbed` assembles the full stack (simulator, network,
+transport entities, LLOs, HLO, trader, RPC, stream factory) and is the
+entry point examples, tests and benchmarks share.
+"""
+
+from repro.apps.testbed import Testbed
+from repro.apps.microscope import MicroscopeClient, MicroscopeServer
+from repro.apps.avphone import AVPhoneCall
+from repro.apps.language_lab import LanguageLab
+from repro.apps.captions import CaptionedPlayout
+from repro.apps.vdj import VideoDiscJockey
+
+__all__ = [
+    "AVPhoneCall",
+    "CaptionedPlayout",
+    "LanguageLab",
+    "MicroscopeClient",
+    "MicroscopeServer",
+    "Testbed",
+    "VideoDiscJockey",
+]

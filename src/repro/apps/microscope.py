@@ -1,0 +1,215 @@
+"""The microscope controller application (paper section 2.2).
+
+"This provides groups of scientists with remote access to any one of a
+number of electron or optical microscopes located on a network.  Each
+microscope can send its video output to a number of user
+workstations."
+
+Control is by invocation on the microscope's ADT interface; video is a
+live-source Stream.  Attaching a viewer uses the transport's *remote
+connect* facility (section 3.5): the client (initiator) asks for a VC
+between the microscope's camera TSAP (source) and the viewer
+workstation's display TSAP (sink) -- three distinct addresses, exactly
+Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.sim.scheduler import Simulator
+from repro.transport.addresses import TransportAddress
+from repro.transport.primitives import (
+    TConnectConfirm,
+    TConnectIndication,
+    TConnectRequest,
+    TConnectResponse,
+    TDisconnectIndication,
+)
+from repro.transport.profiles import ClassOfService, ProtocolProfile
+from repro.ansa.interface import ServiceInterface
+from repro.ansa.stream import VideoQoS
+from repro.media.encodings import video_cbr
+from repro.media.sink import PlayoutSink
+from repro.media.source import LiveSource
+from repro.apps.testbed import Testbed
+
+#: TSAP the microscope's camera listens on.
+CAMERA_TSAP = 70
+
+
+class MicroscopeServer:
+    """One microscope: an ADT control interface plus a camera source."""
+
+    def __init__(self, bed: Testbed, node: str, name: str = "microscope",
+                 video: Optional[VideoQoS] = None):
+        self.bed = bed
+        self.node = node
+        self.name = name
+        self.video_qos = video or VideoQoS.of(fps=25.0)
+        self.magnification = 100
+        self.specimen = "none"
+        self.lamp_on = False
+        self.sources: Dict[str, LiveSource] = {}
+        # Control interface.
+        self.interface = ServiceInterface(node, "Microscope")
+        self.interface.export("set_magnification", self._set_magnification)
+        self.interface.export("select_specimen", self._select_specimen)
+        self.interface.export("lamp", self._lamp)
+        self.interface.export("status", self._status)
+        bed.trader.export(name, self.interface)
+        # Camera transport attachment: accept viewer connects and start
+        # a live capture per accepted VC.
+        entity = bed.entities[node]
+        self.binding = entity.bind(CAMERA_TSAP)
+        bed.sim.spawn(self._camera_acceptor(), name=f"microscope:{name}")
+
+    # -- control operations --------------------------------------------------
+
+    def _set_magnification(self, value: int) -> int:
+        if value <= 0:
+            raise ValueError("magnification must be positive")
+        self.magnification = value
+        return self.magnification
+
+    def _select_specimen(self, specimen: str) -> str:
+        self.specimen = specimen
+        return self.specimen
+
+    def _lamp(self, on: bool) -> bool:
+        self.lamp_on = on
+        return self.lamp_on
+
+    def _status(self) -> dict:
+        return {
+            "magnification": self.magnification,
+            "specimen": self.specimen,
+            "lamp": self.lamp_on,
+            "viewers": len(self.sources),
+        }
+
+    # -- camera side ------------------------------------------------------------
+
+    def _camera_acceptor(self):
+        entity = self.bed.entities[self.node]
+        while True:
+            primitive = yield self.binding.next_primitive()
+            if isinstance(primitive, TConnectIndication):
+                entity.request(
+                    TConnectResponse(
+                        initiator=primitive.initiator,
+                        src=primitive.src,
+                        dst=primitive.dst,
+                        protocol=primitive.protocol,
+                        class_of_service=primitive.class_of_service,
+                        qos=primitive.qos,
+                        vc_id=primitive.vc_id,
+                    )
+                )
+            elif isinstance(primitive, TConnectConfirm):
+                endpoint = self.binding.endpoints.get(primitive.vc_id)
+                if endpoint is None:
+                    continue
+                encoding = video_cbr(
+                    fps=self.video_qos.osdu_rate,
+                    frame_bytes=self.video_qos.osdu_bytes,
+                )
+                source = LiveSource(
+                    self.bed.sim,
+                    endpoint,
+                    encoding,
+                    clock=self.bed.network.host(self.node).clock,
+                    rng=self.bed.rng.stream(f"camera:{primitive.vc_id}"),
+                )
+                source.switch_on()
+                self.sources[primitive.vc_id] = source
+            elif isinstance(primitive, TDisconnectIndication):
+                source = self.sources.pop(primitive.vc_id, None)
+                if source is not None:
+                    source.switch_off()
+
+
+class MicroscopeClient:
+    """A scientist's workstation: control invocations + a video viewer."""
+
+    def __init__(self, bed: Testbed, node: str, display_tsap: int = 80):
+        self.bed = bed
+        self.node = node
+        self.display_tsap = display_tsap
+        self.sink: Optional[PlayoutSink] = None
+        self.vc_id: Optional[str] = None
+        entity = bed.entities[node]
+        self.control_binding = entity.bind(display_tsap + 100)
+        self.display_binding = entity.bind(display_tsap)
+
+    def invoke(self, microscope: str, operation: str, *args,
+               deadline: float = 0.5) -> Generator:
+        """Coroutine: delay-bounded control invocation."""
+        ref = self.bed.trader.import_(microscope)
+        return (
+            yield from self.bed.rpc.invoke(
+                self.node, ref, operation, *args, deadline=deadline
+            )
+        )
+
+    def attach_viewer(self, server: MicroscopeServer) -> Generator:
+        """Coroutine: remote-connect the camera to this display.
+
+        The client is the *initiator*; the microscope's camera TSAP is
+        the *source*; this workstation's display TSAP is the *sink* --
+        three distinct addresses (Figure 2).
+        """
+        entity = self.bed.entities[self.node]
+        vc_id = entity.new_vc_id()
+        request = TConnectRequest(
+            initiator=self.control_binding.address,
+            src=TransportAddress(server.node, CAMERA_TSAP),
+            dst=TransportAddress(self.node, self.display_tsap),
+            protocol=ProtocolProfile.CM_RATE_BASED,
+            class_of_service=ClassOfService.detect_and_indicate(),
+            qos=server.video_qos.to_transport_qos(),
+            vc_id=vc_id,
+        )
+        # Auto-accept at the display TSAP.
+        self.bed.sim.spawn(
+            self._display_acceptor(), name=f"viewer:{self.node}"
+        )
+        entity.request(request)
+        while True:
+            primitive = yield self.control_binding.next_primitive()
+            if isinstance(primitive, TConnectConfirm) and primitive.vc_id == vc_id:
+                self.vc_id = vc_id
+                recv_endpoint = self.bed.entities[self.node].endpoint_for(vc_id)
+                self.sink = PlayoutSink(
+                    self.bed.sim,
+                    recv_endpoint,
+                    osdu_rate=server.video_qos.osdu_rate,
+                    clock=self.bed.network.host(self.node).clock,
+                    mode="gated",
+                )
+                return True
+            if (
+                isinstance(primitive, TDisconnectIndication)
+                and primitive.vc_id == vc_id
+            ):
+                return False
+
+    def _display_acceptor(self):
+        entity = self.bed.entities[self.node]
+        while True:
+            primitive = yield self.display_binding.next_primitive()
+            if isinstance(primitive, TConnectIndication):
+                entity.request(
+                    TConnectResponse(
+                        initiator=primitive.initiator,
+                        src=primitive.src,
+                        dst=primitive.dst,
+                        protocol=primitive.protocol,
+                        class_of_service=primitive.class_of_service,
+                        qos=primitive.qos,
+                        vc_id=primitive.vc_id,
+                    )
+                )
+
+    def frames_received(self) -> int:
+        return self.sink.presented if self.sink is not None else 0

@@ -1,0 +1,151 @@
+"""The video disc jockey console (paper section 2.2).
+
+"several other test applications have been implemented including an
+audiovisual telephone and a video disc jockey console."
+
+A VDJ mixes material from several stored video servers into one
+orchestrated play-out: a persistent *programme* audio bed plus a video
+"deck" that the operator cuts between live.  Deck switching uses
+Orch.Add / Orch.Remove (section 6.2.4): the outgoing deck's VC is
+removed from the group (it keeps flowing, unregulated, like a preview
+monitor) and the incoming deck's VC is added under regulation, joining
+at the programme's current media position.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.transport.addresses import TransportAddress
+from repro.ansa.stream import AudioQoS, Stream, VideoQoS
+from repro.media.encodings import audio_pcm, video_cbr
+from repro.media.sink import PlayoutSink
+from repro.media.source import StoredMediaSource
+from repro.orchestration.hlo import OrchestrationSession
+from repro.orchestration.policy import OrchestrationPolicy
+from repro.apps.testbed import Testbed
+
+
+class Deck:
+    """One video source a VDJ can cut to."""
+
+    def __init__(self, name: str, stream: Stream,
+                 source: StoredMediaSource, sink: PlayoutSink):
+        self.name = name
+        self.stream = stream
+        self.source = source
+        self.sink = sink
+        self.on_air = False
+
+
+class VideoDiscJockey:
+    """A mixing console over orchestrated streams."""
+
+    def __init__(
+        self,
+        bed: Testbed,
+        console: str,
+        audio_server: str,
+        deck_servers: List[str],
+        video: Optional[VideoQoS] = None,
+        audio: Optional[AudioQoS] = None,
+        base_tsap: int = 50,
+    ):
+        if not deck_servers:
+            raise ValueError("a VDJ needs at least one deck")
+        self.bed = bed
+        self.console = console
+        self.audio_server = audio_server
+        self.deck_servers = deck_servers
+        self.video_qos = video or VideoQoS.of(fps=25.0, compression_ratio=80.0)
+        self.audio_qos = audio or AudioQoS.telephone()
+        self.base_tsap = base_tsap
+        self.decks: Dict[str, Deck] = {}
+        self.audio_sink: Optional[PlayoutSink] = None
+        self.session: Optional[OrchestrationSession] = None
+        self.live_deck: Optional[str] = None
+        self.cut_log: List[tuple] = []
+
+    def setup(self, policy: Optional[OrchestrationPolicy] = None) -> Generator:
+        """Coroutine: connect the audio bed and every deck; orchestrate
+        the bed plus the first deck."""
+        clock = self.bed.network.host(self.console).clock
+        audio_stream = yield from self.bed.factory.create(
+            TransportAddress(self.audio_server, self.base_tsap),
+            TransportAddress(self.console, self.base_tsap),
+            self.audio_qos,
+        )
+        self.audio_stream = audio_stream
+        self.audio_source = StoredMediaSource(
+            self.bed.sim, audio_stream.send_endpoint, audio_pcm(8000.0, 1, 32)
+        )
+        self.audio_sink = PlayoutSink(
+            self.bed.sim, audio_stream.recv_endpoint, 250.0, clock
+        )
+        for i, server in enumerate(self.deck_servers):
+            tsap = self.base_tsap + 1 + i
+            stream = yield from self.bed.factory.create(
+                TransportAddress(server, tsap),
+                TransportAddress(self.console, tsap),
+                self.video_qos,
+            )
+            encoding = video_cbr(
+                fps=self.video_qos.osdu_rate,
+                frame_bytes=self.video_qos.osdu_bytes,
+            )
+            source = StoredMediaSource(
+                self.bed.sim, stream.send_endpoint, encoding
+            )
+            sink = PlayoutSink(
+                self.bed.sim, stream.recv_endpoint,
+                self.video_qos.osdu_rate, clock,
+            )
+            self.decks[f"deck{i}"] = Deck(f"deck{i}", stream, source, sink)
+        first = self.decks["deck0"]
+        self.session = yield from self.bed.hlo.orchestrate(
+            [
+                self.audio_stream.spec(max_drop_per_interval=0),
+                first.stream.spec(),
+            ],
+            policy or OrchestrationPolicy(interval_length=0.2),
+        )
+        first.on_air = True
+        self.live_deck = "deck0"
+        return self.session
+
+    def go_live(self) -> Generator:
+        """Coroutine: primed, simultaneous start of bed + first deck."""
+        reply = yield from self.session.prime()
+        if not reply.accept:
+            return reply
+        return (yield from self.session.start())
+
+    def cut_to(self, deck_name: str) -> Generator:
+        """Coroutine: cut the programme to another deck.
+
+        The outgoing deck is Orch.Removed (it keeps flowing -- the
+        operator's preview); the incoming deck is Orch.Added and joins
+        regulation at the programme's current position.
+        """
+        if deck_name not in self.decks:
+            raise ValueError(f"unknown deck {deck_name!r}")
+        if deck_name == self.live_deck:
+            return None
+        incoming = self.decks[deck_name]
+        outgoing = self.decks[self.live_deck]
+        reply = yield from self.session.remove(outgoing.stream.vc_id)
+        if not reply.accept:
+            return reply
+        outgoing.on_air = False
+        reply = yield from self.session.add(incoming.stream.spec())
+        if reply.accept:
+            incoming.on_air = True
+            self.live_deck = deck_name
+            self.cut_log.append(
+                (self.bed.sim.now, outgoing.name, incoming.name)
+            )
+        return reply
+
+    def programme_position(self) -> float:
+        """The audio bed's presented media time (the house clock)."""
+        return self.audio_sink.last_media_time() if self.audio_sink else 0.0

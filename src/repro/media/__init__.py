@@ -1,0 +1,43 @@
+"""Continuous-media sources, sinks and measurement.
+
+Stands in for the Lancaster testbed's audio/video capture and playout
+hardware (paper section 2.1).  Stored sources are seekable and
+generate as fast as the transport admits (pacing comes from the
+protocol's rate control); live sources are tied to their node's
+drifting local clock and cannot be paused -- the distinction paper
+section 3.6 draws ("with live media, there is no control over when the
+information flow starts ... and no possibility of altering the speed
+of a live media flow").
+"""
+
+from repro.media.encodings import (
+    CBREncoding,
+    Encoding,
+    VBREncoding,
+    audio_pcm,
+    video_cbr,
+    video_vbr,
+)
+from repro.media.source import LiveSource, StoredMediaSource
+from repro.media.sink import DeliveryRecord, PlayoutSink
+from repro.media.lipsync import (
+    fraction_within,
+    interstream_skew_series,
+    skew_summary,
+)
+
+__all__ = [
+    "CBREncoding",
+    "DeliveryRecord",
+    "Encoding",
+    "LiveSource",
+    "PlayoutSink",
+    "StoredMediaSource",
+    "VBREncoding",
+    "audio_pcm",
+    "fraction_within",
+    "interstream_skew_series",
+    "skew_summary",
+    "video_cbr",
+    "video_vbr",
+]

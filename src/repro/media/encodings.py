@@ -1,0 +1,111 @@
+"""Media encodings: OSDU sizes and rates.
+
+The transport's logical-data-unit principle (paper section 3.7) says
+"at each time period there will always be something to transmit (i.e.
+one logical unit) even when CM data is variable bit rate encoded" --
+so a VBR encoding varies the *size* of each unit, never its rate.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """Base encoding: one OSDU per ``1/osdu_rate`` media seconds."""
+
+    name: str
+    osdu_rate: float
+    max_osdu_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.osdu_rate <= 0:
+            raise ValueError("osdu_rate must be positive")
+        if self.max_osdu_bytes <= 0:
+            raise ValueError("max_osdu_bytes must be positive")
+
+    def osdu_size(self, index: int, rng: Optional[_random.Random] = None) -> int:
+        raise NotImplementedError
+
+    @property
+    def nominal_bps(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CBREncoding(Encoding):
+    """Constant bit rate: every unit is ``max_osdu_bytes``."""
+
+    def osdu_size(self, index: int, rng: Optional[_random.Random] = None) -> int:
+        return self.max_osdu_bytes
+
+    @property
+    def nominal_bps(self) -> float:
+        return self.osdu_rate * self.max_osdu_bytes * 8
+
+
+@dataclass(frozen=True)
+class VBREncoding(Encoding):
+    """Variable bit rate with a periodic large unit (I-frame pattern).
+
+    Every ``gop`` units is a full-size unit; the rest are
+    ``p_fraction`` of the maximum, plus uniform noise of amplitude
+    ``noise`` (fractions of the mean), clamped to
+    ``[1, max_osdu_bytes]``.
+    """
+
+    gop: int = 12
+    p_fraction: float = 0.35
+    noise: float = 0.2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.gop < 1:
+            raise ValueError("gop must be at least 1")
+        if not 0.0 < self.p_fraction <= 1.0:
+            raise ValueError("p_fraction must be in (0, 1]")
+
+    def osdu_size(self, index: int, rng: Optional[_random.Random] = None) -> int:
+        if index % self.gop == 0:
+            base = float(self.max_osdu_bytes)
+        else:
+            base = self.max_osdu_bytes * self.p_fraction
+        if rng is not None and self.noise > 0:
+            base *= 1.0 + rng.uniform(-self.noise, self.noise)
+        return max(1, min(int(base), self.max_osdu_bytes))
+
+    @property
+    def mean_osdu_bytes(self) -> float:
+        i_frames = 1.0
+        p_frames = (self.gop - 1) * self.p_fraction
+        return self.max_osdu_bytes * (i_frames + p_frames) / self.gop
+
+    @property
+    def nominal_bps(self) -> float:
+        return self.osdu_rate * self.mean_osdu_bytes * 8
+
+
+def video_cbr(fps: float = 25.0, frame_bytes: int = 4096) -> CBREncoding:
+    """Simple CBR video, one frame per OSDU."""
+    return CBREncoding(f"video-cbr-{fps:g}fps", fps, frame_bytes)
+
+
+def video_vbr(fps: float = 25.0, max_frame_bytes: int = 8192,
+              gop: int = 12) -> VBREncoding:
+    """VBR video with a GOP structure."""
+    return VBREncoding(
+        f"video-vbr-{fps:g}fps", fps, max_frame_bytes, gop=gop
+    )
+
+
+def audio_pcm(sample_rate: float = 8000.0, bytes_per_sample: int = 1,
+              samples_per_osdu: int = 32) -> CBREncoding:
+    """PCM audio blocks; defaults give 64 kbit/s voice in 4 ms units."""
+    return CBREncoding(
+        f"audio-pcm-{sample_rate:g}Hz",
+        sample_rate / samples_per_osdu,
+        samples_per_osdu * bytes_per_sample,
+    )

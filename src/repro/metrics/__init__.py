@@ -1,0 +1,8 @@
+"""Measurement utilities shared by tests, examples and benchmarks."""
+
+from repro.metrics.stats import Summary, interarrival_jitter, summarize
+from repro.metrics.table import Table
+from repro.metrics.report import render as render_report
+
+__all__ = ["Summary", "Table", "interarrival_jitter", "render_report",
+           "summarize"]

@@ -1,0 +1,106 @@
+"""Collect persisted benchmark result tables into one report.
+
+Usage::
+
+    python -m repro.metrics.report [results_dir]
+
+Prints every table under ``benchmarks/results/`` in experiment order,
+with the EXPERIMENTS.md experiment ids as headers -- the quick way to
+eyeball a full ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, List, Optional
+
+#: Display order and one-line description per result file stem.
+EXPERIMENT_INDEX: Dict[str, str] = {
+    "e01_connection": "E1  Table 1/Fig 3 — connection establishment & admission",
+    "e02_remote_connect": "E2  Figs 2-3 — remote connect",
+    "e03_qos_monitor": "E3  Table 2 — QoS degradation notification",
+    "e04_renegotiation": "E4  Table 3 — renegotiation vs teardown",
+    "e05_common_node": "E5  Figs 4-5 — orchestrating-node selection",
+    "e06_regulation": "E6  Fig 6/Table 6 — continuous synchronisation",
+    "e07_prime_start": "E7  Fig 7/Table 5 — Orch.Prime & atomic start",
+    "e08_orch_session": "E8  Table 4 — orchestration sessions",
+    "e09_max_drop": "E9  Table 6 — max-drop# catch-up",
+    "e10_attribution": "E10 §6.3.1.2 — blocking-time fault attribution",
+    "e11_multiplexing": "E11 §3.6 — multiplexing considered harmful",
+    "e12_flowcontrol": "E12 §7 — rate vs window flow control",
+    "e13_buffer_interface": "E13 §3.7 — shared circular buffers",
+    "e14_events": "E14 §6.3.4 — Orch.Event",
+    "e15_multicast": "E15 §3.8/§7 — 1:N multicast extension",
+    "e16_vbr": "E16 §3.7 — VBR over rate pacing",
+    "a01_interval_ablation": "A1  ablation — regulation interval",
+    "a02_prime_depth": "A2  ablation — priming depth",
+    "a03_gap_timeout": "A3  ablation — bounded-recovery deadline",
+    "a04_playout_delay": "A4  ablation — de-jitter playout point",
+}
+
+DEFAULT_RESULTS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    ))),
+    "benchmarks",
+    "results",
+)
+
+
+def gather(results_dir: str) -> List[str]:
+    """Collect result blocks in experiment order; unknown files last."""
+    if not os.path.isdir(results_dir):
+        raise FileNotFoundError(
+            f"no results directory at {results_dir!r}; run "
+            f"`pytest benchmarks/ --benchmark-only` first"
+        )
+    present = {
+        name[:-4]
+        for name in os.listdir(results_dir)
+        if name.endswith(".txt")
+    }
+    ordered = [stem for stem in EXPERIMENT_INDEX if stem in present]
+    ordered += sorted(present - set(EXPERIMENT_INDEX))
+    blocks: List[str] = []
+    for stem in ordered:
+        header = EXPERIMENT_INDEX.get(stem, stem)
+        with open(os.path.join(results_dir, f"{stem}.txt")) as handle:
+            body = handle.read().strip()
+        bar = "=" * len(header)
+        blocks.append(f"{header}\n{bar}\n{body}")
+    return blocks
+
+
+def render(results_dir: Optional[str] = None) -> str:
+    blocks = gather(results_dir or DEFAULT_RESULTS_DIR)
+    missing = [
+        stem for stem in EXPERIMENT_INDEX
+        if not os.path.exists(
+            os.path.join(results_dir or DEFAULT_RESULTS_DIR, f"{stem}.txt")
+        )
+    ]
+    report = "\n\n\n".join(blocks)
+    if missing:
+        report += (
+            "\n\n\n(not yet run: " + ", ".join(missing) + ")"
+        )
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    results_dir = args[0] if args else DEFAULT_RESULTS_DIR
+    try:
+        print(render(results_dir))
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Piped into head/less that closed early: not an error.
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

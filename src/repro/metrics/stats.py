@@ -1,0 +1,84 @@
+"""Summary statistics for benchmark series."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.6g} std={self.std:.6g} "
+            f"min={self.minimum:.6g} p50={self.p50:.6g} p95={self.p95:.6g} "
+            f"max={self.maximum:.6g}"
+        )
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = q * (len(sorted_values) - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    value = sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+    # Clamp away the last-ULP wobble of the interpolation so that
+    # percentile ordering invariants hold exactly.
+    return min(max(value, sorted_values[lo]), sorted_values[hi])
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` (NaNs for an empty sample)."""
+    if not values:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan)
+    ordered = sorted(values)
+    mean = sum(ordered) / len(ordered)
+    if len(ordered) > 1:
+        var = sum((v - mean) ** 2 for v in ordered) / (len(ordered) - 1)
+    else:
+        var = 0.0
+    return Summary(
+        count=len(ordered),
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=ordered[0],
+        p50=_percentile(ordered, 0.50),
+        p95=_percentile(ordered, 0.95),
+        p99=_percentile(ordered, 0.99),
+        maximum=ordered[-1],
+    )
+
+
+def interarrival_jitter(arrival_times: Sequence[float]) -> Summary:
+    """Jitter of a delivery process: |interarrival - median interarrival|.
+
+    This is the delivery-smoothness metric used by the flow-control
+    comparison (E12): an isochronous stream has near-constant
+    interarrival times, a bursty one does not.
+    """
+    if len(arrival_times) < 3:
+        return summarize([])
+    gaps: List[float] = [
+        b - a for a, b in zip(arrival_times, arrival_times[1:])
+    ]
+    nominal = sorted(gaps)[len(gaps) // 2]
+    deviations = [abs(g - nominal) for g in gaps]
+    return summarize(deviations)

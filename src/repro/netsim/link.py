@@ -1,0 +1,306 @@
+"""Simplex links with bandwidth, delay, jitter, loss and bit errors.
+
+A link models the four impairments the paper's QoS parameters describe
+(section 3.2): throughput (serialisation at ``bandwidth_bps``),
+end-to-end delay (propagation + queueing), delay jitter (a pluggable
+jitter model), and packet/bit error rates (pluggable loss model and a
+BER).  Links have a finite buffer, so congestion produces both loss and
+queueing delay, which the transport monitor must detect and report
+(Table 2).
+
+Scheduling is strict priority with two bands: CONTROL/RESERVED above
+BEST_EFFORT, implementing the guaranteed out-of-band control channels
+of paper section 5.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.netsim.packet import Packet, Priority
+from repro.sim.scheduler import Simulator
+
+
+class LossModel:
+    """Decides whether a packet is lost in transit."""
+
+    def is_lost(self, rng: _random.Random) -> bool:
+        raise NotImplementedError
+
+    def expected_loss(self) -> float:
+        """Long-run loss fraction, used for QoS offer computation."""
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    """Lossless link."""
+
+    def is_lost(self, rng: _random.Random) -> bool:
+        return False
+
+    def expected_loss(self) -> float:
+        return 0.0
+
+
+class BernoulliLoss(LossModel):
+    """Independent per-packet loss with probability ``p``."""
+
+    def __init__(self, p: float):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability {p} outside [0, 1]")
+        self.p = p
+
+    def is_lost(self, rng: _random.Random) -> bool:
+        return rng.random() < self.p
+
+    def expected_loss(self) -> float:
+        return self.p
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state bursty loss (Gilbert-Elliott).
+
+    The channel alternates between a GOOD state with loss ``p_good`` and
+    a BAD state with loss ``p_bad``; transition probabilities are
+    evaluated per packet.  This models the 'temporary glitches occuring
+    in individual VCs' the paper cites as a drift source (section 3.6).
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.01,
+        p_bad_to_good: float = 0.3,
+        p_good: float = 0.0,
+        p_bad: float = 0.5,
+    ):
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("p_good", p_good),
+            ("p_bad", p_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name}={p} outside [0, 1]")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.p_good = p_good
+        self.p_bad = p_bad
+        self._bad = False
+
+    def is_lost(self, rng: _random.Random) -> bool:
+        if self._bad:
+            if rng.random() < self.p_bad_to_good:
+                self._bad = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self._bad = True
+        return rng.random() < (self.p_bad if self._bad else self.p_good)
+
+    def expected_loss(self) -> float:
+        denominator = self.p_good_to_bad + self.p_bad_to_good
+        if denominator == 0.0:
+            return self.p_bad if self._bad else self.p_good
+        stationary_bad = self.p_good_to_bad / denominator
+        return stationary_bad * self.p_bad + (1 - stationary_bad) * self.p_good
+
+
+class JitterModel:
+    """Draws an extra per-packet delay (seconds, non-negative)."""
+
+    def sample(self, rng: _random.Random) -> float:
+        raise NotImplementedError
+
+    def bound(self) -> float:
+        """Upper bound on the extra delay, for QoS offer computation."""
+        raise NotImplementedError
+
+
+class NoJitter(JitterModel):
+    def sample(self, rng: _random.Random) -> float:
+        return 0.0
+
+    def bound(self) -> float:
+        return 0.0
+
+
+class UniformJitter(JitterModel):
+    """Uniform extra delay in ``[0, max_jitter]`` seconds."""
+
+    def __init__(self, max_jitter: float):
+        if max_jitter < 0:
+            raise ValueError(f"negative jitter bound {max_jitter}")
+        self.max_jitter = max_jitter
+
+    def sample(self, rng: _random.Random) -> float:
+        return rng.uniform(0.0, self.max_jitter)
+
+    def bound(self) -> float:
+        return self.max_jitter
+
+
+class TruncatedGaussianJitter(JitterModel):
+    """Gaussian extra delay truncated at zero and ``cap`` seconds."""
+
+    def __init__(self, mean: float, sigma: float, cap: Optional[float] = None):
+        if mean < 0 or sigma < 0:
+            raise ValueError("jitter mean and sigma must be non-negative")
+        self.mean = mean
+        self.sigma = sigma
+        self.cap = cap if cap is not None else mean + 4 * sigma
+
+    def sample(self, rng: _random.Random) -> float:
+        return min(max(rng.gauss(self.mean, self.sigma), 0.0), self.cap)
+
+    def bound(self) -> float:
+        return self.cap
+
+
+class LinkStats:
+    """Per-link counters exposed for the benchmarks."""
+
+    def __init__(self) -> None:
+        self.sent_packets = 0
+        self.delivered_packets = 0
+        self.lost_packets = 0
+        self.buffer_drops = 0
+        self.corrupted_packets = 0
+        self.sent_bits = 0
+        self.delivered_bits = 0
+        self.total_queue_delay = 0.0
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.sent_packets == 0:
+            return 0.0
+        return (self.lost_packets + self.buffer_drops) / self.sent_packets
+
+
+class Link:
+    """A simplex link between two nodes.
+
+    Packets are serialised one at a time at ``bandwidth_bps``; strict
+    priority between the CONTROL/RESERVED band and BEST_EFFORT, FIFO
+    within a band.  Delivery order within a band is preserved even under
+    jitter (jitter extends a packet's delivery time but never reorders).
+
+    Args:
+        sim: the simulator.
+        src, dst: node names (routing is by name).
+        bandwidth_bps: serialisation rate in bits/second.
+        prop_delay: fixed propagation delay in seconds.
+        jitter: per-packet extra-delay model.
+        loss: packet-loss model.
+        ber: independent bit-error probability; a packet of ``n`` bits is
+            marked corrupted with probability ``1 - (1-ber)**n``.
+        buffer_bytes: transmit buffer size; arrivals beyond it are
+            dropped (counted in ``stats.buffer_drops``).
+        rng: random stream (defaults to a fresh seeded stream).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: str,
+        dst: str,
+        bandwidth_bps: float,
+        prop_delay: float = 0.001,
+        jitter: Optional[JitterModel] = None,
+        loss: Optional[LossModel] = None,
+        ber: float = 0.0,
+        buffer_bytes: int = 256 * 1024,
+        rng: Optional[_random.Random] = None,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if prop_delay < 0:
+            raise ValueError(f"negative propagation delay {prop_delay}")
+        if not 0.0 <= ber <= 1.0:
+            raise ValueError(f"BER {ber} outside [0, 1]")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.prop_delay = prop_delay
+        self.jitter = jitter or NoJitter()
+        self.loss = loss or NoLoss()
+        self.ber = ber
+        self.buffer_bytes = buffer_bytes
+        self.rng = rng or _random.Random(0)
+        self.stats = LinkStats()
+        self.on_deliver: Optional[Callable[[Packet], None]] = None
+        self._high: Deque[tuple[Packet, float]] = deque()
+        self._low: Deque[tuple[Packet, float]] = deque()
+        self._queued_bytes = 0.0
+        self._transmitting = False
+        self._last_delivery = 0.0
+
+    # -- capacity accounting used by the reservation manager ------------
+
+    @property
+    def queued_bytes(self) -> float:
+        return self._queued_bytes
+
+    def tx_time(self, size_bits: int) -> float:
+        """Serialisation time for a packet of ``size_bits``."""
+        return size_bits / self.bandwidth_bps
+
+    # -- data path -------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Enqueue ``packet`` for transmission."""
+        self.stats.sent_packets += 1
+        self.stats.sent_bits += packet.size_bits
+        if self._queued_bytes + packet.size_bytes > self.buffer_bytes:
+            self.stats.buffer_drops += 1
+            return
+        self._queued_bytes += packet.size_bytes
+        entry = (packet, self.sim.now)
+        if packet.priority >= Priority.RESERVED:
+            self._high.append(entry)
+        else:
+            self._low.append(entry)
+        if not self._transmitting:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        queue = self._high if self._high else self._low
+        if not queue:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        packet, enqueued_at = queue.popleft()
+        self.stats.total_queue_delay += self.sim.now - enqueued_at
+        tx = self.tx_time(packet.size_bits)
+        self.sim.call_after(tx, lambda: self._tx_done(packet))
+
+    def _tx_done(self, packet: Packet) -> None:
+        self._queued_bytes -= packet.size_bytes
+        if self.loss.is_lost(self.rng):
+            self.stats.lost_packets += 1
+        else:
+            if self.ber > 0.0:
+                p_corrupt = 1.0 - (1.0 - self.ber) ** packet.size_bits
+                if self.rng.random() < p_corrupt:
+                    packet.corrupted = True
+                    self.stats.corrupted_packets += 1
+            arrival = self.sim.now + self.prop_delay + self.jitter.sample(self.rng)
+            # Jitter must not reorder packets within the link.
+            arrival = max(arrival, self._last_delivery)
+            self._last_delivery = arrival
+            self.sim.call_at(arrival, lambda: self._deliver(packet))
+        self._start_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bits += packet.size_bits
+        packet.hops += 1
+        if self.on_deliver is not None:
+            self.on_deliver(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.src}->{self.dst}, {self.bandwidth_bps/1e6:.1f} Mbit/s, "
+            f"{self.prop_delay*1e3:.2f} ms)"
+        )

@@ -1,0 +1,133 @@
+"""Hosts and routers.
+
+A :class:`Node` owns the outgoing :class:`~repro.netsim.link.Link`
+objects toward its neighbours.  A :class:`Router` forwards packets along
+the route computed by the :class:`~repro.netsim.topology.Network`.  A
+:class:`Host` is an end-system: it has a drifting local clock (paper
+section 3.6) and a registry of payload handlers, which is how protocol
+entities (transport, orchestrator) attach to the network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.sim.clock import NodeClock
+from repro.sim.scheduler import Simulator
+
+PacketHandler = Callable[[Packet], None]
+
+
+class Node:
+    """Base node: a named entity with outgoing links."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.links: Dict[str, Link] = {}  # neighbour name -> outgoing link
+
+    def attach_link(self, link: Link) -> None:
+        if link.src != self.name:
+            raise ValueError(
+                f"link {link!r} does not originate at node {self.name!r}"
+            )
+        self.links[link.dst] = link
+        link.on_deliver = None  # the Network wires delivery
+
+    def link_to(self, neighbour: str) -> Link:
+        try:
+            return self.links[neighbour]
+        except KeyError:
+            raise KeyError(f"{self.name!r} has no link to {neighbour!r}") from None
+
+    def receive(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Router(Node):
+    """Store-and-forward router.
+
+    ``forward`` is installed by the :class:`Network` and maps a
+    destination node name to the next-hop neighbour name.  For
+    multicast packets the router *splits*: one copy per distinct next
+    hop, each carrying the subset of group targets reached through it
+    -- source-rooted shortest-path-tree replication.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(sim, name)
+        self.forward: Callable[[str], str] = lambda dst: dst
+        self.forwarded_packets = 0
+        self.multicast_splits = 0
+
+    def receive(self, packet: Packet) -> None:
+        if packet.group_targets is not None:
+            self._forward_multicast(packet)
+            return
+        if packet.dst == self.name:
+            return  # routers sink packets addressed to themselves
+        next_hop = self.forward(packet.dst)
+        self.forwarded_packets += 1
+        self.link_to(next_hop).send(packet)
+
+    def _forward_multicast(self, packet: Packet) -> None:
+        from dataclasses import replace as dc_replace
+
+        branches: dict[str, list[str]] = {}
+        for target in packet.group_targets:
+            if target == self.name:
+                continue
+            branches.setdefault(self.forward(target), []).append(target)
+        if len(branches) > 1:
+            self.multicast_splits += 1
+        for next_hop, targets in branches.items():
+            copy = dc_replace(packet, group_targets=tuple(targets))
+            self.forwarded_packets += 1
+            self.link_to(next_hop).send(copy)
+
+
+class Host(Node):
+    """An end-system with a local clock and payload handlers.
+
+    Handlers are keyed by *payload kind*: the class name of the payload
+    object, or an explicit string key registered with
+    :meth:`register_handler`.  Payload objects may define a
+    ``handler_key`` attribute to override the class-name key; the
+    transport entity uses ``"tpdu"`` and the orchestrator ``"opdu"``.
+    """
+
+    def __init__(self, sim: Simulator, name: str, clock: Optional[NodeClock] = None):
+        super().__init__(sim, name)
+        self.clock = clock or NodeClock(sim)
+        self._handlers: Dict[str, PacketHandler] = {}
+        self.received_packets = 0
+        self.unhandled_packets = 0
+
+    def register_handler(self, key: str, handler: PacketHandler) -> None:
+        """Attach a protocol entity for payloads with ``handler_key == key``."""
+        if key in self._handlers:
+            raise ValueError(f"handler for {key!r} already registered on {self.name}")
+        self._handlers[key] = handler
+
+    def unregister_handler(self, key: str) -> None:
+        self._handlers.pop(key, None)
+
+    def receive(self, packet: Packet) -> None:
+        if packet.group_targets is not None and (
+            self.name not in packet.group_targets
+        ):
+            # A multicast copy routed through this host (degenerate
+            # topology): hosts do not forward.
+            return
+        self.received_packets += 1
+        key = getattr(packet.payload, "handler_key", type(packet.payload).__name__)
+        handler = self._handlers.get(key)
+        if handler is None:
+            self.unhandled_packets += 1
+            return
+        handler(packet)

@@ -1,0 +1,77 @@
+"""Network-level packets.
+
+A :class:`Packet` carries an opaque payload between named nodes.  The
+transport layer puts its TPDUs in the payload; the network layer only
+looks at addressing, size and priority.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+class Priority(enum.IntEnum):
+    """Link service priority.
+
+    The orchestrator's out-of-band control VCs "must have guaranteed
+    bandwidth to support the necessary real-time communication of
+    orchestration primitives" (paper section 5); control and reserved
+    traffic is therefore served ahead of best-effort traffic on every
+    link.
+    """
+
+    BEST_EFFORT = 0
+    RESERVED = 1
+    CONTROL = 2
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One network PDU.
+
+    Attributes:
+        src: originating node name.
+        dst: destination node name.
+        payload: opaque upper-layer data (a TPDU, an OPDU, ...).
+        size_bits: wire size including headers, used for serialisation
+            delay and buffer occupancy.
+        priority: link scheduling class.
+        flow_id: identifies the flow for per-flow reservation policing;
+            transport VCs use their vc-id here.
+        corrupted: set by the link bit-error model; the receiving
+            protocol entity decides what to do about it (class-of-service
+            dependent, paper section 3.4).
+        packet_id: unique id for tracing.
+        sent_at: simulator time the packet entered the first link.
+        hops: number of links traversed so far.
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    size_bits: int
+    priority: Priority = Priority.BEST_EFFORT
+    flow_id: Optional[str] = None
+    corrupted: bool = False
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    sent_at: Optional[float] = None
+    hops: int = 0
+    #: For 1:N multicast (paper sections 3.8 and 7): the set of
+    #: destination hosts this copy still has to reach.  Routers split
+    #: the packet per next hop; ``dst`` holds the group name for
+    #: tracing only.
+    group_targets: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bits}")
+
+    @property
+    def size_bytes(self) -> float:
+        return self.size_bits / 8.0

@@ -1,0 +1,204 @@
+"""ST-II-like per-hop resource reservation and admission control.
+
+The paper assumes that "when the protocol is operating in an internet
+environment, a network level resource reservation protocol such as ST-II
+[Topolcic,90] or SRP [Anderson,91] will need to be used to guarantee
+resources in intermediate nodes" (section 7), and that dynamic QoS
+control requires "mechanisms ... to alter link-level bandwidths and/or
+processing and buffering resources on intermediate nodes" (section 3.3).
+
+:class:`ReservationManager` provides exactly that substrate: bandwidth
+and buffer reservations along a route, admission control against each
+link's reservable capacity, and in-place modification for QoS
+renegotiation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.netsim.link import Link
+from repro.netsim.topology import Network
+
+
+class AdmissionError(Exception):
+    """Raised when a reservation cannot be admitted.
+
+    Attributes:
+        link: the first link that refused the request.
+        requested_bps: the rate asked for.
+        available_bps: what that link could still offer.
+    """
+
+    def __init__(self, link: Link, requested_bps: float, available_bps: float):
+        super().__init__(
+            f"link {link.src}->{link.dst} cannot admit {requested_bps/1e6:.2f} "
+            f"Mbit/s (available {available_bps/1e6:.2f} Mbit/s)"
+        )
+        self.link = link
+        self.requested_bps = requested_bps
+        self.available_bps = available_bps
+
+
+_reservation_ids = itertools.count(1)
+
+
+@dataclass
+class Reservation:
+    """An admitted end-to-end reservation.
+
+    Attributes:
+        reservation_id: unique handle.
+        src, dst: end-system names.
+        rate_bps: reserved bandwidth on every link of the route.
+        buffer_bytes: reserved buffer on every hop.
+        links: the links the reservation is pinned to.
+    """
+
+    src: str
+    dst: str
+    rate_bps: float
+    buffer_bytes: int
+    links: List[Link]
+    reservation_id: int = field(default_factory=lambda: next(_reservation_ids))
+    released: bool = False
+
+
+class ReservationManager:
+    """Admission control over a :class:`~repro.netsim.topology.Network`.
+
+    Each link may commit at most ``reservable_fraction`` of its raw
+    bandwidth to reservations, mirroring real admission controllers that
+    keep headroom for control traffic and burst tolerance.
+    """
+
+    def __init__(self, network: Network, reservable_fraction: float = 0.9):
+        if not 0.0 < reservable_fraction <= 1.0:
+            raise ValueError(
+                f"reservable fraction {reservable_fraction} outside (0, 1]"
+            )
+        self.network = network
+        self.reservable_fraction = reservable_fraction
+        self._committed_bps: Dict[Link, float] = {}
+        self._committed_buffer: Dict[Link, int] = {}
+        self.reservations: Dict[int, Reservation] = {}
+        self.admitted_count = 0
+        self.rejected_count = 0
+
+    # -- queries -------------------------------------------------------
+
+    def committed_bps(self, link: Link) -> float:
+        return self._committed_bps.get(link, 0.0)
+
+    def available_bps(self, link: Link) -> float:
+        return (
+            link.bandwidth_bps * self.reservable_fraction
+            - self.committed_bps(link)
+        )
+
+    def route_available_bps(self, src: str, dst: str) -> float:
+        """Bottleneck reservable bandwidth along the route."""
+        links = self.network.links_on_route(src, dst)
+        return min(self.available_bps(link) for link in links)
+
+    # -- admission -------------------------------------------------------
+
+    def reserve(
+        self,
+        src: str,
+        dst: str,
+        rate_bps: float,
+        buffer_bytes: int = 0,
+    ) -> Reservation:
+        """Admit a reservation along ``src -> dst`` or raise AdmissionError."""
+        if rate_bps <= 0:
+            raise ValueError(f"reservation rate must be positive, got {rate_bps}")
+        links = self.network.links_on_route(src, dst)
+        for link in links:
+            available = self.available_bps(link)
+            if rate_bps > available + 1e-9:
+                self.rejected_count += 1
+                raise AdmissionError(link, rate_bps, available)
+            buffer_left = link.buffer_bytes - self._committed_buffer.get(link, 0)
+            if buffer_bytes > buffer_left:
+                self.rejected_count += 1
+                raise AdmissionError(link, rate_bps, available)
+        for link in links:
+            self._committed_bps[link] = self.committed_bps(link) + rate_bps
+            self._committed_buffer[link] = (
+                self._committed_buffer.get(link, 0) + buffer_bytes
+            )
+        reservation = Reservation(src, dst, rate_bps, buffer_bytes, links)
+        self.reservations[reservation.reservation_id] = reservation
+        self.admitted_count += 1
+        return reservation
+
+    def reserve_multicast(
+        self,
+        src: str,
+        sinks: "List[str]",
+        rate_bps: float,
+        buffer_bytes: int = 0,
+    ) -> Reservation:
+        """Admit one reservation over the multicast tree to ``sinks``.
+
+        Each tree edge is reserved exactly once -- the bandwidth
+        economy that makes 1:N delivery cheaper than N unicast VCs.
+        """
+        if rate_bps <= 0:
+            raise ValueError(f"reservation rate must be positive, got {rate_bps}")
+        links = self.network.tree_links(src, sinks)
+        if not links:
+            raise ValueError("multicast tree has no links (no remote sinks)")
+        for link in links:
+            available = self.available_bps(link)
+            if rate_bps > available + 1e-9:
+                self.rejected_count += 1
+                raise AdmissionError(link, rate_bps, available)
+        for link in links:
+            self._committed_bps[link] = self.committed_bps(link) + rate_bps
+            self._committed_buffer[link] = (
+                self._committed_buffer.get(link, 0) + buffer_bytes
+            )
+        reservation = Reservation(
+            src, f"group({len(sinks)})", rate_bps, buffer_bytes, links
+        )
+        self.reservations[reservation.reservation_id] = reservation
+        self.admitted_count += 1
+        return reservation
+
+    def modify(self, reservation: Reservation, new_rate_bps: float) -> None:
+        """Change a reservation's rate in place (QoS renegotiation).
+
+        Decreases always succeed.  Increases are admitted against the
+        *remaining* capacity of the same links; on failure the original
+        reservation is left untouched, matching the paper's rule that a
+        rejected T-Renegotiate leaves the existing VC up (section 4.1.3).
+        """
+        if reservation.released:
+            raise ValueError("cannot modify a released reservation")
+        if new_rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {new_rate_bps}")
+        delta = new_rate_bps - reservation.rate_bps
+        if delta > 0:
+            for link in reservation.links:
+                available = self.available_bps(link)
+                if delta > available + 1e-9:
+                    raise AdmissionError(link, new_rate_bps, available)
+        for link in reservation.links:
+            self._committed_bps[link] = self.committed_bps(link) + delta
+        reservation.rate_bps = new_rate_bps
+
+    def release(self, reservation: Reservation) -> None:
+        """Return a reservation's resources to its links (idempotent)."""
+        if reservation.released:
+            return
+        for link in reservation.links:
+            self._committed_bps[link] = self.committed_bps(link) - reservation.rate_bps
+            self._committed_buffer[link] = (
+                self._committed_buffer.get(link, 0) - reservation.buffer_bytes
+            )
+        reservation.released = True
+        self.reservations.pop(reservation.reservation_id, None)

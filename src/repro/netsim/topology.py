@@ -1,0 +1,206 @@
+"""Network topology, routing and packet delivery.
+
+The :class:`Network` holds nodes and links, computes shortest-path
+routes (networkx, weighted by link propagation delay) and wires each
+link's delivery callback to the receiving node.  Hosts inject packets
+with :meth:`Network.send`; routers forward hop by hop.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.netsim.link import JitterModel, Link, LossModel
+from repro.netsim.node import Host, Node, Router
+from repro.netsim.packet import Packet
+from repro.sim.clock import NodeClock
+from repro.sim.random import RandomStreams
+from repro.sim.scheduler import Simulator
+
+
+class Network:
+    """A routed packet network over the simulation kernel."""
+
+    def __init__(self, sim: Simulator, streams: Optional[RandomStreams] = None):
+        self.sim = sim
+        self.streams = streams or RandomStreams(0)
+        self.nodes: Dict[str, Node] = {}
+        self.graph = nx.DiGraph()
+        self._routes: Dict[Tuple[str, str], List[str]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_host(self, name: str, clock_skew_ppm: float = 0.0) -> Host:
+        """Create a host whose local clock drifts at ``clock_skew_ppm``."""
+        self._check_new(name)
+        host = Host(self.sim, name, NodeClock(self.sim, skew_ppm=clock_skew_ppm))
+        self.nodes[name] = host
+        self.graph.add_node(name)
+        return host
+
+    def add_router(self, name: str) -> Router:
+        self._check_new(name)
+        router = Router(self.sim, name)
+        router.forward = lambda dst, _name=name: self.next_hop(_name, dst)
+        self.nodes[name] = router
+        self.graph.add_node(name)
+        return router
+
+    def _check_new(self, name: str) -> None:
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        bandwidth_bps: float,
+        prop_delay: float = 0.001,
+        jitter: Optional[JitterModel] = None,
+        loss: Optional[LossModel] = None,
+        ber: float = 0.0,
+        buffer_bytes: int = 256 * 1024,
+        bidirectional: bool = True,
+    ) -> Tuple[Link, Optional[Link]]:
+        """Create link(s) between existing nodes ``a`` and ``b``.
+
+        Returns ``(a_to_b, b_to_a)``; the second element is None for a
+        simplex link.
+        """
+        forward = self._make_link(
+            a, b, bandwidth_bps, prop_delay, jitter, loss, ber, buffer_bytes
+        )
+        backward = None
+        if bidirectional:
+            backward = self._make_link(
+                b, a, bandwidth_bps, prop_delay, jitter, loss, ber, buffer_bytes
+            )
+        self._routes.clear()
+        return forward, backward
+
+    def _make_link(
+        self,
+        src: str,
+        dst: str,
+        bandwidth_bps: float,
+        prop_delay: float,
+        jitter: Optional[JitterModel],
+        loss: Optional[LossModel],
+        ber: float,
+        buffer_bytes: int,
+    ) -> Link:
+        if src not in self.nodes or dst not in self.nodes:
+            missing = src if src not in self.nodes else dst
+            raise KeyError(f"unknown node {missing!r}")
+        link = Link(
+            self.sim,
+            src,
+            dst,
+            bandwidth_bps,
+            prop_delay=prop_delay,
+            jitter=jitter,
+            loss=loss,
+            ber=ber,
+            buffer_bytes=buffer_bytes,
+            rng=self.streams.stream(f"link:{src}->{dst}"),
+        )
+        self.nodes[src].attach_link(link)
+        link.on_deliver = self.nodes[dst].receive
+        self.graph.add_edge(src, dst, weight=prop_delay, link=link)
+        return link
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> List[str]:
+        """Node-name path from ``src`` to ``dst`` (inclusive)."""
+        key = (src, dst)
+        if key not in self._routes:
+            try:
+                self._routes[key] = nx.shortest_path(
+                    self.graph, src, dst, weight="weight"
+                )
+            except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+                raise ValueError(f"no route from {src!r} to {dst!r}") from exc
+        return self._routes[key]
+
+    def next_hop(self, at: str, dst: str) -> str:
+        path = self.route(at, dst)
+        if len(path) < 2:
+            raise ValueError(f"no next hop from {at!r} toward {dst!r}")
+        return path[1]
+
+    def links_on_route(self, src: str, dst: str) -> List[Link]:
+        """The Link objects along the route (used for reservation)."""
+        path = self.route(src, dst)
+        return [
+            self.graph.edges[u, v]["link"] for u, v in zip(path, path[1:])
+        ]
+
+    def path_propagation_delay(self, src: str, dst: str) -> float:
+        return sum(link.prop_delay for link in self.links_on_route(src, dst))
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Inject ``packet`` at its source node."""
+        if packet.src == packet.dst:
+            # Local delivery: model a small loopback latency of zero but
+            # keep the asynchronous discipline (handler runs from the
+            # event loop, never inline).
+            self.sim.call_soon(lambda: self.nodes[packet.dst].receive(packet))
+            return
+        packet.sent_at = self.sim.now
+        first_hop = self.next_hop(packet.src, packet.dst)
+        self.nodes[packet.src].link_to(first_hop).send(packet)
+
+    def send_multicast(self, packet: Packet, targets: Iterable[str]) -> None:
+        """Inject a 1:N multicast packet at its source node.
+
+        Replication follows the source-rooted shortest-path tree: the
+        source splits per next hop, and routers split further at branch
+        points, so each tree edge carries exactly one copy.
+        """
+        from dataclasses import replace as dc_replace
+
+        target_set = tuple(sorted(set(targets)))
+        packet.sent_at = self.sim.now
+        branches: Dict[str, List[str]] = {}
+        for target in target_set:
+            if target == packet.src:
+                copy = dc_replace(packet, group_targets=(target,))
+                self.sim.call_soon(
+                    lambda c=copy: self.nodes[packet.src].receive(c)
+                )
+                continue
+            branches.setdefault(self.next_hop(packet.src, target), []).append(
+                target
+            )
+        for hop, hop_targets in branches.items():
+            copy = dc_replace(packet, group_targets=tuple(hop_targets))
+            self.nodes[packet.src].link_to(hop).send(copy)
+
+    def tree_links(self, src: str, targets: Iterable[str]) -> List[Link]:
+        """Unique links of the source-rooted tree covering ``targets``."""
+        links: List[Link] = []
+        seen = set()
+        for target in targets:
+            if target == src:
+                continue
+            for link in self.links_on_route(src, target):
+                key = (link.src, link.dst)
+                if key not in seen:
+                    seen.add(key)
+                    links.append(link)
+        return links
+
+    def host(self, name: str) -> Host:
+        node = self.nodes[name]
+        if not isinstance(node, Host):
+            raise TypeError(f"node {name!r} is a {type(node).__name__}, not a Host")
+        return node
+
+    def hosts(self) -> Iterable[Host]:
+        return (n for n in self.nodes.values() if isinstance(n, Host))

@@ -1,0 +1,223 @@
+"""The High Level Orchestrator (platform level).
+
+"The HLO is responsible for finding the physical locations of the
+connections underlying the given Stream interfaces, and thus choosing
+the node from which the lower levels of orchestration will be
+co-ordinated.  The node selected, known as the orchestrating node, is
+that common to the greatest number of VCs ... Having identified the
+orchestrating node, the HLO creates an ADT interface onto the selected
+HLO agent.  This is passed back to the initiating application, and
+enables the application to control the on-going orchestration session
+via invocation" (paper section 5, Figure 5).
+
+Our initial implementation reproduces the paper's restriction that the
+group must share a common node (where the master clock lives); passing
+``require_common_node=False`` lifts it using the NTP-like clock
+synchronisation of :mod:`repro.orchestration.clock_sync`, the
+extension the paper's footnote anticipates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import replace as dc_replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.scheduler import Simulator
+from repro.orchestration.clock_sync import NTPLikeSynchronizer
+from repro.orchestration.hlo_agent import HLOAgent, StreamSpec
+from repro.orchestration.llo import LLOInstance
+from repro.orchestration.policy import OrchestrationPolicy
+from repro.orchestration.primitives import OrchReply
+
+
+class OrchestrationError(Exception):
+    """Raised when a group cannot be orchestrated."""
+
+
+def select_orchestrating_node(
+    endpoints: Iterable[Tuple[str, str]], require_common: bool = True
+) -> str:
+    """Pick the orchestrating node for a set of ``(source, sink)`` pairs.
+
+    Returns the node "common to the greatest number of VCs".  With
+    ``require_common`` (the paper's initial restriction) the winner
+    must appear in *every* VC, else :class:`OrchestrationError` is
+    raised.  Sinks win ties (regulation is cheapest sink-side).
+    """
+    pairs = list(endpoints)
+    if not pairs:
+        raise OrchestrationError("empty orchestration group")
+    counts: Counter[str] = Counter()
+    sink_counts: Counter[str] = Counter()
+    for src, sink in pairs:
+        nodes = {src, sink}  # a loopback VC counts its node once
+        for node in nodes:
+            counts[node] += 1
+        sink_counts[sink] += 1
+    best = max(counts, key=lambda n: (counts[n], sink_counts[n], n))
+    if require_common and counts[best] < len(pairs):
+        raise OrchestrationError(
+            f"no node is common to all {len(pairs)} VCs (best: {best!r} "
+            f"on {counts[best]})"
+        )
+    return best
+
+
+_session_ids = itertools.count(1)
+
+
+class OrchestrationSession:
+    """The ADT interface handed back to the initiating application."""
+
+    def __init__(self, hlo: "HighLevelOrchestrator", agent: HLOAgent,
+                 synchronizers: List[NTPLikeSynchronizer]):
+        self.hlo = hlo
+        self.agent = agent
+        self.synchronizers = synchronizers
+
+    @property
+    def session_id(self) -> str:
+        return self.agent.session_id
+
+    @property
+    def orchestrating_node(self) -> str:
+        return self.agent.llo.node_name
+
+    # The operations the application invokes on the session interface.
+
+    def prime(self):
+        """Coroutine: Orch.Prime the group."""
+        return (yield from self.agent.prime())
+
+    def start(self, regulate: bool = True):
+        """Coroutine: Orch.Start the group (atomic, near-instantaneous)."""
+        return (yield from self.agent.start(regulate=regulate))
+
+    def stop(self):
+        """Coroutine: Orch.Stop the group."""
+        return (yield from self.agent.stop())
+
+    def add(self, spec: StreamSpec):
+        return (yield from self.agent.add_stream(spec))
+
+    def remove(self, vc_id: str):
+        return (yield from self.agent.remove_stream(vc_id))
+
+    def register_event(self, vc_id: str, pattern: int, handler) -> None:
+        self.agent.register_event(vc_id, pattern, handler)
+
+    def release(self, reason: str = "released") -> None:
+        for sync in self.synchronizers:
+            sync.stop()
+        self.agent.release(reason)
+
+    # Status / instrumentation.
+
+    def skew(self) -> float:
+        return self.agent.current_skew()
+
+    def max_skew(self, since: float = 0.0) -> float:
+        return self.agent.max_skew(since)
+
+    def reports(self):
+        return self.agent.reports
+
+
+class HighLevelOrchestrator:
+    """Creates orchestration sessions over a set of LLO instances."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        llos: Dict[str, LLOInstance],
+        clock_sync_period: float = 1.0,
+    ):
+        self.sim = sim
+        self.llos = llos
+        self.clock_sync_period = clock_sync_period
+        self.sessions: Dict[str, OrchestrationSession] = {}
+
+    def orchestrate(
+        self,
+        streams: List[StreamSpec],
+        policy: Optional[OrchestrationPolicy] = None,
+        require_common_node: bool = True,
+        session_id: Optional[str] = None,
+    ):
+        """Coroutine: build, place and establish an orchestrated group.
+
+        Returns the :class:`OrchestrationSession` ADT interface, or
+        raises :class:`OrchestrationError` when the group is rejected.
+        When ``require_common_node`` is False and the group has no
+        common node, NTP-like synchronizers are started from every
+        non-orchestrating endpoint node toward the orchestrating node's
+        master clock (the footnote extension).
+        """
+        if not streams:
+            raise OrchestrationError("empty orchestration group")
+        endpoints = [(s.source_node, s.sink_node) for s in streams]
+        node = select_orchestrating_node(
+            endpoints, require_common=require_common_node
+        )
+        if node not in self.llos:
+            raise OrchestrationError(f"no LLO instance on {node!r}")
+        llo = self.llos[node]
+        session_id = session_id or f"orch-{next(_session_ids)}"
+        agent = HLOAgent(self.sim, llo, session_id, streams, policy)
+        synchronizers: List[NTPLikeSynchronizer] = []
+        if not require_common_node:
+            other_nodes = {n for pair in endpoints for n in pair} - {node}
+            for other in sorted(other_nodes):
+                sync = NTPLikeSynchronizer(
+                    self.sim,
+                    llo.network,
+                    master=node,
+                    slave=other,
+                    period=self.clock_sync_period,
+                )
+                sync.start()
+                synchronizers.append(sync)
+        reply = yield from agent.establish()
+        if not reply.accept:
+            for sync in synchronizers:
+                sync.stop()
+            raise OrchestrationError(f"orchestration rejected: {reply.reason}")
+        session = OrchestrationSession(self, agent, synchronizers)
+        self.sessions[session_id] = session
+        return session
+
+
+def make_default_renegotiator(entities, records_by_vc, factor: float = 1.25):
+    """Build an ``on_renegotiate`` hook that raises throughput by ``factor``.
+
+    ``records_by_vc`` maps vc_id to the original
+    :class:`~repro.transport.primitives.TConnectRequest`, which supplies
+    the addresses the T-Renegotiate.request needs.  Used by examples and
+    benchmarks; real applications install their own policy.
+    """
+    from repro.transport.primitives import TRenegotiateRequest
+
+    def on_renegotiate(vc_id: str, behind_seconds: float) -> None:
+        request = records_by_vc.get(vc_id)
+        if request is None:
+            return
+        entity = entities.get(request.src.node)
+        if entity is None or vc_id not in entity.send_vcs:
+            return
+        current = entity.send_vcs[vc_id].contract
+        new_qos = request.qos.with_throughput(
+            current.throughput_bps * factor, current.throughput_bps
+        )
+        entity.request(
+            TRenegotiateRequest(
+                initiator=request.src,
+                src=request.src,
+                dst=request.dst,
+                new_qos=new_qos,
+                vc_id=vc_id,
+            )
+        )
+
+    return on_renegotiate

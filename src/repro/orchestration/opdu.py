@@ -1,0 +1,143 @@
+"""Orchestrator PDUs exchanged between LLO instances.
+
+"The multiple LLO instances interact with each other via Orchestrator
+PDUs (OPDUs), on out of band connections.  These connections must have
+guaranteed bandwidth" (paper section 5) -- so every OPDU travels at
+:class:`~repro.netsim.packet.Priority.CONTROL`, which our links serve
+ahead of all data traffic.
+
+(The per-OSDU OPDU fields -- sequence number and event field -- ride
+*inside* data TPDUs and are defined in :mod:`repro.transport.osdu`.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Nominal wire size of one control OPDU, bytes.
+OPDU_WIRE_BYTES = 96
+
+
+@dataclass
+class ControlOPDU:
+    """Base class for LLO-to-LLO control messages."""
+
+    handler_key = "opdu"
+
+    session_id: str = ""
+    request_id: int = 0
+    origin: str = ""  # node name of the requesting LLO
+
+
+@dataclass
+class SessionRequestOPDU(ControlOPDU):
+    """Orch.request propagated to each involved source/sink node.
+
+    ``vcs`` maps vc-id to ``(source_node, sink_node)``.
+    """
+
+    vcs: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+
+@dataclass
+class SessionReleaseOPDU(ControlOPDU):
+    reason: str = ""
+
+
+@dataclass
+class GroupCmdOPDU(ControlOPDU):
+    """Prime / Start / Stop / Add / Remove command for local endpoints."""
+
+    kind: str = ""  # "prime" | "start" | "stop" | "add" | "remove"
+    vc_ids: List[str] = field(default_factory=list)
+    #: For add: source/sink of VCs newly joining the session.
+    vcs: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: For start: leave sink gates metered (regulation takes over the
+    #: release schedule immediately) instead of fully open.
+    metered: bool = False
+
+
+@dataclass
+class ReplyOPDU(ControlOPDU):
+    """Positive/negative reply to a session or group command."""
+
+    ok: bool = True
+    reason: str = ""
+    node: str = ""
+
+
+@dataclass
+class RegulateCmdOPDU(ControlOPDU):
+    """Orch.Regulate.request relayed to the sink LLO of one VC."""
+
+    vc_id: str = ""
+    target_osdu: int = 0
+    max_drop: int = 0
+    interval_length: float = 0.0
+    interval_id: int = 0
+
+
+@dataclass
+class RegulateReportOPDU(ControlOPDU):
+    """The sink LLO's end-of-interval report toward the agent's LLO."""
+
+    vc_id: str = ""
+    interval_id: int = 0
+    osdu_seq: int = -1
+    dropped: int = 0
+    proto_block_times: Dict[str, float] = field(default_factory=dict)
+    app_block_times: Dict[str, float] = field(default_factory=dict)
+    sink_buffered: int = 0
+
+
+@dataclass
+class DropRequestOPDU(ControlOPDU):
+    """Sink LLO -> source LLO: discard ``count`` queued OSDUs."""
+
+    vc_id: str = ""
+    count: int = 1
+
+
+@dataclass
+class StatsQueryOPDU(ControlOPDU):
+    """Sink LLO -> source LLO: report blocking stats for the interval."""
+
+    vc_id: str = ""
+    interval_id: int = 0
+
+
+@dataclass
+class StatsReplyOPDU(ControlOPDU):
+    vc_id: str = ""
+    interval_id: int = 0
+    app_block: float = 0.0
+    proto_block: float = 0.0
+    dropped: int = 0
+
+
+@dataclass
+class DelayedCmdOPDU(ControlOPDU):
+    """Orch.Delayed toward the application thread causing a delay."""
+
+    vc_id: str = ""
+    source_or_sink: str = ""
+    interval_length: float = 0.0
+    osdus_behind: int = 0
+
+
+@dataclass
+class EventRegisterOPDU(ControlOPDU):
+    """Orch.Event.request relayed to the sink LLO of one VC."""
+
+    vc_id: str = ""
+    event_pattern: int = 0
+
+
+@dataclass
+class EventNotifyOPDU(ControlOPDU):
+    """Sink LLO -> agent LLO: a registered event pattern matched."""
+
+    vc_id: str = ""
+    event_pattern: int = 0
+    osdu_seq: int = -1

@@ -1,0 +1,71 @@
+"""Orchestration policies (the HLO's policy layer).
+
+"Applications pass Stream interfaces to these operations and the HLO
+arranges to have the required continuous synchronisation performed by
+the lower layers according to a policy specified by the application.
+Policies include constraints on how 'strict' the continuous
+synchronisation should be and actions to take on failure" (paper
+section 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class CompensationAction(enum.Enum):
+    """What the HLO agent did (or recommends) about a lagging stream."""
+
+    NONE = "none"
+    RETARGET = "retarget"          # targets rebased automatically
+    DROP = "drop"                  # drop budget was spent at the source
+    DELAYED_SOURCE = "delayed-source"  # Orch.Delayed to the source app
+    DELAYED_SINK = "delayed-sink"      # Orch.Delayed to the sink app
+    RENEGOTIATE = "renegotiate"        # T-Renegotiate the VC's QoS
+    REBASE = "rebase"              # slow the whole group to the laggard
+
+
+@dataclass
+class OrchestrationPolicy:
+    """Tunable policy for one orchestrated group.
+
+    Attributes:
+        interval_length: regulation interval in master-clock seconds
+            (the paper's Figure 6 ``interval``).
+        strictness: target bound on inter-stream skew in media seconds;
+            the canonical lip-sync threshold is 80 ms.
+        patience_intervals: how many consecutive intervals a stream may
+            miss its target before the agent escalates beyond
+            retargeting.
+        delayed_threshold_osdus: behindness (in OSDUs) below which the
+            agent never escalates.
+        block_fraction_threshold: fraction of the interval a thread
+            must have spent blocked for the blocking-time attribution
+            to accuse it.
+        rebase_to_slowest: when True and a no-drop stream lags
+            persistently, slow the whole group's timeline to the
+            laggard instead of letting skew grow (the paper's "linking
+            QoS degradations on one VC to corresponding compensations
+            on another", section 3.6).
+        escalate_renegotiate: allow the agent to request QoS
+            renegotiation (via its ``on_renegotiate`` hook) when
+            attribution blames protocol throughput.
+    """
+
+    interval_length: float = 0.2
+    strictness: float = 0.080
+    patience_intervals: int = 3
+    delayed_threshold_osdus: int = 2
+    block_fraction_threshold: float = 0.5
+    rebase_to_slowest: bool = False
+    escalate_renegotiate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval_length <= 0:
+            raise ValueError("interval_length must be positive")
+        if self.strictness <= 0:
+            raise ValueError("strictness must be positive")
+        if self.patience_intervals < 1:
+            raise ValueError("patience_intervals must be at least 1")

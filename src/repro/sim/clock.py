@@ -1,0 +1,80 @@
+"""Per-node clocks with rate skew and offset.
+
+Section 3.6 of the paper argues that orchestrated connections *"will
+eventually drift out of synchronisation ... due to the inevitable
+discrepancies between remote clock rates"*.  Reproducing that argument
+needs node clocks that genuinely diverge from the (omniscient) simulator
+clock.  :class:`NodeClock` maps virtual time to a node-local time with a
+constant rate error expressed in parts per million, matching the quartz
+oscillator tolerances of real workstations (typically 1-100 ppm).
+"""
+
+from __future__ import annotations
+
+from repro.sim.scheduler import SimulationError, Simulator
+
+
+class NodeClock:
+    """A drifting local clock for one end-system.
+
+    ``local_time = offset + (1 + skew_ppm * 1e-6) * sim_time``
+
+    The orchestrating node's clock is the datum for continuous
+    synchronisation (paper section 5, footnote); other nodes read their
+    own drifting clocks, so targets expressed in the datum's timescale
+    accumulate error exactly as the paper describes.
+    """
+
+    def __init__(self, sim: Simulator, skew_ppm: float = 0.0, offset: float = 0.0):
+        self.sim = sim
+        self.skew_ppm = skew_ppm
+        self.offset = offset
+
+    @property
+    def rate(self) -> float:
+        """Local seconds per simulator second."""
+        return 1.0 + self.skew_ppm * 1e-6
+
+    def now(self) -> float:
+        """Current node-local time."""
+        return self.offset + self.rate * self.sim.now
+
+    def to_local(self, sim_time: float) -> float:
+        """Convert a simulator timestamp to this node's local time."""
+        return self.offset + self.rate * sim_time
+
+    def to_sim(self, local_time: float) -> float:
+        """Convert a node-local timestamp to simulator time."""
+        return (local_time - self.offset) / self.rate
+
+    def local_duration(self, sim_duration: float) -> float:
+        """How long ``sim_duration`` real seconds appear on this clock."""
+        return self.rate * sim_duration
+
+    def sim_duration(self, local_duration: float) -> float:
+        """Real (simulator) seconds for a local-clock duration."""
+        return local_duration / self.rate
+
+    def adjust(self, offset_delta: float) -> None:
+        """Step the clock by ``offset_delta`` local seconds.
+
+        Used by the clock-synchronisation protocols to slew a slave clock
+        toward the orchestrating node's datum.
+        """
+        self.offset += offset_delta
+
+    def set_skew_ppm(self, skew_ppm: float) -> None:
+        """Change the rate error, preserving continuity of local time.
+
+        The offset is recomputed so ``now()`` is unchanged at the instant
+        of adjustment; only the future rate differs.
+        """
+        current_local = self.now()
+        self.skew_ppm = skew_ppm
+        self.offset = current_local - self.rate * self.sim.now
+
+    def offset_from(self, other: "NodeClock") -> float:
+        """Instantaneous difference ``self.now() - other.now()``."""
+        if other.sim is not self.sim:
+            raise SimulationError("clocks belong to different simulators")
+        return self.now() - other.now()

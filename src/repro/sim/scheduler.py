@@ -1,0 +1,401 @@
+"""Event scheduler and process model for the virtual-time kernel.
+
+The design is a conventional event-heap simulator with generator
+coroutines, written from scratch so the reproduction has no runtime
+dependencies beyond the standard library.
+
+A :class:`Process` wraps a generator.  The generator ``yield``\\ s
+*waitables*; the process resumes when the waitable fires and receives the
+waitable's value as the result of the ``yield`` expression::
+
+    def sender(sim):
+        yield Timeout(sim, 0.02)          # sleep 20 ms of virtual time
+        value = yield some_event          # wait for an Event
+        done = yield AnyOf(sim, [a, b])   # first of several
+
+Time is a float in **seconds** throughout the code base.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Simulator:
+    """A discrete-event simulator with a virtual clock.
+
+    Events are ``(time, priority, seq, callback)`` tuples on a heap; the
+    ``seq`` counter makes ordering of simultaneous events deterministic
+    (FIFO within equal time and priority).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.process_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def call_at(
+        self, when: float, fn: Callable[[], None], priority: int = 0
+    ) -> "ScheduledCall":
+        """Schedule ``fn()`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when:.9f}, now is {self._now:.9f}"
+            )
+        handle = ScheduledCall(when, priority, next(self._seq), fn)
+        heapq.heappush(self._heap, handle._entry())
+        return handle
+
+    def call_after(
+        self, delay: float, fn: Callable[[], None], priority: int = 0
+    ) -> "ScheduledCall":
+        """Schedule ``fn()`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, fn, priority)
+
+    def call_soon(self, fn: Callable[[], None], priority: int = 0) -> "ScheduledCall":
+        """Schedule ``fn()`` at the current time (after pending events)."""
+        return self.call_at(self._now, fn, priority)
+
+    def spawn(
+        self, gen: Generator[Any, Any, Any], name: Optional[str] = None
+    ) -> "Process":
+        """Start a new process running generator ``gen``."""
+        return Process(self, gen, name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the heap is empty or ``until`` is reached.
+
+        Returns the virtual time at which the run stopped.  When ``until``
+        is given the clock is advanced to exactly ``until`` even if the
+        last event fires earlier, so repeated ``run(until=...)`` calls
+        observe a monotonic clock.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        try:
+            while self._heap:
+                when, _prio, _seq, fn = self._heap[0]
+                if fn is None:  # cancelled
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = when
+                fn()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute a single event.  Returns False when none remain."""
+        while self._heap:
+            when, _prio, _seq, fn = heapq.heappop(self._heap)
+            if fn is None:
+                continue
+            self._now = when
+            fn()
+            return True
+        return False
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled (non-cancelled) events."""
+        return sum(
+            1
+            for entry in self._heap
+            if entry[3] is not None and not getattr(
+                entry[3], "__self__", None
+            ).cancelled
+        )
+
+
+class ScheduledCall:
+    """Cancellable handle for a scheduled callback."""
+
+    __slots__ = ("when", "priority", "seq", "_fn", "_cancelled")
+
+    def __init__(self, when: float, priority: int, seq: int, fn: Callable[[], None]):
+        self.when = when
+        self.priority = priority
+        self.seq = seq
+        self._fn = fn
+        self._cancelled = False
+
+    def _entry(self):
+        return (self.when, self.priority, self.seq, self._run)
+
+    def _run(self) -> None:
+        if not self._cancelled:
+            self._fn()
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class Waitable:
+    """Base class for things a process generator may ``yield``."""
+
+    def _await(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        """Arrange for ``callback(value)`` when this waitable fires.
+
+        Returns a detach function used to cancel interest (needed by
+        :class:`AnyOf` and process interruption).
+        """
+        raise NotImplementedError
+
+
+class Timeout(Waitable):
+    """Fires once, ``delay`` seconds after creation."""
+
+    def __init__(self, sim: Simulator, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.sim = sim
+        self.delay = delay
+        self.value = value
+        self._fired = False
+        self._callbacks: list[Callable[[Any], None]] = []
+        sim.call_after(delay, self._fire)
+
+    def _fire(self) -> None:
+        self._fired = True
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self.value)
+
+    def _await(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        if self._fired:
+            self.sim.call_soon(lambda: callback(self.value))
+            return lambda: None
+        self._callbacks.append(callback)
+        return lambda: self._discard(callback)
+
+    def _discard(self, callback) -> None:
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+
+class Event(Waitable):
+    """A one-shot level-triggered event carrying a value.
+
+    Once :meth:`set` is called the event stays set; late waiters resume
+    immediately with the same value.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._value: Any = None
+        self._is_set = False
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._is_set
+
+    @property
+    def value(self) -> Any:
+        if not self._is_set:
+            raise SimulationError("event value read before set")
+        return self._value
+
+    def set(self, value: Any = None) -> None:
+        if self._is_set:
+            raise SimulationError("event set twice")
+        self._is_set = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim.call_soon(lambda cb=cb: cb(value))
+
+    def _await(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        if self._is_set:
+            self.sim.call_soon(lambda: callback(self._value))
+            return lambda: None
+        self._callbacks.append(callback)
+        return lambda: self._discard(callback)
+
+    def _discard(self, callback) -> None:
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+
+class AnyOf(Waitable):
+    """Fires when the *first* of several waitables fires.
+
+    The resume value is ``(index, value)`` of the winner.
+    """
+
+    def __init__(self, sim: Simulator, waitables: Iterable[Waitable]):
+        self.sim = sim
+        self.waitables = list(waitables)
+        if not self.waitables:
+            raise SimulationError("AnyOf of no waitables")
+
+    def _await(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        detachers: list[Callable[[], None]] = []
+        done = [False]
+
+        def detach_all() -> None:
+            for detach in detachers:
+                detach()
+
+        def make_cb(index: int):
+            def on_fire(value: Any) -> None:
+                if done[0]:
+                    return
+                done[0] = True
+                detach_all()
+                callback((index, value))
+
+            return on_fire
+
+        for i, w in enumerate(self.waitables):
+            detachers.append(w._await(make_cb(i)))
+        return detach_all
+
+
+class AllOf(Waitable):
+    """Fires when *all* waitables have fired; value is the list of values."""
+
+    def __init__(self, sim: Simulator, waitables: Iterable[Waitable]):
+        self.sim = sim
+        self.waitables = list(waitables)
+
+    def _await(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        total = len(self.waitables)
+        if total == 0:
+            self.sim.call_soon(lambda: callback([]))
+            return lambda: None
+        values: list[Any] = [None] * total
+        remaining = [total]
+        detachers: list[Callable[[], None]] = []
+        cancelled = [False]
+
+        def make_cb(index: int):
+            def on_fire(value: Any) -> None:
+                if cancelled[0]:
+                    return
+                values[index] = value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    callback(list(values))
+
+            return on_fire
+
+        for i, w in enumerate(self.waitables):
+            detachers.append(w._await(make_cb(i)))
+
+        def detach_all() -> None:
+            cancelled[0] = True
+            for detach in detachers:
+                detach()
+
+        return detach_all
+
+
+class Process(Waitable):
+    """A cooperative process driving a generator of waitables.
+
+    A process is itself a waitable: yielding a process waits for its
+    completion and resumes with the generator's return value.
+    """
+
+    def __init__(
+        self, sim: Simulator, gen: Generator[Any, Any, Any], name: Optional[str] = None
+    ):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.finished = Event(sim)
+        self._detach: Optional[Callable[[], None]] = None
+        self._alive = True
+        sim.process_count += 1
+        sim.call_soon(lambda: self._resume(None))
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def _resume(self, value: Any) -> None:
+        if not self._alive:
+            return
+        self._detach = None
+        try:
+            waitable = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(waitable)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self._alive:
+            return
+        self._detach = None
+        try:
+            waitable = self.gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: it dies quietly.
+            self._finish(None)
+            return
+        self._wait_on(waitable)
+
+    def _wait_on(self, waitable: Any) -> None:
+        if not isinstance(waitable, Waitable):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-waitable {waitable!r}"
+            )
+        self._detach = waitable._await(self._resume)
+
+    def _finish(self, value: Any) -> None:
+        self._alive = False
+        self.finished.set(value)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if not self._alive:
+            return
+        if self._detach is not None:
+            self._detach()
+            self._detach = None
+        self.sim.call_soon(lambda: self._throw(Interrupt(cause)))
+
+    def _await(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        return self.finished._await(callback)

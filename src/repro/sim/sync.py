@@ -1,0 +1,208 @@
+"""Process synchronisation primitives with blocking-time accounting.
+
+The paper's data-transfer interface (section 3.7) is built on shared
+circular buffers guarded by semaphores, and makes a point of the fact
+that *"the time spent blocking by both the application and the transport
+entity can be measured by monitoring the state of the synchronisation
+semaphores"*; those statistics feed the Orch.Regulate.indication report
+(section 6.3.1.2).  :class:`TimedSemaphore` implements exactly that:
+every acquire is tagged with a role label and the total time each role
+spent blocked is accumulated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.sim.scheduler import Event, SimulationError, Simulator, Waitable
+
+
+class Semaphore:
+    """A counting semaphore for simulation processes.
+
+    ``yield sem.acquire()`` blocks until a unit is available;
+    :meth:`release` wakes the longest-waiting acquirer (FIFO).
+    """
+
+    def __init__(self, sim: Simulator, value: int = 1):
+        if value < 0:
+            raise SimulationError(f"negative semaphore value {value}")
+        self.sim = sim
+        self._value = value
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Waitable:
+        """Return a waitable that fires when a unit has been granted."""
+        ev = Event(self.sim)
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            ev.set(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True when a unit was taken."""
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().set(None)
+        else:
+            self._value += 1
+
+
+class TimedSemaphore(Semaphore):
+    """Semaphore that accumulates per-role blocking time.
+
+    The orchestration service reads :meth:`blocked_time` to attribute
+    regulation failures to the application or the protocol (paper
+    section 6.3.1.2).  Roles are arbitrary strings, conventionally
+    ``"application"`` and ``"protocol"``.
+    """
+
+    def __init__(self, sim: Simulator, value: int = 1):
+        super().__init__(sim, value)
+        self._blocked: Dict[str, float] = defaultdict(float)
+        self._acquire_count: Dict[str, int] = defaultdict(int)
+        self._in_progress: Dict[int, tuple] = {}
+        self._wait_ids = 0
+
+    def acquire(self, role: str = "unknown") -> Waitable:  # type: ignore[override]
+        started = self.sim.now
+        self._acquire_count[role] += 1
+        self._wait_ids += 1
+        wait_id = self._wait_ids
+        self._in_progress[wait_id] = (role, started)
+        inner = super().acquire()
+        outer = Event(self.sim)
+
+        def on_grant(_value: Any) -> None:
+            entry = self._in_progress.pop(wait_id, None)
+            # reset_stats() may have re-based this wait's start time.
+            start = entry[1] if entry is not None else started
+            self._blocked[role] += self.sim.now - start
+            outer.set(None)
+
+        inner._await(on_grant)
+        return outer
+
+    def blocked_time(self, role: str) -> float:
+        """Total virtual seconds ``role`` has spent blocked so far.
+
+        Includes waits still in progress -- the orchestrator samples at
+        interval boundaries while threads may be parked.
+        """
+        total = self._blocked[role]
+        for wait_role, started in self._in_progress.values():
+            if wait_role == role:
+                total += self.sim.now - started
+        return total
+
+    def acquire_count(self, role: str) -> int:
+        return self._acquire_count[role]
+
+    def reset_stats(self) -> None:
+        """Zero the accumulated statistics (used at interval boundaries).
+
+        In-progress waits restart their accounting from now.
+        """
+        self._blocked.clear()
+        self._acquire_count.clear()
+        now = self.sim.now
+        for wait_id, (role, _started) in list(self._in_progress.items()):
+            self._in_progress[wait_id] = (role, now)
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`Queue.put_nowait` on a full bounded queue."""
+
+
+class Queue:
+    """A FIFO queue between simulation processes.
+
+    ``capacity=None`` makes the queue unbounded.  ``yield q.get()``
+    blocks until an item is available; ``yield q.put(item)`` blocks while
+    the queue is full.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"queue capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Waitable:
+        """Waitable put; fires once the item is enqueued."""
+        ev = Event(self.sim)
+        if not self.full:
+            self._enqueue(item)
+            ev.set(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def put_nowait(self, item: Any) -> None:
+        if self.full:
+            raise QueueFull()
+        self._enqueue(item)
+
+    def _enqueue(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().set(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Waitable:
+        """Waitable get; fires with the dequeued item."""
+        ev = Event(self.sim)
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            ev.set(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def get_nowait(self) -> Any:
+        if not self._items:
+            raise IndexError("get_nowait on empty queue")
+        item = self._items.popleft()
+        self._admit_putter()
+        return item
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.full:
+            ev, item = self._putters.popleft()
+            self._enqueue(item)
+            ev.set(None)
+
+    def clear(self) -> int:
+        """Discard all queued items; returns how many were dropped."""
+        dropped = len(self._items)
+        self._items.clear()
+        while self._putters and not self.full:
+            self._admit_putter()
+        return dropped

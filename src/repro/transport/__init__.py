@@ -1,0 +1,88 @@
+"""The continuous-media transport service (paper section 4).
+
+Highlights, mapped to the paper:
+
+- **Simplex VCs** (section 3.1): every connection is unidirectional,
+  source to sink, with QoS negotiated for that direction only.
+- **Extended QoS** (section 3.2): throughput, end-to-end delay, delay
+  jitter, packet error rate and bit error rate, each expressed as
+  preferred / acceptable tolerance levels and subject to full end-to-end
+  option negotiation (:mod:`repro.transport.qos`).
+- **Dynamic QoS control** (section 3.3, Table 3): in-service
+  renegotiation via ``T-Renegotiate``; a refused renegotiation leaves the
+  existing VC untouched.
+- **Profiles and classes of service** (section 3.4): rate-based CM
+  profile and window-based baseline; error control selectable as
+  detection/indication, detection/correction, or both.
+- **Remote connect** (section 3.5, Figures 2 and 3): three-address
+  connection establishment where initiator, source and sink may all be
+  distinct nodes.
+- **Shared circular-buffer data transfer** (section 3.7): no per-OSDU
+  system call, semaphore-mediated access, blocking-time statistics
+  consumed by the orchestrator.
+- **OSDU framing** (section 5): logical-data-unit boundaries preserved
+  end to end, with the orchestrator's OPDU (sequence number + event
+  field) carried alongside every OSDU.
+"""
+
+from repro.transport.addresses import TransportAddress
+from repro.transport.qos import (
+    QoSContract,
+    QoSSpec,
+    QoSViolation,
+    Tolerance,
+    UNCONSTRAINED,
+)
+from repro.transport.profiles import ClassOfService, Guarantee, ProtocolProfile
+from repro.transport.osdu import OPDU, OSDU
+from repro.transport.primitives import (
+    TConnectConfirm,
+    TConnectIndication,
+    TConnectRequest,
+    TConnectResponse,
+    TDisconnectIndication,
+    TDisconnectRequest,
+    TQoSIndication,
+    TRenegotiateConfirm,
+    TRenegotiateIndication,
+    TRenegotiateRequest,
+    TRenegotiateResponse,
+)
+from repro.transport.buffers import GatedReceiveBuffer, SharedCircularBuffer
+from repro.transport.entity import TransportEntity, TSAPBinding, VCEndpoint
+from repro.transport.multicast import MulticastGroup, create_multicast
+from repro.transport.service import TransportService, build_transport
+
+__all__ = [
+    "ClassOfService",
+    "GatedReceiveBuffer",
+    "Guarantee",
+    "MulticastGroup",
+    "OPDU",
+    "OSDU",
+    "ProtocolProfile",
+    "QoSContract",
+    "QoSSpec",
+    "QoSViolation",
+    "SharedCircularBuffer",
+    "TConnectConfirm",
+    "TConnectIndication",
+    "TConnectRequest",
+    "TConnectResponse",
+    "TDisconnectIndication",
+    "TDisconnectRequest",
+    "TQoSIndication",
+    "TRenegotiateConfirm",
+    "TRenegotiateIndication",
+    "TRenegotiateRequest",
+    "TRenegotiateResponse",
+    "Tolerance",
+    "TransportAddress",
+    "TransportEntity",
+    "TransportService",
+    "TSAPBinding",
+    "UNCONSTRAINED",
+    "VCEndpoint",
+    "build_transport",
+    "create_multicast",
+]

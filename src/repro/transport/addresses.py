@@ -1,0 +1,35 @@
+"""Transport addressing.
+
+"The addresses contain a network address to identify the end-system,
+and a TSAP to identify a unique endpoint within the addressed
+end-system" (paper section 4.1.1).  Connection primitives carry *three*
+such addresses -- initiator, source and destination -- to support the
+remote-connect facility of section 3.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class TransportAddress:
+    """A (network address, TSAP) pair.
+
+    Attributes:
+        node: end-system (host) name -- the network address.
+        tsap: transport service access point number, unique within the
+            end-system.
+    """
+
+    node: str
+    tsap: int
+
+    def __post_init__(self) -> None:
+        if self.tsap < 0:
+            raise ValueError(f"TSAP must be non-negative, got {self.tsap}")
+        if not self.node:
+            raise ValueError("node name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.node}:{self.tsap}"

@@ -1,0 +1,136 @@
+"""Connectionless (datagram) transport service.
+
+Paper section 4 assumes "the more traditional constituents of a
+complete transport system such as TSAP allocation, datagram services
+and priority mechanisms ... will be available in the standard protocol
+matrix that we have proposed".  This module supplies the datagram
+constituent: an unconfirmed, unsequenced ``T-Unitdata`` service used by
+management-plane odds and ends (and available to applications that
+want fire-and-forget messaging beside their CM streams).
+
+Semantics are the classical CLTS ones: no connection, no ordering or
+delivery guarantee, at-most-once per transmission; a priority may be
+requested, mapping straight onto the link scheduling bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+from repro.netsim.packet import Packet, Priority
+from repro.netsim.topology import Network
+from repro.sim.scheduler import Simulator
+from repro.transport.addresses import TransportAddress
+
+#: Wire overhead of a unitdata TPDU header, bytes.
+UNITDATA_HEADER_BYTES = 16
+
+
+@dataclass
+class UnitdataTPDU:
+    """UD: one connectionless transport PDU."""
+
+    handler_key = "unitdata"
+
+    src: TransportAddress = None  # type: ignore[assignment]
+    dst: TransportAddress = None  # type: ignore[assignment]
+    payload: Any = None
+    size_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class TUnitdataIndication:
+    """Delivered to the listener bound at the destination TSAP."""
+
+    src: TransportAddress
+    dst: TransportAddress
+    payload: Any
+    size_bytes: int
+
+
+class DatagramService:
+    """Per-node T-Unitdata provider.
+
+    Listeners register a callback per TSAP; senders call
+    :meth:`unitdata_request` and get nothing back (unconfirmed
+    service).
+    """
+
+    def __init__(self, sim: Simulator, network: Network, node_name: str):
+        self.sim = sim
+        self.network = network
+        self.node_name = node_name
+        self.host = network.host(node_name)
+        self.host.register_handler("unitdata", self._on_packet)
+        self._listeners: Dict[int, Callable[[TUnitdataIndication], None]] = {}
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_no_listener = 0
+
+    def listen(
+        self, tsap: int, handler: Callable[[TUnitdataIndication], None]
+    ) -> None:
+        """Attach ``handler`` for datagrams addressed to ``tsap``."""
+        if tsap in self._listeners:
+            raise ValueError(
+                f"datagram listener already bound at {self.node_name}:{tsap}"
+            )
+        self._listeners[tsap] = handler
+
+    def unlisten(self, tsap: int) -> None:
+        self._listeners.pop(tsap, None)
+
+    def unitdata_request(
+        self,
+        src_tsap: int,
+        dst: TransportAddress,
+        payload: Any,
+        size_bytes: int = 64,
+        priority: Priority = Priority.BEST_EFFORT,
+    ) -> None:
+        """T-Unitdata.request: fire-and-forget one datagram."""
+        if size_bytes <= 0:
+            raise ValueError(f"datagram size must be positive, got {size_bytes}")
+        self.sent += 1
+        tpdu = UnitdataTPDU(
+            src=TransportAddress(self.node_name, src_tsap),
+            dst=dst,
+            payload=payload,
+            size_bytes=size_bytes,
+        )
+        self.network.send(
+            Packet(
+                src=self.node_name,
+                dst=dst.node,
+                payload=tpdu,
+                size_bits=(size_bytes + UNITDATA_HEADER_BYTES) * 8,
+                priority=priority,
+            )
+        )
+
+    def _on_packet(self, packet: Packet) -> None:
+        tpdu = packet.payload
+        handler = self._listeners.get(tpdu.dst.tsap)
+        if handler is None:
+            self.dropped_no_listener += 1
+            return
+        self.delivered += 1
+        handler(
+            TUnitdataIndication(
+                src=tpdu.src,
+                dst=tpdu.dst,
+                payload=tpdu.payload,
+                size_bytes=tpdu.size_bytes,
+            )
+        )
+
+
+def build_datagram_services(
+    sim: Simulator, network: Network
+) -> Dict[str, DatagramService]:
+    """One datagram service per host."""
+    return {
+        host.name: DatagramService(sim, network, host.name)
+        for host in network.hosts()
+    }

@@ -1,0 +1,213 @@
+"""Receiver-side error control (paper section 3.4 class-of-service options).
+
+Continuous media cannot wait indefinitely for retransmissions, so the
+correction machinery is *time-bounded*: a sequence gap triggers an
+immediate NACK (selective retransmission request); if the hole is not
+filled within ``gap_timeout`` the receiver skips past it, counts the
+units as lost, and carries on.  This keeps the isochronous delivery
+commitment while still recovering most losses -- the standard design
+point for CM transports of the period (e.g. the cited Wolfinger/Moran
+service).
+
+:class:`ReorderBuffer` implements the in-order delivery line:
+out-of-order arrivals are stashed, in-order prefixes are released.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.scheduler import ScheduledCall, Simulator
+from repro.transport.osdu import OSDU
+
+#: (osdu, was_recovered) pairs released in order; a ``None`` osdu marks
+#: a unit finally declared lost (the position is skipped).
+Release = Tuple[Optional[OSDU], int]
+
+
+class ReorderBuffer:
+    """In-order release line with NACK-based recovery and bounded skips.
+
+    Args:
+        sim: simulator (for the skip timers).
+        correction_enabled: when False, gaps are never NACKed or waited
+            for -- arrivals past a gap immediately advance the line and
+            missing units count as lost (pure detection).
+        gap_timeout: how long to hold delivery waiting for a
+            retransmission before skipping (seconds).
+        nack: callback ``nack(missing_seqs)`` requesting retransmission.
+        nack_retries: how many times an unfilled gap is re-NACKed when
+            the gap timer fires before the receiver gives up and skips
+            (NACKs and retransmissions can themselves be lost).
+        max_stash: bound on out-of-order stash size; beyond it the
+            oldest gap is force-skipped (protects memory under heavy
+            reordering).
+        reliable: never skip -- out-of-order arrivals are stashed and
+            the line waits indefinitely for retransmission.  This is
+            the window-profile (go-back-N + cumulative ACK) receiver,
+            whose sender retransmits on its own timer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        correction_enabled: bool,
+        gap_timeout: float = 0.05,
+        nack: Optional[Callable[[List[int]], None]] = None,
+        nack_retries: int = 2,
+        max_stash: int = 256,
+        reliable: bool = False,
+    ):
+        if gap_timeout <= 0:
+            raise ValueError(f"gap timeout must be positive, got {gap_timeout}")
+        if nack_retries < 0:
+            raise ValueError(f"nack retries must be non-negative, got {nack_retries}")
+        self.sim = sim
+        self.correction_enabled = correction_enabled or reliable
+        self.reliable = reliable
+        self.gap_timeout = gap_timeout
+        self.nack = nack
+        self.nack_retries = nack_retries
+        self.max_stash = max_stash
+        self.next_expected = 0
+        self._stash: Dict[int, OSDU] = {}
+        self._skip_timer: Optional[ScheduledCall] = None
+        self._nacked: set[int] = set()
+        self._nack_attempts: Dict[int, int] = {}
+        self.lost_count = 0
+        self.recovered_count = 0
+        self.duplicate_count = 0
+        self.on_release: Optional[Callable[[Optional[OSDU], int], None]] = None
+
+    def on_arrival(self, seq: int, osdu: OSDU) -> List[Release]:
+        """Process an arriving unit; returns the in-order releases.
+
+        Each release is ``(osdu_or_None, seq)``; None marks a skipped
+        (lost) position so the caller can count it.
+        """
+        if seq < self.next_expected or seq in self._stash:
+            self.duplicate_count += 1
+            return []
+        if not self.correction_enabled:
+            return self._release_without_correction(seq, osdu)
+        releases: List[Release] = []
+        if seq == self.next_expected:
+            if seq in self._nacked:
+                self.recovered_count += 1
+                self._nacked.discard(seq)
+                self._nack_attempts.pop(seq, None)
+            releases.append((osdu, seq))
+            self.next_expected += 1
+            releases.extend(self._drain_stash())
+            self._rearm_or_cancel_timer()
+        else:
+            self._stash[seq] = osdu
+            if seq in self._nacked:
+                self.recovered_count += 1
+                self._nacked.discard(seq)
+                self._nack_attempts.pop(seq, None)
+            self._request_missing(seq)
+            if not self.reliable and len(self._stash) > self.max_stash:
+                releases.extend(self._skip_gap())
+        self._emit(releases)
+        return releases
+
+    def _release_without_correction(self, seq: int, osdu: OSDU) -> List[Release]:
+        releases: List[Release] = []
+        while self.next_expected < seq:
+            self.lost_count += 1
+            releases.append((None, self.next_expected))
+            self.next_expected += 1
+        releases.append((osdu, seq))
+        self.next_expected += 1
+        self._emit(releases)
+        return releases
+
+    def _drain_stash(self) -> List[Release]:
+        releases: List[Release] = []
+        while self.next_expected in self._stash:
+            releases.append((self._stash.pop(self.next_expected), self.next_expected))
+            self.next_expected += 1
+        return releases
+
+    def _request_missing(self, up_to_seq: int) -> None:
+        missing = [
+            s
+            for s in range(self.next_expected, up_to_seq)
+            if s not in self._stash and s not in self._nacked
+        ]
+        if missing:
+            self._nacked.update(missing)
+            for s in missing:
+                self._nack_attempts[s] = 0
+            if self.nack is not None:
+                self.nack(missing)
+        if self._skip_timer is None:
+            self._skip_timer = self.sim.call_after(self.gap_timeout, self._on_skip)
+
+    def _on_skip(self) -> None:
+        self._skip_timer = None
+        if not self._gap_open():
+            return
+        first_stashed = min(self._stash)
+        gap = [
+            s for s in range(self.next_expected, first_stashed)
+            if s not in self._stash
+        ]
+        retryable = [
+            s for s in gap
+            if self.reliable or self._nack_attempts.get(s, 0) < self.nack_retries
+        ]
+        if retryable:
+            # The NACK or its retransmission may have been lost: ask
+            # again before giving up ("reliable" receivers ask forever;
+            # the go-back-N sender also retransmits on its own timer).
+            for s in retryable:
+                self._nack_attempts[s] = self._nack_attempts.get(s, 0) + 1
+            if self.nack is not None and not self.reliable:
+                self.nack(retryable)
+            self._skip_timer = self.sim.call_after(self.gap_timeout, self._on_skip)
+            return
+        releases = self._skip_gap()
+        self._emit(releases)
+
+    def _skip_gap(self) -> List[Release]:
+        """Abandon the oldest gap: skip to the first stashed unit."""
+        if not self._stash:
+            return []
+        first_stashed = min(self._stash)
+        releases: List[Release] = []
+        while self.next_expected < first_stashed:
+            self.lost_count += 1
+            self._nacked.discard(self.next_expected)
+            self._nack_attempts.pop(self.next_expected, None)
+            releases.append((None, self.next_expected))
+            self.next_expected += 1
+        releases.extend(self._drain_stash())
+        self._rearm_or_cancel_timer()
+        return releases
+
+    def _gap_open(self) -> bool:
+        return bool(self._stash)
+
+    def _rearm_or_cancel_timer(self) -> None:
+        if self._skip_timer is not None:
+            self._skip_timer.cancel()
+            self._skip_timer = None
+        if self._gap_open():
+            self._skip_timer = self.sim.call_after(self.gap_timeout, self._on_skip)
+
+    def _emit(self, releases: List[Release]) -> None:
+        if self.on_release is not None:
+            for osdu, seq in releases:
+                self.on_release(osdu, seq)
+
+    def reset(self, next_expected: int = 0) -> None:
+        """Forget all state (stop + seek, re-establishment)."""
+        self.next_expected = next_expected
+        self._stash.clear()
+        self._nacked.clear()
+        self._nack_attempts.clear()
+        if self._skip_timer is not None:
+            self._skip_timer.cancel()
+            self._skip_timer = None

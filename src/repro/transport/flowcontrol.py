@@ -1,0 +1,195 @@
+"""Flow control machines.
+
+The paper's transport assumes **rate-based flow control** "as opposed to
+a traditional window based technique", citing VMTP [Cheriton,86], XTP
+[Chesson,88] and NETBLT [Clark,88], because it decouples flow control
+from error control and corresponds naturally to continuous data flow
+(section 7).  Crucially for orchestration, the rate mechanism "must be
+capable of rapid adaptation" (section 6.2.3) so that ``Orch.Stop`` and
+regulation blocking take effect quickly.
+
+:class:`RateBasedFlowControl` paces transmissions to a configured rate
+with immediate effect on rate changes, and supports pause/resume.
+:class:`WindowBasedFlowControl` is the conventional baseline: a sliding
+window opened by cumulative acknowledgements, with go-back-N
+retransmission driven by a timeout.  Benchmark E12 compares the two
+carrying CM traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim.scheduler import (
+    Event,
+    ScheduledCall,
+    Simulator,
+    Timeout,
+)
+
+
+class RateBasedFlowControl:
+    """Token-less rate pacing: one transmission slot per OSDU.
+
+    ``acquire_slot(size_bits)`` is a coroutine that resumes when the
+    sender may transmit a unit of that size while respecting the
+    configured bit rate.  Rate changes apply to the *next* slot
+    computation, so adaptation latency is one OSDU at most.
+    """
+
+    def __init__(self, sim: Simulator, rate_bps: float):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        self.sim = sim
+        self._rate_bps = rate_bps
+        self._next_slot = 0.0
+        self._paused = False
+        self._resume_event: Optional[Event] = None
+
+    @property
+    def rate_bps(self) -> float:
+        return self._rate_bps
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Adapt the sending rate (QoS renegotiation, regulation)."""
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        self._rate_bps = rate_bps
+
+    def pause(self) -> None:
+        """Suspend transmission immediately."""
+        if not self._paused:
+            self._paused = True
+            self._resume_event = Event(self.sim)
+
+    def resume(self) -> None:
+        if self._paused:
+            self._paused = False
+            event, self._resume_event = self._resume_event, None
+            if event is not None and not event.is_set:
+                event.set(None)
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def acquire_slot(self, size_bits: int) -> Generator:
+        """Coroutine: wait until the pacing schedule allows ``size_bits``."""
+        while self._paused:
+            yield self._resume_event
+        start = max(self.sim.now, self._next_slot)
+        self._next_slot = start + size_bits / self._rate_bps
+        if start > self.sim.now:
+            yield Timeout(self.sim, start - self.sim.now)
+        # A pause may have landed while we slept.
+        while self._paused:
+            yield self._resume_event
+        return None
+
+
+class WindowBasedFlowControl:
+    """Sliding window with cumulative ACKs and go-back-N retransmission.
+
+    The sender may have up to ``window`` unacknowledged sequence numbers
+    outstanding; transmission is otherwise unpaced (as fast as the
+    window and the link permit), which is exactly what makes the window
+    scheme bursty for CM traffic.
+
+    The owner (the send VC) wires :attr:`on_retransmit` to re-send from
+    its retransmission cache.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        window: int = 16,
+        rto: float = 0.2,
+    ):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if rto <= 0:
+            raise ValueError(f"RTO must be positive, got {rto}")
+        self.sim = sim
+        self.window = window
+        self.rto = rto
+        #: Receiver-advertised window (free buffer slots); the sender
+        #: may have at most ``min(window, advertised)`` outstanding.
+        self.advertised = window
+        self._base = 0            # oldest unacked seq
+        self._next_seq = 0        # next seq to be sent
+        self._space_event: Optional[Event] = None
+        self._timer: Optional[ScheduledCall] = None
+        self.on_retransmit = None  # Callable[[int, int], None]: range base..next-1
+        self.retransmission_count = 0
+        self.timeout_count = 0
+
+    @property
+    def outstanding(self) -> int:
+        return self._next_seq - self._base
+
+    @property
+    def effective_window(self) -> int:
+        return min(self.window, self.advertised)
+
+    @property
+    def has_space(self) -> bool:
+        return self.outstanding < self.effective_window
+
+    def acquire_slot(self, size_bits: int) -> Generator:
+        """Coroutine: wait for window space, then claim one sequence."""
+        while not self.has_space:
+            if self._space_event is None or self._space_event.is_set:
+                self._space_event = Event(self.sim)
+            yield self._space_event
+        self._next_seq += 1
+        if self._timer is None:
+            self._arm_timer()
+        return None
+
+    def on_ack(self, cumulative_seq: int,
+               advertised: Optional[int] = None) -> None:
+        """Receiver acknowledged everything below ``cumulative_seq``.
+
+        ``advertised`` updates the receiver window; a pure window
+        update (repeated cumulative value, new advertisement) also
+        wakes a stalled sender.
+        """
+        if advertised is not None:
+            self.advertised = advertised
+        if cumulative_seq > self._base:
+            self._base = min(cumulative_seq, self._next_seq)
+            self._disarm_timer()
+            if self.outstanding > 0:
+                self._arm_timer()
+        if self.has_space and self._space_event is not None:
+            event, self._space_event = self._space_event, None
+            if not event.is_set:
+                event.set(None)
+
+    def _arm_timer(self) -> None:
+        self._timer = self.sim.call_after(self.rto, self._on_timeout)
+
+    def _disarm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if self.outstanding == 0:
+            return
+        self.timeout_count += 1
+        self.retransmission_count += self.outstanding
+        if self.on_retransmit is not None:
+            self.on_retransmit(self._base, self._next_seq)
+        self._arm_timer()
+
+    def reset(self) -> None:
+        """Forget all state (connection re-establishment)."""
+        self._disarm_timer()
+        self._base = 0
+        self._next_seq = 0
+        if self._space_event is not None and not self._space_event.is_set:
+            self._space_event.set(None)
+        self._space_event = None
+

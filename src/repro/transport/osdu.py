@@ -1,0 +1,88 @@
+"""OSDUs and OPDUs (paper section 5).
+
+An OSDU (*orchestrated service data unit*) is the unit of continuous
+media meaningful to applications -- "e.g. video frame or text
+paragraph".  The transport service preserves OSDU boundaries
+irrespective of size (section 3.7: logical data units), and the
+orchestration service attaches an :class:`OPDU` to every OSDU carrying:
+
+- an **OSDU sequence number**, starting from zero when the connection
+  is first used, and
+- an **event field**, an uninterpreted application value matched by the
+  ``Orch.Event`` mechanism (section 6.3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class OPDU:
+    """Orchestrator PDU riding alongside one OSDU."""
+
+    osdu_seq: int
+    event: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.osdu_seq < 0:
+            raise ValueError(f"OSDU sequence must be non-negative, got {self.osdu_seq}")
+
+    #: Wire overhead of the OPDU fields, bytes.
+    WIRE_BYTES = 8
+
+
+@dataclass
+class OSDU:
+    """One logical unit of continuous media.
+
+    Attributes:
+        size_bytes: the OSDU's size; variable for VBR media.  Boundaries
+            are preserved end-to-end whatever the size.
+        payload: opaque application data (frame contents, text, ...).
+        opdu: the orchestration fields; filled in by the transport
+            sender if the application leaves it None, preserving the
+            sender-assigned sequence numbering of section 5.
+        media_time: optional presentation timestamp in media seconds,
+            used by sinks and the lip-sync metric (not on the wire in
+            the paper; carried here for instrumentation).
+        created_at: simulator time the source generated the unit.
+    """
+
+    size_bytes: int
+    payload: Any = None
+    opdu: Optional[OPDU] = None
+    media_time: Optional[float] = None
+    created_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"OSDU size must be positive, got {self.size_bytes}")
+
+    @property
+    def seq(self) -> int:
+        """The OSDU sequence number (requires an assigned OPDU)."""
+        if self.opdu is None:
+            raise ValueError("OSDU has no OPDU assigned yet")
+        return self.opdu.osdu_seq
+
+    @property
+    def event(self) -> Optional[int]:
+        return self.opdu.event if self.opdu is not None else None
+
+    def with_opdu(self, osdu_seq: int, event: Optional[int] = None) -> "OSDU":
+        """Return a copy carrying the given OPDU fields.
+
+        The event field set by the source application is preserved if
+        already present (section 6.3.4: "the event fields of OSDUs may
+        optionally be set by the source application thread").
+        """
+        preserved_event = self.opdu.event if self.opdu is not None else event
+        return OSDU(
+            size_bytes=self.size_bytes,
+            payload=self.payload,
+            opdu=OPDU(osdu_seq, preserved_event),
+            media_time=self.media_time,
+            created_at=self.created_at,
+        )

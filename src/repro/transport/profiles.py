@@ -1,0 +1,91 @@
+"""Protocol profiles and classes of service (paper section 3.4).
+
+The paper envisages "horizontal and vertical subdivisions in a protocol
+matrix": the user selects a *protocol profile* suited to the traffic
+type, plus a *class of service* extending the traditional OSI notion
+with user-oriented error-control options:
+
+    (i)   error detection and indication,
+    (ii)  error detection and correction,
+    (iii) error detection, correction, and indication.
+
+We provide two profiles -- the paper's rate-based CM protocol
+[Shepherd,91] and a conventional window-based protocol as the implicit
+baseline -- and a :class:`ClassOfService` record combining the error
+options with the guarantee class (hard vs soft, section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ProtocolProfile(enum.Enum):
+    """Which protocol machine carries the VC's data."""
+
+    #: Rate-based flow control, decoupled error control; the CM protocol
+    #: the paper's transport runs (section 7).
+    CM_RATE_BASED = "cm-rate-based"
+    #: Sliding-window with cumulative acknowledgements and go-back
+    #: retransmission; the traditional baseline (TCP-like).
+    WINDOW_BASED = "window-based"
+
+
+class Guarantee(enum.Enum):
+    """How firmly the negotiated QoS is held (section 3.2)."""
+
+    #: Resources reserved end-to-end; admission control refuses the
+    #: connection rather than risk violation.
+    HARD = "hard"
+    #: Resources reserved, but violations are possible and are reported
+    #: through T-QoS.indication ("an indication should be provided if
+    #: the contracted values are violated").
+    SOFT = "soft"
+    #: No reservation at all; the VC competes with other traffic.
+    BEST_EFFORT = "best-effort"
+
+
+@dataclass(frozen=True)
+class ClassOfService:
+    """Error-control options plus guarantee class for one VC.
+
+    ``error_detection`` is implied by either correction or indication
+    and is kept explicit only so that the degenerate "no error control
+    at all" class can be expressed.
+    """
+
+    error_detection: bool = True
+    error_correction: bool = False
+    error_indication: bool = True
+    guarantee: Guarantee = Guarantee.SOFT
+
+    def __post_init__(self) -> None:
+        if (self.error_correction or self.error_indication) and not self.error_detection:
+            raise ValueError(
+                "error correction/indication require error detection"
+            )
+
+    # The paper's three named options:
+
+    @staticmethod
+    def detect_and_indicate(guarantee: Guarantee = Guarantee.SOFT) -> "ClassOfService":
+        """Option (i): error detection and indication."""
+        return ClassOfService(True, False, True, guarantee)
+
+    @staticmethod
+    def detect_and_correct(guarantee: Guarantee = Guarantee.SOFT) -> "ClassOfService":
+        """Option (ii): error detection and correction."""
+        return ClassOfService(True, True, False, guarantee)
+
+    @staticmethod
+    def detect_correct_indicate(
+        guarantee: Guarantee = Guarantee.SOFT,
+    ) -> "ClassOfService":
+        """Option (iii): error detection, correction, and indication."""
+        return ClassOfService(True, True, True, guarantee)
+
+    @staticmethod
+    def raw(guarantee: Guarantee = Guarantee.BEST_EFFORT) -> "ClassOfService":
+        """No error control: corrupted data delivered, gaps ignored."""
+        return ClassOfService(False, False, False, guarantee)

@@ -1,0 +1,313 @@
+"""Extended Quality of Service parameters and negotiation.
+
+Paper section 3.2 fixes the parameter set "meaningful to the transport
+level and the levels below":
+
+- throughput
+- end-to-end delay
+- delay jitter
+- packet error rate
+- bit error rate
+
+and requires that "at connection establishment time it should be
+possible to quantify and express preferred, acceptable and unacceptable
+tolerance levels for each of these parameters", with "full end-to-end
+option negotiation" and a guarantee (hard or soft) on the agreed
+values.
+
+:class:`Tolerance` captures a (preferred, acceptable) pair for one
+parameter; values worse than ``acceptable`` are the "unacceptable"
+region.  :class:`QoSSpec` bundles the five parameters plus the maximum
+OSDU size (which the paper passes as a QoS parameter, section 5).
+Negotiation clamps an *offer* between preferred and acceptable:
+the provider offers what it can, the spec accepts anything no worse
+than its acceptable bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+#: Sentinel bound meaning "no constraint" for lower-is-better parameters.
+UNCONSTRAINED = float("inf")
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Preferred / acceptable bounds for one QoS parameter.
+
+    ``higher_is_better`` is True for throughput and False for delay,
+    jitter and the error rates.  ``preferred`` must be at least as good
+    as ``acceptable``.
+    """
+
+    preferred: float
+    acceptable: float
+    higher_is_better: bool = False
+
+    def __post_init__(self) -> None:
+        if self.preferred < 0 or self.acceptable < 0:
+            raise ValueError("tolerance bounds must be non-negative")
+        if self.higher_is_better:
+            if self.preferred < self.acceptable:
+                raise ValueError(
+                    f"preferred {self.preferred} worse than acceptable "
+                    f"{self.acceptable} (higher is better)"
+                )
+        else:
+            if self.preferred > self.acceptable:
+                raise ValueError(
+                    f"preferred {self.preferred} worse than acceptable "
+                    f"{self.acceptable} (lower is better)"
+                )
+
+    def admits(self, value: float) -> bool:
+        """True when ``value`` is in the acceptable region."""
+        if self.higher_is_better:
+            return value >= self.acceptable
+        return value <= self.acceptable
+
+    def clamp_offer(self, offered: float) -> Optional[float]:
+        """Negotiate against a provider offer.
+
+        Returns the agreed value -- the offer capped at ``preferred``
+        (asking for better than preferred buys nothing) -- or None when
+        the offer falls in the unacceptable region.
+        """
+        if not self.admits(offered):
+            return None
+        if self.higher_is_better:
+            return min(offered, self.preferred)
+        return max(offered, self.preferred)
+
+    def tightened(self, other: "Tolerance") -> Optional["Tolerance"]:
+        """Intersect with another tolerance (peer negotiation).
+
+        The result's acceptable bound is the *stricter* of the two and
+        its preferred the more demanding.  Returns None if the regions
+        are disjoint (cannot happen for same-direction tolerances, kept
+        for symmetry).
+        """
+        if self.higher_is_better != other.higher_is_better:
+            raise ValueError("cannot intersect tolerances of opposite sense")
+        if self.higher_is_better:
+            acceptable = max(self.acceptable, other.acceptable)
+            preferred = max(self.preferred, other.preferred)
+        else:
+            acceptable = min(self.acceptable, other.acceptable)
+            preferred = min(self.preferred, other.preferred)
+        return Tolerance(preferred, acceptable, self.higher_is_better)
+
+
+def throughput(preferred_bps: float, acceptable_bps: float) -> Tolerance:
+    """Throughput tolerance (bits/second, higher is better)."""
+    return Tolerance(preferred_bps, acceptable_bps, higher_is_better=True)
+
+
+def delay(preferred_s: float, acceptable_s: float) -> Tolerance:
+    """End-to-end delay tolerance (seconds, lower is better)."""
+    return Tolerance(preferred_s, acceptable_s, higher_is_better=False)
+
+
+@dataclass(frozen=True)
+class QoSSpec:
+    """The user's requested QoS tolerance levels for one simplex VC.
+
+    Attributes map one-to-one onto the paper's parameter list (section
+    3.2) plus the maximum OSDU size of section 5, which bounds receive
+    buffer slot allocation.
+    """
+
+    throughput: Tolerance
+    delay: Tolerance
+    jitter: Tolerance
+    packet_error_rate: Tolerance
+    bit_error_rate: Tolerance
+    max_osdu_bytes: int = 8192
+    #: Buffer depth in OSDUs at each end; the paper derives buffer
+    #: allocation from the max-OSDU QoS parameter (section 5).  Priming
+    #: fills exactly this many OSDUs at the sink.
+    buffer_osdus: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.throughput.higher_is_better:
+            raise ValueError("throughput tolerance must be higher-is-better")
+        for name in ("delay", "jitter", "packet_error_rate", "bit_error_rate"):
+            if getattr(self, name).higher_is_better:
+                raise ValueError(f"{name} tolerance must be lower-is-better")
+        if self.max_osdu_bytes <= 0:
+            raise ValueError("max_osdu_bytes must be positive")
+        if self.buffer_osdus <= 0:
+            raise ValueError("buffer_osdus must be positive")
+
+    @staticmethod
+    def simple(
+        throughput_bps: float,
+        delay_s: float = 0.5,
+        jitter_s: float = UNCONSTRAINED,
+        per: float = 1.0,
+        ber: float = 1.0,
+        max_osdu_bytes: int = 8192,
+        buffer_osdus: int = 16,
+        slack: float = 2.0,
+    ) -> "QoSSpec":
+        """Convenience constructor: preferred values with a slack factor.
+
+        ``slack`` widens the acceptable region: acceptable throughput is
+        ``preferred / slack``, acceptable delay/jitter is ``preferred *
+        slack``.  Error-rate arguments are taken directly as acceptable
+        bounds with preferred 0.
+        """
+        if slack < 1.0:
+            raise ValueError(f"slack must be >= 1, got {slack}")
+        return QoSSpec(
+            throughput=throughput(throughput_bps, throughput_bps / slack),
+            delay=delay(delay_s, delay_s * slack),
+            jitter=Tolerance(
+                0.0 if jitter_s == UNCONSTRAINED else jitter_s / slack, jitter_s
+            ),
+            packet_error_rate=Tolerance(0.0, per),
+            bit_error_rate=Tolerance(0.0, ber),
+            max_osdu_bytes=max_osdu_bytes,
+            buffer_osdus=buffer_osdus,
+        )
+
+    def negotiate(self, offer: "QoSOffer") -> Optional["QoSContract"]:
+        """Negotiate against a provider offer; None when unacceptable."""
+        agreed_throughput = self.throughput.clamp_offer(offer.throughput_bps)
+        agreed_delay = self.delay.clamp_offer(offer.delay_s)
+        agreed_jitter = self.jitter.clamp_offer(offer.jitter_s)
+        agreed_per = self.packet_error_rate.clamp_offer(offer.packet_error_rate)
+        agreed_ber = self.bit_error_rate.clamp_offer(offer.bit_error_rate)
+        values = (agreed_throughput, agreed_delay, agreed_jitter, agreed_per,
+                  agreed_ber)
+        if any(v is None for v in values):
+            return None
+        return QoSContract(
+            throughput_bps=agreed_throughput,
+            delay_s=agreed_delay,
+            jitter_s=agreed_jitter,
+            packet_error_rate=agreed_per,
+            bit_error_rate=agreed_ber,
+            max_osdu_bytes=self.max_osdu_bytes,
+            buffer_osdus=self.buffer_osdus,
+        )
+
+    def tightened(self, other: "QoSSpec") -> "QoSSpec":
+        """Peer-side tightening: destination imposes its own tolerances."""
+        return QoSSpec(
+            throughput=self.throughput.tightened(other.throughput),
+            delay=self.delay.tightened(other.delay),
+            jitter=self.jitter.tightened(other.jitter),
+            packet_error_rate=self.packet_error_rate.tightened(
+                other.packet_error_rate
+            ),
+            bit_error_rate=self.bit_error_rate.tightened(other.bit_error_rate),
+            max_osdu_bytes=min(self.max_osdu_bytes, other.max_osdu_bytes),
+            buffer_osdus=min(self.buffer_osdus, other.buffer_osdus),
+        )
+
+    def with_throughput(self, preferred_bps: float, acceptable_bps: float) -> "QoSSpec":
+        """Copy with a new throughput tolerance (common renegotiation)."""
+        return replace(self, throughput=throughput(preferred_bps, acceptable_bps))
+
+
+@dataclass(frozen=True)
+class QoSOffer:
+    """What the provider (network + peer) can deliver on a route."""
+
+    throughput_bps: float
+    delay_s: float
+    jitter_s: float
+    packet_error_rate: float
+    bit_error_rate: float
+
+
+@dataclass(frozen=True)
+class QoSContract:
+    """The agreed, guaranteed values for the lifetime of a VC."""
+
+    throughput_bps: float
+    delay_s: float
+    jitter_s: float
+    packet_error_rate: float
+    bit_error_rate: float
+    max_osdu_bytes: int
+    buffer_osdus: int = 16
+
+    def violations(self, measured: "QoSMeasurement") -> List["QoSViolation"]:
+        """Compare a measurement period against the contract.
+
+        Only parameters actually observed (non-None) are checked; a
+        period with no traffic yields no violations.
+        """
+        found: List[QoSViolation] = []
+        checks = [
+            ("throughput", measured.throughput_bps, self.throughput_bps, True),
+            ("delay", measured.mean_delay_s, self.delay_s, False),
+            ("jitter", measured.jitter_s, self.jitter_s, False),
+            ("packet_error_rate", measured.packet_error_rate,
+             self.packet_error_rate, False),
+            ("bit_error_rate", measured.bit_error_rate, self.bit_error_rate,
+             False),
+        ]
+        for name, observed, contracted, higher_is_better in checks:
+            if observed is None:
+                continue
+            violated = (
+                observed < contracted * (1 - _TOLERANCE_MARGIN)
+                if higher_is_better
+                else observed > contracted * (1 + _TOLERANCE_MARGIN) + _ABS_MARGIN
+            )
+            if violated:
+                found.append(QoSViolation(name, contracted, observed))
+        return found
+
+
+#: Relative margin before a deviation counts as a violation; real
+#: monitors need hysteresis to avoid flapping indications.
+_TOLERANCE_MARGIN = 0.05
+_ABS_MARGIN = 1e-9
+
+
+@dataclass(frozen=True)
+class QoSViolation:
+    """One contracted parameter observed outside its agreed value."""
+
+    parameter: str
+    contracted: float
+    observed: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.parameter}: contracted {self.contracted:.6g}, "
+            f"observed {self.observed:.6g}"
+        )
+
+
+@dataclass
+class QoSMeasurement:
+    """Per-sample-period observations produced by the VC monitor.
+
+    None means the parameter could not be observed in the period (e.g.
+    no packets arrived, so no delay samples exist).
+    """
+
+    period_start: float
+    period_end: float
+    osdus_delivered: int = 0
+    throughput_bps: Optional[float] = None
+    mean_delay_s: Optional[float] = None
+    jitter_s: Optional[float] = None
+    packet_error_rate: Optional[float] = None
+    bit_error_rate: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return {
+            "throughput_bps": self.throughput_bps,
+            "mean_delay_s": self.mean_delay_s,
+            "jitter_s": self.jitter_s,
+            "packet_error_rate": self.packet_error_rate,
+            "bit_error_rate": self.bit_error_rate,
+        }

@@ -1,0 +1,218 @@
+"""Convenience facade over the transport service.
+
+The raw service interface is primitive exchange on TSAP bindings,
+exactly as the paper specifies.  That is verbose for applications, so
+this module adds:
+
+- :func:`build_transport` -- create one entity per host of a network.
+- :class:`TransportService` -- a per-node helper with a synchronous-
+  style ``connect`` coroutine that performs the whole confirmed
+  exchange (including auto-accepting listeners) and hands back the two
+  endpoints.
+
+The platform's Stream abstraction (:mod:`repro.ansa.stream`) is built
+on this facade, keeping applications isolated from the protocol
+service interface (paper section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.netsim.reservation import ReservationManager
+from repro.netsim.topology import Network
+from repro.sim.scheduler import Simulator
+from repro.transport.addresses import TransportAddress
+from repro.transport.entity import TransportEntity, TSAPBinding, VCEndpoint
+from repro.transport.primitives import (
+    TConnectConfirm,
+    TConnectIndication,
+    TConnectRequest,
+    TConnectResponse,
+    TDisconnectIndication,
+    TDisconnectRequest,
+    TRenegotiateIndication,
+    TRenegotiateResponse,
+)
+from repro.transport.profiles import ClassOfService, ProtocolProfile
+from repro.transport.qos import QoSSpec
+
+
+class ConnectionRefused(Exception):
+    """Raised by the facade when a connect attempt is refused."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+def build_transport(
+    sim: Simulator,
+    network: Network,
+    reservations: Optional[ReservationManager] = None,
+    sample_period: float = 1.0,
+    gap_timeout: float = 0.05,
+) -> Dict[str, TransportEntity]:
+    """Instantiate one transport entity on every host of ``network``."""
+    reservations = reservations or ReservationManager(network)
+    return {
+        host.name: TransportEntity(
+            sim,
+            network,
+            reservations,
+            host.name,
+            sample_period=sample_period,
+            gap_timeout=gap_timeout,
+        )
+        for host in network.hosts()
+    }
+
+
+class TransportService:
+    """Per-node application-facing helper."""
+
+    def __init__(self, entity: TransportEntity):
+        self.entity = entity
+        self.sim = entity.sim
+
+    def bind(self, tsap: int) -> TSAPBinding:
+        return self.entity.bind(tsap)
+
+    def listen(self, tsap: int) -> TSAPBinding:
+        """Bind ``tsap`` and auto-accept every incoming connect.
+
+        A background process answers each T-Connect.indication with a
+        T-Connect.response echoing the indicated QoS (no tightening).
+        The created receive endpoints appear in ``binding.endpoints``.
+        """
+        binding = self.entity.bind(tsap)
+        self.sim.spawn(self._acceptor(binding), name=f"listen:{binding.address}")
+        return binding
+
+    def _acceptor(self, binding: TSAPBinding):
+        while True:
+            primitive = yield binding.next_primitive()
+            if isinstance(primitive, TConnectIndication):
+                self.entity.request(
+                    TConnectResponse(
+                        initiator=primitive.initiator,
+                        src=primitive.src,
+                        dst=primitive.dst,
+                        protocol=primitive.protocol,
+                        class_of_service=primitive.class_of_service,
+                        qos=primitive.qos,
+                        vc_id=primitive.vc_id,
+                    )
+                )
+            elif isinstance(primitive, TRenegotiateIndication):
+                self.entity.request(
+                    TRenegotiateResponse(
+                        initiator=primitive.initiator,
+                        src=primitive.src,
+                        dst=primitive.dst,
+                        new_qos=primitive.new_qos,
+                        vc_id=primitive.vc_id,
+                    )
+                )
+
+    def connect(
+        self,
+        binding: TSAPBinding,
+        dst: TransportAddress,
+        qos: QoSSpec,
+        profile: ProtocolProfile = ProtocolProfile.CM_RATE_BASED,
+        cos: Optional[ClassOfService] = None,
+        src: Optional[TransportAddress] = None,
+    ) -> Generator:
+        """Coroutine: full confirmed connect from ``binding`` to ``dst``.
+
+        Returns the send :class:`VCEndpoint` on success; raises
+        :class:`ConnectionRefused` when any party or the network
+        provider rejects the call.  ``src`` defaults to the binding's
+        own address (the conventional, initiator-is-sender case).
+        """
+        cos = cos or ClassOfService.detect_and_indicate()
+        src = src or binding.address
+        vc_id = self.entity.new_vc_id()
+        request = TConnectRequest(
+            initiator=binding.address,
+            src=src,
+            dst=dst,
+            protocol=profile,
+            class_of_service=cos,
+            qos=qos,
+            vc_id=vc_id,
+        )
+        self.entity.request(request)
+        # Primitives unrelated to this connect are deferred and put
+        # back once the exchange completes -- re-queueing them inline
+        # would livelock a single-consumer binding.
+        deferred = []
+        try:
+            while True:
+                primitive = yield binding.next_primitive()
+                if (
+                    isinstance(primitive, TConnectConfirm)
+                    and primitive.vc_id == vc_id
+                ):
+                    endpoint = binding.endpoints.get(vc_id)
+                    # For a remote connect the send endpoint lives at
+                    # the (distinct) source node: None is returned and
+                    # the caller manages via addresses.
+                    return endpoint
+                if (
+                    isinstance(primitive, TDisconnectIndication)
+                    and primitive.vc_id == vc_id
+                ):
+                    raise ConnectionRefused(primitive.reason)
+                deferred.append(primitive)
+        finally:
+            for primitive in deferred:
+                binding.primitives.put_nowait(primitive)
+
+    def disconnect(self, binding: TSAPBinding, vc_id: str) -> None:
+        self.entity.request(
+            TDisconnectRequest(initiator=binding.address, vc_id=vc_id)
+        )
+
+
+def connect_pair(
+    sim: Simulator,
+    entities: Dict[str, TransportEntity],
+    src: TransportAddress,
+    dst: TransportAddress,
+    qos: QoSSpec,
+    profile: ProtocolProfile = ProtocolProfile.CM_RATE_BASED,
+    cos: Optional[ClassOfService] = None,
+    run: bool = True,
+) -> Tuple[VCEndpoint, VCEndpoint]:
+    """Test/benchmark helper: establish ``src -> dst`` and return both
+    endpoints (send, recv).
+
+    Binds both TSAPs (reusing existing bindings is not supported --
+    each call uses fresh TSAPs), auto-accepts at the destination, and
+    drives the simulator until the connect completes when ``run``.
+    """
+    src_service = TransportService(entities[src.node])
+    dst_service = TransportService(entities[dst.node])
+    binding = src_service.bind(src.tsap)
+    dst_service.listen(dst.tsap)
+    result: Dict[str, VCEndpoint] = {}
+
+    def runner():
+        endpoint = yield from src_service.connect(
+            binding, dst, qos, profile=profile, cos=cos
+        )
+        result["send"] = endpoint
+
+    sim.spawn(runner(), name="connect-pair")
+    if run:
+        sim.run(until=sim.now + 5.0)
+    if "send" not in result:
+        raise ConnectionRefused("connect did not complete")
+    send_endpoint = result["send"]
+    recv_entity = entities[dst.node]
+    recv_endpoint = recv_entity.endpoint_for(send_endpoint.vc_id)
+    if recv_endpoint is None:
+        raise ConnectionRefused("receive endpoint missing")
+    return send_endpoint, recv_endpoint

@@ -1,0 +1,154 @@
+"""Tests for Streams and media-level QoS translation."""
+
+import pytest
+
+from repro.ansa.stream import AudioQoS, MediaQoS, TextQoS, VideoQoS
+from repro.apps.testbed import Testbed
+from repro.transport.addresses import TransportAddress
+from repro.transport.service import ConnectionRefused
+
+
+@pytest.fixture
+def bed():
+    testbed = Testbed(seed=4)
+    testbed.host("server")
+    testbed.host("client")
+    testbed.link("server", "client", 20e6, prop_delay=0.004)
+    return testbed.up()
+
+
+class TestMediaQoS:
+    def test_video_frame_size_from_resolution(self):
+        qos = VideoQoS.of(fps=25, width=352, height=288, colour=True,
+                          compression_ratio=50.0)
+        assert qos.osdu_bytes == int(352 * 288 * 3 / 50)
+        assert qos.osdu_rate == 25
+
+    def test_monochrome_smaller_than_colour(self):
+        colour = VideoQoS.of(colour=True)
+        mono = VideoQoS.of(colour=False)
+        assert mono.osdu_bytes == colour.osdu_bytes // 3
+
+    def test_throughput_includes_wire_overhead(self):
+        qos = AudioQoS.telephone()
+        payload_only = qos.osdu_rate * qos.osdu_bytes * 8 * qos.headroom
+        assert qos.throughput_bps > payload_only
+
+    def test_telephone_rate(self):
+        qos = AudioQoS.telephone()
+        assert qos.osdu_rate == pytest.approx(250.0)  # 8000 / 32
+        assert qos.osdu_bytes == 32
+
+    def test_cd_quality_higher_bandwidth(self):
+        assert AudioQoS.cd().throughput_bps > AudioQoS.telephone().throughput_bps
+
+    def test_transport_translation_fields(self):
+        qos = VideoQoS.of(fps=25)
+        spec = qos.to_transport_qos()
+        assert spec.throughput.preferred == pytest.approx(qos.throughput_bps)
+        assert spec.max_osdu_bytes == qos.osdu_bytes
+        assert spec.buffer_osdus == qos.buffer_osdus
+
+    def test_invalid_media_qos_rejected(self):
+        with pytest.raises(ValueError):
+            MediaQoS(osdu_rate=0, osdu_bytes=10)
+        with pytest.raises(ValueError):
+            MediaQoS(osdu_rate=1, osdu_bytes=10, headroom=0.5)
+
+
+class TestStreamCreation:
+    def _create(self, bed, qos=None):
+        holder = {}
+
+        def driver():
+            stream = yield from bed.factory.create(
+                TransportAddress("server", 5),
+                TransportAddress("client", 5),
+                qos or AudioQoS.telephone(),
+            )
+            holder["stream"] = stream
+
+        bed.spawn(driver())
+        bed.run(5.0)
+        return holder["stream"]
+
+    def test_create_returns_connected_stream(self, bed):
+        stream = self._create(bed)
+        assert stream.source_node == "server"
+        assert stream.sink_node == "client"
+        assert stream.send_endpoint.kind == "send"
+        assert stream.recv_endpoint.kind == "recv"
+
+    def test_stream_spec_for_orchestration(self, bed):
+        stream = self._create(bed)
+        spec = stream.spec()
+        assert spec.vc_id == stream.vc_id
+        assert spec.osdu_rate == pytest.approx(250.0)
+        assert spec.max_drop_per_interval >= 1  # telephone tolerates loss
+
+    def test_lossless_media_gets_zero_drop_budget(self, bed):
+        stream = self._create(bed, TextQoS.captions())
+        assert stream.spec().max_drop_per_interval == 0
+
+    def test_renegotiate_in_media_terms(self, bed):
+        stream = self._create(bed, AudioQoS.telephone())
+        holder = {}
+
+        def driver():
+            ok = yield from stream.renegotiate(AudioQoS.cd())
+            holder["ok"] = ok
+
+        bed.spawn(driver())
+        bed.run(5.0)
+        assert holder["ok"]
+        assert stream.media_qos.sample_rate == pytest.approx(44100.0)
+        send_vc = bed.entities["server"].send_vcs[stream.vc_id]
+        assert send_vc.contract.throughput_bps > 1e6
+
+    def test_refused_renegotiation_keeps_old_qos(self, bed):
+        stream = self._create(bed, AudioQoS.telephone())
+        impossible = AudioQoS.of(
+            8000.0, 1, 32, headroom=1.0,
+            osdu_rate=250.0, osdu_bytes=32,
+        )
+        # Demand far beyond the 20 Mbit/s link.
+        huge = VideoQoS.of(fps=200, compression_ratio=2.0)
+        holder = {}
+
+        def driver():
+            ok = yield from stream.renegotiate(huge)
+            holder["ok"] = ok
+
+        bed.spawn(driver())
+        bed.run(5.0)
+        assert not holder["ok"]
+        assert isinstance(stream.media_qos, AudioQoS)
+
+    def test_close_releases_vc(self, bed):
+        stream = self._create(bed)
+        stream.close()
+        bed.run(1.0)
+        assert stream.vc_id not in bed.entities["server"].send_vcs
+        assert stream.vc_id not in bed.entities["client"].recv_vcs
+
+    def test_create_refused_when_link_too_small(self):
+        testbed = Testbed(seed=4)
+        testbed.host("server")
+        testbed.host("client")
+        testbed.link("server", "client", 0.05e6)
+        testbed.up()
+        holder = {}
+
+        def driver():
+            try:
+                yield from testbed.factory.create(
+                    TransportAddress("server", 5),
+                    TransportAddress("client", 5),
+                    AudioQoS.telephone(),
+                )
+            except ConnectionRefused as exc:
+                holder["reason"] = exc.reason
+
+        testbed.spawn(driver())
+        testbed.run(5.0)
+        assert "network" in holder["reason"]

@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.random import RandomStreams
+from repro.sim.scheduler import Simulator
+from repro.netsim.topology import Network
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def net(sim: Simulator) -> Network:
+    """Two hosts ``a`` and ``b`` joined by a 10 Mbit/s, 5 ms link."""
+    network = Network(sim, RandomStreams(42))
+    network.add_host("a")
+    network.add_host("b")
+    network.add_link("a", "b", 10e6, prop_delay=0.005)
+    return network
+
+
+def run_coro(sim: Simulator, gen, until: float = 60.0):
+    """Spawn ``gen``, run the simulator, return the coroutine's result."""
+    proc = sim.spawn(gen)
+    sim.run(until=sim.now + until)
+    if not proc.finished.is_set:
+        raise AssertionError("coroutine did not finish within the window")
+    return proc.finished.value

@@ -1,0 +1,108 @@
+"""Blocking-time fault attribution (section 6.3.1.2).
+
+"The blocking time information is used by the HLO agent to determine
+which part of the system was responsible for any failure to meet the
+flow rate target": a blocked protocol thread blames the application
+(Orch.Delayed); blocked application threads blame protocol throughput
+(renegotiation).
+"""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")
+
+from repro.orchestration.policy import CompensationAction, OrchestrationPolicy
+
+
+def build(source_delay=0.0, sink_delay=0.0, bandwidth=20e6,
+          starve_throughput=False):
+    from tests.orchestration.conftest import OrchFixture
+    from repro.ansa.stream import VideoQoS
+    from repro.media.encodings import video_cbr
+    from repro.orchestration.hlo_agent import StreamSpec
+
+    fixture = OrchFixture(bandwidth=bandwidth)
+    qos = VideoQoS.of(
+        fps=25.0,
+        headroom=1.0 if starve_throughput else 1.3,
+    )
+    video = fixture.add_media_stream(
+        "video", "video-srv", 10, video_cbr(25.0, qos.osdu_bytes), qos,
+        source_kwargs={"per_osdu_delay": source_delay},
+        sink_kwargs={"per_osdu_delay": sink_delay},
+    )
+    fixture.specs = [
+        StreamSpec(video.vc_id, "video-srv", "ws", 25.0,
+                   max_drop_per_interval=0),
+    ]
+    policy = OrchestrationPolicy(
+        interval_length=0.25, patience_intervals=2,
+        delayed_threshold_osdus=2, block_fraction_threshold=0.4,
+    )
+    agent = fixture.agent(policy)
+    fixture.run_coro(agent.establish())
+    fixture.run_coro(agent.prime())
+    fixture.run_coro(agent.start(), window=1.0)
+    return fixture, agent, video
+
+
+def actions_taken(agent):
+    return {
+        action for report in agent.reports for _vc, action in report.actions
+    }
+
+
+class TestAttribution:
+    def test_healthy_stream_triggers_nothing(self):
+        fixture, agent, _video = build()
+        fixture.bed.run(12.0)
+        actions = actions_taken(agent)
+        assert CompensationAction.DELAYED_SOURCE not in actions
+        assert CompensationAction.DELAYED_SINK not in actions
+        assert CompensationAction.RENEGOTIATE not in actions
+
+    def test_slow_source_attributed_to_source_app(self):
+        # The source takes 80 ms to produce each frame: 12.5 fps versus
+        # the 25 fps target; the source protocol thread starves.
+        fixture, agent, _video = build(source_delay=0.08)
+        fixture.bed.run(15.0)
+        actions = actions_taken(agent)
+        assert CompensationAction.DELAYED_SOURCE in actions
+        assert CompensationAction.RENEGOTIATE not in actions
+        assert ("video-srv-vc1", "source") in [
+            (vc, end) for vc, end in agent.delayed_issued
+        ] or agent.delayed_issued  # at least one delayed toward source
+        assert all(end == "source" for _vc, end in agent.delayed_issued)
+
+    def test_slow_sink_attributed_to_sink_app(self):
+        # The sink takes 80 ms to present each frame: its buffer sits
+        # full (sink protocol blocked).
+        fixture, agent, _video = build(sink_delay=0.08)
+        fixture.bed.run(15.0)
+        actions = actions_taken(agent)
+        assert CompensationAction.DELAYED_SINK in actions
+        assert CompensationAction.RENEGOTIATE not in actions
+        assert all(end == "sink" for _vc, end in agent.delayed_issued)
+
+    def test_low_throughput_attributed_to_protocol(self):
+        # The link admits only ~0.86 of the required media rate: both
+        # application threads block on the protocol.
+        fixture, agent, _video = build(bandwidth=1.1e6,
+                                       starve_throughput=True)
+        fixture.bed.run(15.0)
+        actions = actions_taken(agent)
+        assert CompensationAction.RENEGOTIATE in actions
+        assert agent.renegotiations_requested
+        assert CompensationAction.DELAYED_SOURCE not in actions
+        assert CompensationAction.DELAYED_SINK not in actions
+
+    def test_renegotiate_hook_invoked(self):
+        fixture, agent, video = build(bandwidth=1.1e6, starve_throughput=True)
+        calls = []
+        agent.on_renegotiate = lambda vc, behind: calls.append((vc, behind))
+        fixture.bed.run(15.0)
+        assert calls
+        assert calls[0][0] == video.vc_id
+        assert calls[0][1] > 0

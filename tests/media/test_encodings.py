@@ -1,0 +1,73 @@
+"""Tests for media encodings."""
+
+import random
+
+import pytest
+
+from repro.media.encodings import (
+    CBREncoding,
+    VBREncoding,
+    audio_pcm,
+    video_cbr,
+    video_vbr,
+)
+
+
+class TestCBR:
+    def test_constant_sizes(self):
+        enc = video_cbr(25.0, 4000)
+        assert all(enc.osdu_size(i) == 4000 for i in range(50))
+
+    def test_nominal_bps(self):
+        enc = video_cbr(25.0, 4000)
+        assert enc.nominal_bps == pytest.approx(25 * 4000 * 8)
+
+    def test_audio_pcm_defaults(self):
+        enc = audio_pcm()
+        assert enc.osdu_rate == pytest.approx(250.0)
+        assert enc.max_osdu_bytes == 32
+        assert enc.nominal_bps == pytest.approx(64000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CBREncoding("x", 0.0, 100)
+        with pytest.raises(ValueError):
+            CBREncoding("x", 1.0, 0)
+
+
+class TestVBR:
+    def test_i_frames_at_gop_boundaries(self):
+        enc = VBREncoding("v", 25.0, 8000, gop=10, noise=0.0)
+        assert enc.osdu_size(0) == 8000
+        assert enc.osdu_size(10) == 8000
+        assert enc.osdu_size(5) == int(8000 * 0.35)
+
+    def test_sizes_bounded(self):
+        enc = video_vbr(25.0, 8000)
+        rng = random.Random(1)
+        sizes = [enc.osdu_size(i, rng) for i in range(500)]
+        assert all(1 <= s <= 8000 for s in sizes)
+
+    def test_mean_matches_analytic(self):
+        enc = VBREncoding("v", 25.0, 8000, gop=10, p_fraction=0.5, noise=0.2)
+        rng = random.Random(2)
+        sizes = [enc.osdu_size(i, rng) for i in range(10_000)]
+        assert sum(sizes) / len(sizes) == pytest.approx(
+            enc.mean_osdu_bytes, rel=0.05
+        )
+
+    def test_nominal_bps_uses_mean(self):
+        enc = VBREncoding("v", 25.0, 8000, gop=10, p_fraction=0.5)
+        assert enc.nominal_bps == pytest.approx(
+            25 * enc.mean_osdu_bytes * 8
+        )
+
+    def test_no_rng_is_deterministic(self):
+        enc = video_vbr()
+        assert enc.osdu_size(3) == enc.osdu_size(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VBREncoding("v", 25.0, 8000, gop=0)
+        with pytest.raises(ValueError):
+            VBREncoding("v", 25.0, 8000, p_fraction=0.0)

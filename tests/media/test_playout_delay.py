@@ -1,0 +1,97 @@
+"""De-jitter playout delay in paced sinks."""
+
+import pytest
+
+from repro.apps.testbed import Testbed
+from repro.ansa.stream import VideoQoS
+from repro.media.encodings import video_cbr
+from repro.media.sink import PlayoutSink
+from repro.media.source import StoredMediaSource
+from repro.netsim.link import UniformJitter
+from repro.transport.addresses import TransportAddress
+
+
+def jittery_stream(playout_delay, jitter_s=0.05, seed=95):
+    bed = Testbed(seed=seed)
+    bed.host("src")
+    bed.host("dst")
+    bed.link("src", "dst", 20e6, prop_delay=0.004,
+             jitter=UniformJitter(jitter_s))
+    bed.up()
+    holder = {}
+
+    def connector():
+        # headroom 1.0: arrivals pace at exactly the media rate, so
+        # the de-jitter point is the only protection against jitter.
+        holder["stream"] = yield from bed.factory.create(
+            TransportAddress("src", 1), TransportAddress("dst", 1),
+            VideoQoS.of(fps=25.0, jitter_bound=0.2, headroom=1.0,
+                        buffer_osdus=4),
+        )
+
+    bed.spawn(connector())
+    bed.run(5.0)
+    stream = holder["stream"]
+    source = StoredMediaSource(
+        bed.sim, stream.send_endpoint,
+        video_cbr(25.0, stream.media_qos.osdu_bytes), total_osdus=250,
+    )
+    sink = PlayoutSink(
+        bed.sim, stream.recv_endpoint, 25.0,
+        bed.network.host("dst").clock, mode="paced",
+        playout_delay=playout_delay,
+    )
+    source.play()
+    bed.run(20.0)
+    return sink
+
+
+class TestPlayoutDelay:
+    def test_zero_delay_suffers_late_units_under_jitter(self):
+        sink = jittery_stream(playout_delay=0.0)
+        assert sink.late_count > 10
+
+    def test_sufficient_delay_absorbs_jitter(self):
+        # 50 ms uniform jitter: a 100 ms playout point absorbs it.
+        sink = jittery_stream(playout_delay=0.1)
+        assert sink.late_count == 0
+        assert sink.presented == 250
+
+    def test_presentation_cadence_is_exact_behind_playout_point(self):
+        sink = jittery_stream(playout_delay=0.1)
+        gaps = [
+            b.delivered_at - a.delivered_at
+            for a, b in zip(sink.records[5:], sink.records[6:])
+        ]
+        assert all(g == pytest.approx(0.04, rel=0.01) for g in gaps)
+
+    def test_late_fraction_decreases_with_delay(self):
+        lates = [
+            jittery_stream(playout_delay=d).late_count
+            for d in (0.0, 0.02, 0.05, 0.1)
+        ]
+        assert lates == sorted(lates, reverse=True)
+        assert lates[0] > lates[-1]
+
+    def test_negative_delay_rejected(self):
+        bed = Testbed(seed=1)
+        bed.host("src")
+        bed.host("dst")
+        bed.link("src", "dst", 10e6)
+        bed.up()
+        holder = {}
+
+        def connector():
+            holder["stream"] = yield from bed.factory.create(
+                TransportAddress("src", 1), TransportAddress("dst", 1),
+                VideoQoS.of(fps=25.0),
+            )
+
+        bed.spawn(connector())
+        bed.run(5.0)
+        with pytest.raises(ValueError):
+            PlayoutSink(
+                bed.sim, holder["stream"].recv_endpoint, 25.0,
+                bed.network.host("dst").clock, mode="paced",
+                playout_delay=-0.1,
+            )

@@ -1,0 +1,120 @@
+"""Tests for the metrics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.stats import interarrival_jitter, summarize
+from repro.metrics.table import Table
+
+
+class TestSummarize:
+    def test_empty_sample(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_single_value(self):
+        summary = summarize([3.0])
+        assert summary.count == 1
+        assert summary.mean == 3.0
+        assert summary.std == 0.0
+        assert summary.p50 == 3.0
+
+    def test_known_sample(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.p50 == pytest.approx(3.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.std == pytest.approx(math.sqrt(2.5))
+
+    def test_percentile_interpolation(self):
+        summary = summarize([0.0, 10.0])
+        assert summary.p95 == pytest.approx(9.5)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_ordering_invariants(self, values):
+        summary = summarize(values)
+        # Floating-point summation can push the mean an ULP outside
+        # [min, max]; allow that much.
+        eps = 1e-9 * max(1.0, abs(summary.maximum), abs(summary.minimum))
+        assert summary.minimum <= summary.p50 <= summary.maximum
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+        assert summary.minimum - eps <= summary.mean <= summary.maximum + eps
+
+
+class TestInterarrivalJitter:
+    def test_perfectly_periodic_has_zero_jitter(self):
+        arrivals = [i * 0.04 for i in range(100)]
+        summary = interarrival_jitter(arrivals)
+        assert summary.maximum == pytest.approx(0.0, abs=1e-12)
+
+    def test_bursty_stream_has_jitter(self):
+        arrivals = []
+        t = 0.0
+        for i in range(100):
+            t += 0.01 if i % 10 else 0.4
+            arrivals.append(t)
+        summary = interarrival_jitter(arrivals)
+        assert summary.maximum > 0.3
+
+    def test_too_few_samples(self):
+        assert interarrival_jitter([0.0, 1.0]).count == 0
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table(["a", "long-header"], title="T")
+        table.add(1, 2.5)
+        table.add("xyz", 123456.0)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-header" in lines[1]
+        assert len(lines) == 5
+
+    def test_wrong_arity_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_float_formatting(self):
+        table = Table(["v"])
+        table.add(0.00001)
+        table.add(1234567.0)
+        table.add(0)
+        rendered = table.render()
+        assert "1.000e-05" in rendered
+        assert "1.235e+06" in rendered
+
+
+class TestReport:
+    def test_render_orders_and_includes_tables(self, tmp_path):
+        from repro.metrics.report import EXPERIMENT_INDEX, render
+
+        (tmp_path / "e06_regulation.txt").write_text("E6 TABLE\n")
+        (tmp_path / "e01_connection.txt").write_text("E1 TABLE\n")
+        (tmp_path / "zz_custom.txt").write_text("CUSTOM\n")
+        report = render(str(tmp_path))
+        assert report.index("E1 TABLE") < report.index("E6 TABLE")
+        assert "CUSTOM" in report
+        assert "not yet run" in report  # others missing
+
+    def test_missing_directory_raises(self, tmp_path):
+        from repro.metrics.report import gather
+
+        with pytest.raises(FileNotFoundError):
+            gather(str(tmp_path / "nope"))
+
+    def test_cli_main(self, tmp_path, capsys):
+        from repro.metrics.report import main
+
+        (tmp_path / "e01_connection.txt").write_text("E1 TABLE\n")
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "E1 TABLE" in out
+        assert main([str(tmp_path / "ghost")]) == 1

@@ -1,0 +1,191 @@
+"""Tests for links: timing, priority, impairments."""
+
+import random
+
+import pytest
+
+from repro.netsim.link import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    Link,
+    NoJitter,
+    NoLoss,
+    TruncatedGaussianJitter,
+    UniformJitter,
+)
+from repro.netsim.packet import Packet, Priority
+
+
+def make_link(sim, **kwargs):
+    defaults = dict(bandwidth_bps=1e6, prop_delay=0.01)
+    defaults.update(kwargs)
+    return Link(sim, "a", "b", **defaults)
+
+
+def packet(size_bits=8000, priority=Priority.BEST_EFFORT):
+    return Packet("a", "b", payload=None, size_bits=size_bits, priority=priority)
+
+
+class TestLinkTiming:
+    def test_single_packet_delay_is_tx_plus_prop(self, sim):
+        link = make_link(sim)
+        arrivals = []
+        link.on_deliver = lambda p: arrivals.append(sim.now)
+        link.send(packet(8000))  # 8 ms serialisation at 1 Mbit/s
+        sim.run()
+        assert arrivals == [pytest.approx(0.008 + 0.01)]
+
+    def test_back_to_back_packets_queue(self, sim):
+        link = make_link(sim)
+        arrivals = []
+        link.on_deliver = lambda p: arrivals.append(sim.now)
+        link.send(packet(8000))
+        link.send(packet(8000))
+        sim.run()
+        assert arrivals == [
+            pytest.approx(0.018),
+            pytest.approx(0.026),
+        ]
+
+    def test_throughput_matches_bandwidth(self, sim):
+        link = make_link(sim, bandwidth_bps=8e6, prop_delay=0.0)
+        arrivals = []
+        link.on_deliver = lambda p: arrivals.append(sim.now)
+        for _ in range(100):
+            link.send(packet(8000))
+        sim.run()
+        # 100 * 8000 bits at 8 Mbit/s = 100 ms.
+        assert arrivals[-1] == pytest.approx(0.1)
+
+    def test_control_priority_preempts_queued_best_effort(self, sim):
+        link = make_link(sim)
+        order = []
+        link.on_deliver = lambda p: order.append(p.priority)
+        link.send(packet())
+        link.send(packet())
+        link.send(packet(priority=Priority.CONTROL))
+        sim.run()
+        # The control packet overtakes the queued (not in-flight) one.
+        assert order[1] == Priority.CONTROL
+
+    def test_jitter_never_reorders(self, sim):
+        link = make_link(
+            sim, jitter=UniformJitter(0.05), rng=random.Random(1)
+        )
+        order = []
+        link.on_deliver = lambda p: order.append(p.packet_id)
+        sent = [packet() for _ in range(50)]
+        for p in sent:
+            link.send(p)
+        sim.run()
+        assert order == [p.packet_id for p in sent]
+
+    def test_buffer_overflow_drops(self, sim):
+        link = make_link(sim, buffer_bytes=2500)  # room for 2.5 packets
+        delivered = []
+        link.on_deliver = lambda p: delivered.append(p)
+        for _ in range(10):
+            link.send(packet(8000))  # 1000 bytes each
+        sim.run()
+        assert link.stats.buffer_drops == 8
+        assert len(delivered) == 2
+
+    def test_hops_incremented(self, sim):
+        link = make_link(sim)
+        seen = []
+        link.on_deliver = lambda p: seen.append(p.hops)
+        p = packet()
+        link.send(p)
+        sim.run()
+        assert seen == [1]
+
+    def test_invalid_parameters_rejected(self, sim):
+        with pytest.raises(ValueError):
+            make_link(sim, bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            make_link(sim, prop_delay=-1)
+        with pytest.raises(ValueError):
+            make_link(sim, ber=1.5)
+
+
+class TestImpairments:
+    def test_bernoulli_loss_rate(self, sim):
+        link = make_link(
+            sim, loss=BernoulliLoss(0.3), rng=random.Random(7), prop_delay=0.0
+        )
+        delivered = []
+        link.on_deliver = lambda p: delivered.append(p)
+        n = 2000
+        for _ in range(n):
+            link.send(packet(80))
+        sim.run()
+        loss = link.stats.lost_packets / n
+        assert 0.25 < loss < 0.35
+
+    def test_ber_marks_corruption(self, sim):
+        link = make_link(sim, ber=1e-4, rng=random.Random(3), prop_delay=0.0)
+        corrupted = []
+        link.on_deliver = lambda p: corrupted.append(p.corrupted)
+        for _ in range(500):
+            link.send(packet(8000))  # p_corrupt ~= 0.55
+        sim.run()
+        frac = sum(corrupted) / len(corrupted)
+        assert 0.4 < frac < 0.7
+
+    def test_gilbert_elliott_is_bursty(self, sim):
+        loss_model = GilbertElliottLoss(0.02, 0.25, 0.0, 0.8)
+        link = make_link(sim, loss=loss_model, rng=random.Random(11),
+                         prop_delay=0.0)
+        outcomes = []
+        original = loss_model.is_lost
+
+        def spy(rng):
+            lost = original(rng)
+            outcomes.append(lost)
+            return lost
+
+        loss_model.is_lost = spy
+        for _ in range(5000):
+            link.send(packet(80))
+        sim.run()
+        losses = sum(outcomes)
+        assert losses > 0
+        # Burstiness: probability of loss after loss far exceeds the
+        # marginal loss rate.
+        after_loss = [
+            b for a, b in zip(outcomes, outcomes[1:]) if a
+        ]
+        marginal = losses / len(outcomes)
+        conditional = sum(after_loss) / max(len(after_loss), 1)
+        assert conditional > 2 * marginal
+
+    def test_expected_loss_estimates(self):
+        assert NoLoss().expected_loss() == 0.0
+        assert BernoulliLoss(0.1).expected_loss() == pytest.approx(0.1)
+        ge = GilbertElliottLoss(0.01, 0.99, 0.0, 0.5)
+        assert 0.0 < ge.expected_loss() < 0.01
+
+    def test_jitter_bounds(self):
+        assert NoJitter().bound() == 0.0
+        assert UniformJitter(0.05).bound() == pytest.approx(0.05)
+        assert TruncatedGaussianJitter(0.01, 0.002).bound() == pytest.approx(
+            0.018
+        )
+
+    def test_jitter_samples_within_bound(self, sim):
+        rng = random.Random(5)
+        for model in (
+            UniformJitter(0.03),
+            TruncatedGaussianJitter(0.01, 0.01),
+        ):
+            for _ in range(1000):
+                sample = model.sample(rng)
+                assert 0.0 <= sample <= model.bound()
+
+    def test_loss_probability_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.2)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_bad=-0.1)
+        with pytest.raises(ValueError):
+            UniformJitter(-0.1)

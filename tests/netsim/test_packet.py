@@ -1,0 +1,29 @@
+"""Tests for the packet record."""
+
+import pytest
+
+from repro.netsim.packet import Packet, Priority
+
+
+class TestPacket:
+    def test_size_bytes(self):
+        assert Packet("a", "b", None, size_bits=800).size_bytes == 100.0
+
+    def test_unique_ids(self):
+        a = Packet("a", "b", None, size_bits=8)
+        b = Packet("a", "b", None, size_bits=8)
+        assert a.packet_id != b.packet_id
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet("a", "b", None, size_bits=0)
+
+    def test_priority_ordering(self):
+        assert Priority.CONTROL > Priority.RESERVED > Priority.BEST_EFFORT
+
+    def test_defaults(self):
+        p = Packet("a", "b", None, size_bits=8)
+        assert p.priority is Priority.BEST_EFFORT
+        assert not p.corrupted
+        assert p.hops == 0
+        assert p.flow_id is None

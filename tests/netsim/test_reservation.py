@@ -1,0 +1,141 @@
+"""Tests for the ST-II-like reservation manager."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.reservation import AdmissionError, ReservationManager
+from repro.netsim.topology import Network
+from repro.sim.random import RandomStreams
+from repro.sim.scheduler import Simulator
+
+
+@pytest.fixture
+def chain(sim):
+    """a -- r1 -- r2 -- b with a 10/5/10 Mbit/s bottleneck."""
+    net = Network(sim, RandomStreams(0))
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("r1")
+    net.add_router("r2")
+    net.add_link("a", "r1", 10e6)
+    net.add_link("r1", "r2", 5e6)
+    net.add_link("r2", "b", 10e6)
+    return net
+
+
+class TestAdmission:
+    def test_bottleneck_limits_route(self, chain):
+        rm = ReservationManager(chain, reservable_fraction=1.0)
+        assert rm.route_available_bps("a", "b") == pytest.approx(5e6)
+
+    def test_reserve_commits_on_every_hop(self, chain):
+        rm = ReservationManager(chain, reservable_fraction=1.0)
+        res = rm.reserve("a", "b", 2e6)
+        for link in res.links:
+            assert rm.committed_bps(link) == pytest.approx(2e6)
+        assert rm.route_available_bps("a", "b") == pytest.approx(3e6)
+
+    def test_over_subscription_rejected(self, chain):
+        rm = ReservationManager(chain, reservable_fraction=1.0)
+        rm.reserve("a", "b", 4e6)
+        with pytest.raises(AdmissionError) as err:
+            rm.reserve("a", "b", 2e6)
+        assert err.value.available_bps == pytest.approx(1e6)
+        assert rm.rejected_count == 1
+
+    def test_rejection_leaves_no_partial_commitment(self, chain):
+        rm = ReservationManager(chain, reservable_fraction=1.0)
+        before = rm.route_available_bps("a", "b")
+        with pytest.raises(AdmissionError):
+            rm.reserve("a", "b", 7e6)
+        assert rm.route_available_bps("a", "b") == pytest.approx(before)
+
+    def test_reservable_fraction_keeps_headroom(self, chain):
+        rm = ReservationManager(chain, reservable_fraction=0.8)
+        assert rm.route_available_bps("a", "b") == pytest.approx(4e6)
+
+    def test_release_returns_capacity(self, chain):
+        rm = ReservationManager(chain, reservable_fraction=1.0)
+        res = rm.reserve("a", "b", 3e6)
+        rm.release(res)
+        assert rm.route_available_bps("a", "b") == pytest.approx(5e6)
+        assert res.released
+
+    def test_release_is_idempotent(self, chain):
+        rm = ReservationManager(chain, reservable_fraction=1.0)
+        res = rm.reserve("a", "b", 3e6)
+        rm.release(res)
+        rm.release(res)
+        assert rm.route_available_bps("a", "b") == pytest.approx(5e6)
+
+    def test_invalid_rate_rejected(self, chain):
+        rm = ReservationManager(chain)
+        with pytest.raises(ValueError):
+            rm.reserve("a", "b", 0.0)
+
+    def test_invalid_fraction_rejected(self, chain):
+        with pytest.raises(ValueError):
+            ReservationManager(chain, reservable_fraction=0.0)
+
+
+class TestModify:
+    def test_decrease_always_succeeds(self, chain):
+        rm = ReservationManager(chain, reservable_fraction=1.0)
+        res = rm.reserve("a", "b", 4e6)
+        rm.modify(res, 1e6)
+        assert res.rate_bps == pytest.approx(1e6)
+        assert rm.route_available_bps("a", "b") == pytest.approx(4e6)
+
+    def test_increase_within_headroom(self, chain):
+        rm = ReservationManager(chain, reservable_fraction=1.0)
+        res = rm.reserve("a", "b", 2e6)
+        rm.modify(res, 4e6)
+        assert rm.route_available_bps("a", "b") == pytest.approx(1e6)
+
+    def test_increase_beyond_headroom_rejected_atomically(self, chain):
+        rm = ReservationManager(chain, reservable_fraction=1.0)
+        res = rm.reserve("a", "b", 2e6)
+        with pytest.raises(AdmissionError):
+            rm.modify(res, 6e6)
+        # The original reservation survives unchanged (paper 4.1.3).
+        assert res.rate_bps == pytest.approx(2e6)
+        assert rm.route_available_bps("a", "b") == pytest.approx(3e6)
+
+    def test_modify_released_rejected(self, chain):
+        rm = ReservationManager(chain)
+        res = rm.reserve("a", "b", 1e6)
+        rm.release(res)
+        with pytest.raises(ValueError):
+            rm.modify(res, 2e6)
+
+
+@given(
+    requests=st.lists(
+        st.floats(min_value=0.1e6, max_value=4e6, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_admission_never_oversubscribes(requests):
+    """Property: committed bandwidth never exceeds reservable capacity."""
+    sim = Simulator()
+    net = Network(sim, RandomStreams(0))
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 10e6)
+    rm = ReservationManager(net, reservable_fraction=0.9)
+    link = net.links_on_route("a", "b")[0]
+    live = []
+    for i, rate in enumerate(requests):
+        try:
+            live.append(rm.reserve("a", "b", rate))
+        except AdmissionError:
+            pass
+        # Release every third admitted reservation to exercise churn.
+        if i % 3 == 2 and live:
+            rm.release(live.pop(0))
+        assert rm.committed_bps(link) <= 10e6 * 0.9 + 1e-6
+    assert rm.committed_bps(link) == pytest.approx(
+        sum(r.rate_bps for r in live)
+    )

@@ -1,0 +1,103 @@
+"""Fixtures for orchestration tests: a full testbed with media apps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.testbed import Testbed
+from repro.media.encodings import audio_pcm, video_cbr
+from repro.media.sink import PlayoutSink
+from repro.media.source import StoredMediaSource
+from repro.orchestration.hlo_agent import HLOAgent, StreamSpec
+from repro.orchestration.policy import OrchestrationPolicy
+from repro.transport.addresses import TransportAddress
+
+
+class OrchFixture:
+    """A film scenario: video + audio servers feeding one workstation."""
+
+    def __init__(self, seed=7, video_skew=150.0, audio_skew=-120.0,
+                 sink_skew=60.0, bandwidth=20e6):
+        self.bed = Testbed(seed=seed)
+        self.bed.host("video-srv", clock_skew_ppm=video_skew)
+        self.bed.host("audio-srv", clock_skew_ppm=audio_skew)
+        self.bed.host("ws", clock_skew_ppm=sink_skew)
+        self.bed.router("net")
+        for name in ("video-srv", "audio-srv", "ws"):
+            self.bed.link(name, "net", bandwidth, prop_delay=0.003)
+        self.bed.up()
+        self.sim = self.bed.sim
+        self.streams = []
+        self.sources = {}
+        self.sinks = {}
+
+    def add_media_stream(self, name, server, tsap, encoding, media_qos,
+                         total_seconds=600.0, source_kwargs=None,
+                         sink_kwargs=None):
+        """Connect server -> ws with a stored source and gated sink."""
+        result = {}
+
+        def connector():
+            stream = yield from self.bed.factory.create(
+                TransportAddress(server, tsap),
+                TransportAddress("ws", tsap),
+                media_qos,
+            )
+            result["stream"] = stream
+
+        self.bed.spawn(connector())
+        self.bed.run(5.0)
+        stream = result["stream"]
+        self.sources[name] = StoredMediaSource(
+            self.sim, stream.send_endpoint, encoding,
+            total_osdus=int(total_seconds * encoding.osdu_rate),
+            **(source_kwargs or {}),
+        )
+        self.sinks[name] = PlayoutSink(
+            self.sim, stream.recv_endpoint,
+            osdu_rate=encoding.osdu_rate,
+            clock=self.bed.network.host("ws").clock,
+            mode="gated",
+            **(sink_kwargs or {}),
+        )
+        self.streams.append(stream)
+        return stream
+
+    def film(self, video_drop=2, audio_drop=0):
+        """The canonical lip-sync pair; returns (video, audio) streams."""
+        from repro.ansa.stream import AudioQoS, VideoQoS
+
+        video = self.add_media_stream(
+            "video", "video-srv", 10, video_cbr(25.0, 3000),
+            VideoQoS.of(fps=25.0, compression_ratio=80.0, buffer_osdus=8),
+        )
+        audio = self.add_media_stream(
+            "audio", "audio-srv", 11, audio_pcm(8000.0, 1, 32),
+            AudioQoS.telephone(),
+        )
+        self.specs = [
+            StreamSpec(video.vc_id, "video-srv", "ws", 25.0,
+                       max_drop_per_interval=video_drop),
+            StreamSpec(audio.vc_id, "audio-srv", "ws", 250.0,
+                       max_drop_per_interval=audio_drop),
+        ]
+        return video, audio
+
+    def agent(self, policy=None, llo_node="ws"):
+        return HLOAgent(
+            self.sim, self.bed.llos[llo_node], "sess-1", self.specs,
+            policy or OrchestrationPolicy(interval_length=0.2),
+        )
+
+    def run_coro(self, gen, window=30.0):
+        proc = self.sim.spawn(gen)
+        self.bed.run(window)
+        assert proc.finished.is_set, "coroutine did not complete"
+        return proc.finished.value
+
+
+@pytest.fixture
+def film():
+    fixture = OrchFixture()
+    fixture.film()
+    return fixture

@@ -1,0 +1,81 @@
+"""Orch.Add and Orch.Remove (section 6.2.4)."""
+
+import pytest
+
+from repro.ansa.stream import TextQoS
+from repro.media.encodings import CBREncoding
+from repro.orchestration.hlo_agent import StreamSpec
+
+
+def establish_running(film):
+    agent = film.agent()
+    assert film.run_coro(agent.establish()).accept
+    assert film.run_coro(agent.prime()).accept
+    assert film.run_coro(agent.start(), window=1.0).accept
+    return agent
+
+
+class TestAddRemove:
+    def test_add_brings_stream_under_regulation(self, film):
+        agent = establish_running(film)
+        captions = film.add_media_stream(
+            "captions", "video-srv", 12,
+            CBREncoding("captions", 2.5, 128),
+            TextQoS.captions(),
+        )
+        spec = StreamSpec(captions.vc_id, "video-srv", "ws", 2.5)
+        reply = film.run_coro(agent.add_stream(spec))
+        assert reply.accept
+        assert captions.vc_id in agent.streams
+        # The added stream's data begins to be regulated and delivered.
+        film.bed.run(6.0)
+        assert film.sinks["captions"].presented >= 10
+
+    def test_removed_stream_keeps_flowing_unregulated(self, film):
+        """Removed VCs 'are not disconnected and thus data may still
+        be flowing'."""
+        agent = establish_running(film)
+        film.bed.run(3.0)
+        video_vc = film.streams[0].vc_id
+        reply = film.run_coro(agent.remove_stream(video_vc))
+        assert reply.accept
+        assert video_vc not in agent.streams
+        before = film.sinks["video"].presented
+        film.bed.run(3.0)
+        # Still flowing (gate open, free-running).
+        assert film.sinks["video"].presented > before
+        # But no longer part of the session anywhere.
+        assert video_vc not in film.bed.llos["ws"].sessions["sess-1"].vcs
+
+    def test_remaining_stream_still_regulated_after_remove(self, film):
+        agent = establish_running(film)
+        film.bed.run(2.0)
+        film.run_coro(agent.remove_stream(film.streams[0].vc_id))
+        t0 = film.sim.now
+        film.bed.run(8.0)
+        elapsed = film.sim.now - t0
+        recent = [
+            r for r in film.sinks["audio"].records if r.delivered_at > t0
+        ]
+        assert len(recent) / elapsed == pytest.approx(250.0, rel=0.1)
+
+    def test_add_unknown_vc_rejected(self, film):
+        agent = establish_running(film)
+        spec = StreamSpec("ghost", "video-srv", "ws", 25.0)
+        reply = film.run_coro(agent.add_stream(spec))
+        assert not reply.accept
+        assert "ghost" not in agent.streams
+
+    def test_reports_cover_added_stream(self, film):
+        agent = establish_running(film)
+        captions = film.add_media_stream(
+            "captions", "video-srv", 12,
+            CBREncoding("captions", 2.5, 128),
+            TextQoS.captions(),
+        )
+        spec = StreamSpec(captions.vc_id, "video-srv", "ws", 2.5)
+        film.run_coro(agent.add_stream(spec))
+        film.bed.run(6.0)
+        assert any(
+            captions.vc_id in report.streams for report in agent.reports
+        )

@@ -1,0 +1,73 @@
+"""NTP-like clock synchronisation (the footnote extension)."""
+
+import pytest
+
+from repro.netsim.topology import Network
+from repro.orchestration.clock_sync import NTPLikeSynchronizer
+from repro.sim.random import RandomStreams
+
+
+def build(sim, prop_delay=0.01, slave_skew=300.0, slave_offset=0.5):
+    net = Network(sim, RandomStreams(3))
+    net.add_host("master")
+    net.add_host("slave", clock_skew_ppm=slave_skew)
+    net.add_link("master", "slave", 10e6, prop_delay=prop_delay)
+    net.host("slave").clock.offset = slave_offset
+    return net
+
+
+class TestClockSync:
+    def test_offset_converges_below_path_delay(self, sim):
+        net = build(sim)
+        sync = NTPLikeSynchronizer(sim, net, "master", "slave", period=0.5)
+        assert abs(sync.current_error()) >= 0.5
+        sync.start()
+        sim.run(until=20.0)
+        # Residual bounded by skew accumulation per period, far below
+        # the initial half-second offset.
+        assert abs(sync.current_error()) < 0.005
+
+    def test_estimates_recorded(self, sim):
+        net = build(sim)
+        sync = NTPLikeSynchronizer(sim, net, "master", "slave", period=1.0)
+        sync.start()
+        sim.run(until=10.5)
+        assert len(sync.offset_estimates) >= 9
+        # First estimate roughly recovers the initial offset.
+        _t, first = sync.offset_estimates[0]
+        assert first == pytest.approx(-0.5, abs=0.05)
+
+    def test_stop_halts_probing(self, sim):
+        net = build(sim)
+        sync = NTPLikeSynchronizer(sim, net, "master", "slave", period=0.5)
+        sync.start()
+        sim.run(until=3.0)
+        sync.stop()
+        sim.run(until=4.0)  # let any in-flight probe land
+        count = len(sync.offset_estimates)
+        sim.run(until=10.0)
+        assert len(sync.offset_estimates) == count
+
+    def test_symmetric_path_gives_tight_estimate(self, sim):
+        net = build(sim, prop_delay=0.02, slave_skew=0.0, slave_offset=1.0)
+        sync = NTPLikeSynchronizer(sim, net, "master", "slave", period=0.5)
+        sync.start()
+        sim.run(until=5.0)
+        # With no skew and symmetric paths the error collapses to ~0.
+        assert abs(sync.current_error()) < 1e-6
+
+    def test_gain_slews_gradually(self, sim):
+        net = build(sim, slave_skew=0.0, slave_offset=1.0)
+        sync = NTPLikeSynchronizer(sim, net, "master", "slave", period=0.5,
+                                   gain=0.5)
+        sync.start()
+        sim.run(until=1.1)  # two probes
+        error = abs(sync.current_error())
+        assert 0.1 < error < 0.5  # partially corrected, not stepped
+
+    def test_invalid_parameters_rejected(self, sim):
+        net = build(sim)
+        with pytest.raises(ValueError):
+            NTPLikeSynchronizer(sim, net, "master", "slave", period=0.0)
+        with pytest.raises(ValueError):
+            NTPLikeSynchronizer(sim, net, "master", "slave", gain=0.0)

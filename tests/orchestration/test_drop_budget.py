@@ -1,0 +1,102 @@
+"""The max-drop# catch-up mechanism (section 6.3.1.1)."""
+
+import pytest
+
+from repro.orchestration.hlo_agent import StreamSpec
+from repro.orchestration.policy import OrchestrationPolicy
+
+import sys
+sys.path.insert(0, "tests")
+
+
+def constrained_fixture(drop_budget, bandwidth=0.95e6):
+    """Video whose contracted rate barely misses the media rate.
+
+    The VideoQoS asks for ~1 Mbit/s with slack down to 0.6 Mbit/s; a
+    0.95 Mbit/s link admits the connection below the full media rate,
+    so the stream cannot keep up without dropping.
+    """
+    from tests.orchestration.conftest import OrchFixture
+    from repro.ansa.stream import VideoQoS
+    from repro.media.encodings import video_cbr
+
+    fixture = OrchFixture(bandwidth=bandwidth)
+    qos = VideoQoS.of(
+        fps=25.0, compression_ratio=50.0, headroom=1.0,
+    )  # 6083 B frames -> ~1.22 Mbit/s wire needed
+    video = fixture.add_media_stream(
+        "video", "video-srv", 10, video_cbr(25.0, qos.osdu_bytes), qos,
+    )
+    fixture.specs = [
+        StreamSpec(video.vc_id, "video-srv", "ws", 25.0,
+                   max_drop_per_interval=drop_budget),
+    ]
+    return fixture, video
+
+
+class TestDropBudget:
+    def test_no_drop_budget_means_stream_falls_behind(self):
+        fixture, video = constrained_fixture(drop_budget=0)
+        agent = fixture.agent()
+        fixture.run_coro(agent.establish())
+        fixture.run_coro(agent.prime())
+        fixture.run_coro(agent.start(), window=1.0)
+        fixture.bed.run(15.0)
+        last = fixture.reports_last(agent) if hasattr(fixture, 'reports_last') \
+            else agent.reports[-1]
+        digest = next(iter(last.streams.values()))
+        assert digest.behind_osdus > 10
+        send_vc = fixture.bed.entities["video-srv"].send_vcs[video.vc_id]
+        assert send_vc.buffer.dropped_at_source == 0
+
+    def test_drop_budget_enables_catch_up(self):
+        fixture, video = constrained_fixture(drop_budget=3)
+        agent = fixture.agent()
+        fixture.run_coro(agent.establish())
+        fixture.run_coro(agent.prime())
+        fixture.run_coro(agent.start(), window=1.0)
+        fixture.bed.run(15.0)
+        digest = next(iter(agent.reports[-1].streams.values()))
+        # With a drop budget the stream tracks its target.
+        assert digest.behind_osdus <= 5
+        send_vc = fixture.bed.entities["video-srv"].send_vcs[video.vc_id]
+        assert send_vc.buffer.dropped_at_source > 0
+
+    def test_drops_are_counted_in_reports(self):
+        fixture, _video = constrained_fixture(drop_budget=3)
+        agent = fixture.agent()
+        fixture.run_coro(agent.establish())
+        fixture.run_coro(agent.prime())
+        fixture.run_coro(agent.start(), window=1.0)
+        fixture.bed.run(15.0)
+        total_reported = sum(
+            digest.dropped_delta
+            for report in agent.reports
+            for digest in report.streams.values()
+        )
+        assert total_reported > 0
+
+    def test_dropped_sequence_gaps_not_treated_as_loss(self):
+        fixture, video = constrained_fixture(drop_budget=3)
+        agent = fixture.agent()
+        fixture.run_coro(agent.establish())
+        fixture.run_coro(agent.prime())
+        fixture.run_coro(agent.start(), window=1.0)
+        fixture.bed.run(15.0)
+        recv_vc = fixture.bed.entities["ws"].recv_vcs[video.vc_id]
+        assert recv_vc.source_dropped_count > 0
+        assert recv_vc.lost_count <= 2  # drop notices, not losses
+
+    def test_drop_budget_is_respected_per_interval(self):
+        fixture, video = constrained_fixture(drop_budget=1)
+        policy = OrchestrationPolicy(interval_length=0.5)
+        agent = fixture.agent(policy)
+        fixture.run_coro(agent.establish())
+        fixture.run_coro(agent.prime())
+        fixture.run_coro(agent.start(), window=1.0)
+        t0 = fixture.sim.now
+        fixture.bed.run(10.0)
+        elapsed = fixture.sim.now - t0
+        send_vc = fixture.bed.entities["video-srv"].send_vcs[video.vc_id]
+        max_possible = (elapsed / policy.interval_length) + 2
+        assert send_vc.buffer.dropped_at_source <= max_possible

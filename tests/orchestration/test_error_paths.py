@@ -1,0 +1,91 @@
+"""Error and timeout paths through the orchestration machinery."""
+
+import pytest
+
+from repro.orchestration.llo import (
+    LLOError,
+    REASON_TIMEOUT,
+    auto_orch_responder,
+)
+from repro.orchestration.primitives import OrchReply
+
+
+def establish(film):
+    agent = film.agent()
+    assert film.run_coro(agent.establish()).accept
+    return agent
+
+
+class TestTimeouts:
+    def test_unserved_orch_queue_times_out_prime(self, film):
+        """An application that never answers its orchestration queue
+        produces a timeout deny, not a hang."""
+        agent = establish(film)
+        # Kill the video source's orchestration loop.
+        film.sources["video"]._orch.interrupt("gone")
+        film.bed.llos["video-srv"].app_reply_timeout = 1.0
+        reply = film.run_coro(agent.prime(), window=40.0)
+        assert not reply.accept
+        assert reply.reason == REASON_TIMEOUT
+
+    def test_prime_fill_timeout_when_source_never_generates(self, film):
+        """A source that accepts the prime but produces nothing trips
+        the fill timeout."""
+        agent = establish(film)
+        # Replace the video source responder with accept-but-idle.
+        film.sources["video"]._orch.interrupt("gone")
+        film.sources["video"]._writer.interrupt("gone")
+        auto_orch_responder(film.sim, film.streams[0].send_endpoint)
+        for llo in film.bed.llos.values():
+            llo.prime_fill_timeout = 2.0
+        reply = film.run_coro(agent.prime(), window=40.0)
+        assert not reply.accept
+        assert reply.reason == REASON_TIMEOUT
+
+    def test_event_register_unknown_vc_raises(self, film):
+        agent = establish(film)
+        with pytest.raises(LLOError):
+            film.bed.llos["ws"].event_register("sess-1", "ghost", 1)
+
+    def test_group_command_unknown_session(self, film):
+        reply = film.run_coro(
+            film.bed.llos["ws"].group_command("no-session", "start")
+        )
+        assert not reply.accept
+
+
+class TestReleaseDuringOperation:
+    def test_release_mid_regulation_is_clean(self, film):
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        film.run_coro(agent.start(), window=1.0)
+        film.bed.run(3.0)
+        agent.release()
+        film.bed.run(3.0)  # pending intervals must drain without error
+        for node in ("video-srv", "audio-srv", "ws"):
+            assert "sess-1" not in film.bed.llos[node].sessions
+
+    def test_vc_teardown_mid_session_does_not_crash_regulation(self, film):
+        from repro.transport.primitives import TDisconnectRequest
+
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        film.run_coro(agent.start(), window=1.0)
+        film.bed.run(2.0)
+        # The video VC is torn down under the session's feet.
+        vc_id = film.streams[0].vc_id
+        entity = film.bed.entities["video-srv"]
+        binding = next(iter(entity.bindings.values()))
+        entity.request(
+            TDisconnectRequest(initiator=binding.address, vc_id=vc_id)
+        )
+        film.bed.run(5.0)  # regulation keeps running for the audio VC
+        recent = film.sinks["audio"].records[-1]
+        assert recent.delivered_at > film.sim.now - 1.0
+
+    def test_double_release_is_idempotent(self, film):
+        agent = establish(film)
+        agent.release()
+        agent.release()
+        film.bed.run(1.0)
+        assert not agent.established

@@ -1,0 +1,101 @@
+"""High Level Orchestrator: node selection and session creation."""
+
+import pytest
+
+from repro.orchestration.hlo import (
+    OrchestrationError,
+    select_orchestrating_node,
+)
+from repro.orchestration.policy import OrchestrationPolicy
+
+
+class TestNodeSelection:
+    def test_common_sink_selected(self):
+        endpoints = [("srv1", "ws"), ("srv2", "ws")]
+        assert select_orchestrating_node(endpoints) == "ws"
+
+    def test_common_source_selected(self):
+        endpoints = [("server", "ws1"), ("server", "ws2"), ("server", "ws3")]
+        assert select_orchestrating_node(endpoints) == "server"
+
+    def test_single_vc_prefers_sink(self):
+        assert select_orchestrating_node([("a", "b")]) == "b"
+
+    def test_majority_node_wins_without_restriction(self):
+        endpoints = [("s1", "ws"), ("s2", "ws"), ("s3", "other")]
+        node = select_orchestrating_node(endpoints, require_common=False)
+        assert node == "ws"
+
+    def test_no_common_node_raises_with_restriction(self):
+        endpoints = [("s1", "w1"), ("s2", "w2")]
+        with pytest.raises(OrchestrationError):
+            select_orchestrating_node(endpoints)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(OrchestrationError):
+            select_orchestrating_node([])
+
+    def test_tie_broken_toward_sinks(self):
+        # 'x' is source of both; 'y' is sink of both: y wins the tie.
+        endpoints = [("x", "y"), ("x", "y")]
+        assert select_orchestrating_node(endpoints) == "y"
+
+
+class TestOrchestrate:
+    def test_session_created_at_common_node(self, film):
+        session_holder = {}
+
+        def driver():
+            session = yield from film.bed.hlo.orchestrate(
+                film.specs, OrchestrationPolicy(interval_length=0.2)
+            )
+            session_holder["session"] = session
+
+        film.run_coro(driver())
+        session = session_holder["session"]
+        assert session.orchestrating_node == "ws"
+        assert session.session_id in film.bed.hlo.sessions
+
+    def test_full_lifecycle_via_session_interface(self, film):
+        outcome = {}
+
+        def driver():
+            session = yield from film.bed.hlo.orchestrate(film.specs)
+            outcome["prime"] = (yield from session.prime())
+            outcome["start"] = (yield from session.start())
+
+        film.run_coro(driver())
+        film.bed.run(5.0)
+        assert outcome["prime"].accept
+        assert outcome["start"].accept
+        assert film.sinks["video"].presented > 0
+
+    def test_rejected_group_raises(self, film):
+        from repro.orchestration.hlo_agent import StreamSpec
+
+        bad_specs = [StreamSpec("ghost", "video-srv", "ws", 25.0)]
+
+        def driver():
+            try:
+                yield from film.bed.hlo.orchestrate(bad_specs)
+            except OrchestrationError as exc:
+                return str(exc)
+            return None
+
+        message = film.run_coro(driver())
+        assert message is not None
+        assert "rejected" in message
+
+    def test_release_tears_down_session(self, film):
+        holder = {}
+
+        def driver():
+            session = yield from film.bed.hlo.orchestrate(film.specs)
+            holder["session"] = session
+
+        film.run_coro(driver())
+        holder["session"].release()
+        film.bed.run(1.0)
+        for node in ("video-srv", "audio-srv", "ws"):
+            sessions = film.bed.llos[node].sessions
+            assert holder["session"].session_id not in sessions

@@ -1,0 +1,129 @@
+"""Focused unit tests for HLO-agent internals."""
+
+import pytest
+
+from repro.orchestration.hlo_agent import HLOAgent, StreamSpec
+from repro.orchestration.policy import CompensationAction, OrchestrationPolicy
+from repro.orchestration.primitives import OrchRegulateIndication
+
+
+def make_agent(film, policy=None):
+    agent = film.agent(policy)
+    reply = film.run_coro(agent.establish())
+    assert reply.accept
+    return agent
+
+
+class TestTargetArithmetic:
+    def test_targets_follow_media_time(self, film):
+        agent = make_agent(film)
+        video = agent.streams[film.specs[0].vc_id]
+        agent._base_seq[video.vc_id] = -1
+        assert agent._target_for(video, 0.0) == 0
+        assert agent._target_for(video, 1.0) == 25
+        assert agent._target_for(video, 10.08) == 252
+
+    def test_targets_respect_base_sequence(self, film):
+        agent = make_agent(film)
+        video = agent.streams[film.specs[0].vc_id]
+        agent._base_seq[video.vc_id] = 499
+        assert agent._target_for(video, 0.0) == 500
+        assert agent._target_for(video, 2.0) == 550
+
+    def test_invalid_stream_specs_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSpec("x", "a", "b", 0.0)
+        with pytest.raises(ValueError):
+            StreamSpec("x", "a", "b", 25.0, max_drop_per_interval=-1)
+
+    def test_duplicate_stream_ids_rejected(self, film):
+        spec = film.specs[0]
+        with pytest.raises(ValueError):
+            HLOAgent(film.sim, film.bed.llos["ws"], "dup", [spec, spec])
+
+    def test_empty_group_rejected(self, film):
+        with pytest.raises(ValueError):
+            HLOAgent(film.sim, film.bed.llos["ws"], "empty", [])
+
+
+class TestReportAssembly:
+    def _indication(self, vc_id, interval_id, seq, dropped=0,
+                    blocks=(0.0, 0.0, 0.0, 0.0)):
+        return OrchRegulateIndication(
+            orch_session_id="sess-1", vc_id=vc_id, interval_id=interval_id,
+            osdu_seq=seq, dropped=dropped,
+            proto_block_times={"source": blocks[1], "sink": blocks[3]},
+            app_block_times={"source": blocks[0], "sink": blocks[2]},
+            sink_buffered=0,
+        )
+
+    def test_analysis_waits_for_all_streams(self, film):
+        agent = make_agent(film)
+        agent.start_regulation()
+        video_vc, audio_vc = (s.vc_id for s in film.specs)
+        agent.queue.put_nowait(self._indication(video_vc, 1, 4))
+        film.bed.run(0.01)
+        assert agent.reports == []  # audio still missing
+        agent.queue.put_nowait(self._indication(audio_vc, 1, 49))
+        film.bed.run(0.01)
+        assert len(agent.reports) == 1
+        report = agent.reports[0]
+        assert set(report.streams) == {video_vc, audio_vc}
+
+    def test_skew_computed_from_media_positions(self, film):
+        agent = make_agent(film)
+        agent.start_regulation()
+        video_vc, audio_vc = (s.vc_id for s in film.specs)
+        # Video at frame 4 (0.16 s); audio at block 49 (0.196 s).
+        agent.queue.put_nowait(self._indication(video_vc, 1, 4))
+        agent.queue.put_nowait(self._indication(audio_vc, 1, 49))
+        film.bed.run(0.01)
+        assert agent.reports[0].skew == pytest.approx(0.196 - 0.16, abs=1e-9)
+
+    def test_blocking_deltas_are_differenced(self, film):
+        agent = make_agent(film)
+        agent.start_regulation()
+        video_vc, audio_vc = (s.vc_id for s in film.specs)
+        for interval, src_app in ((1, 0.05), (2, 0.15)):
+            agent.queue.put_nowait(self._indication(
+                video_vc, interval, interval * 5,
+                blocks=(src_app, 0.0, 0.0, 0.0),
+            ))
+            agent.queue.put_nowait(self._indication(
+                audio_vc, interval, interval * 50,
+            ))
+        film.bed.run(0.01)
+        digests = [r.streams[video_vc] for r in agent.reports]
+        assert digests[0].src_app_block == pytest.approx(0.05)
+        assert digests[1].src_app_block == pytest.approx(0.10)  # delta
+
+    def test_attribution_rules(self, film):
+        policy = OrchestrationPolicy(interval_length=0.2,
+                                     block_fraction_threshold=0.5)
+        agent = make_agent(film, policy)
+        from repro.orchestration.hlo_agent import StreamIntervalStats
+
+        def digest(**kwargs):
+            base = dict(vc_id="v", target_seq=10, delivered_seq=0,
+                        behind_osdus=10, dropped_delta=0, src_app_block=0.0,
+                        src_proto_block=0.0, sink_app_block=0.0,
+                        sink_proto_block=0.0, sink_buffered=0)
+            base.update(kwargs)
+            return StreamIntervalStats(**base)
+
+        threshold = 0.1
+        assert agent._attribute(
+            digest(src_proto_block=0.15), threshold
+        ) is CompensationAction.DELAYED_SOURCE
+        assert agent._attribute(
+            digest(sink_proto_block=0.15), threshold
+        ) is CompensationAction.DELAYED_SINK
+        assert agent._attribute(
+            digest(src_app_block=0.15), threshold
+        ) is CompensationAction.RENEGOTIATE
+        assert agent._attribute(
+            digest(sink_app_block=0.15), threshold
+        ) is CompensationAction.RENEGOTIATE
+        assert agent._attribute(
+            digest(), threshold
+        ) is CompensationAction.RETARGET

@@ -1,0 +1,109 @@
+"""Focused LLO mechanism tests: backlog, queries, drop handling."""
+
+import pytest
+
+from repro.orchestration.opdu import DropRequestOPDU, RegulateCmdOPDU
+
+
+def establish(film):
+    agent = film.agent()
+    assert film.run_coro(agent.establish()).accept
+    return agent
+
+
+class TestRegulationSerialisation:
+    def test_overlapping_regulate_cmds_queue(self, film):
+        """Back-to-back Orch.Regulate commands must not overlap: the
+        second runs after the first interval completes."""
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        film.run_coro(agent.start(regulate=False), window=1.0)
+        llo = film.bed.llos["ws"]
+        vc_id = film.streams[0].vc_id
+        recv_vc = film.bed.entities["ws"].recv_vcs[vc_id]
+        recv_vc.meter_gate()
+        # Issue two intervals back-to-back, each 0.5 s, 5 units due.
+        base = recv_vc.delivered_seq()
+        llo.regulate_request("sess-1", vc_id, base + 5, 0, 0.5, 1)
+        llo.regulate_request("sess-1", vc_id, base + 10, 0, 0.5, 2)
+        assert vc_id in llo._regulating
+        assert len(llo._regulate_backlog.get(vc_id, [])) == 1
+        film.bed.run(1.5)
+        # Both intervals completed sequentially: ~10 units in ~1 s.
+        assert recv_vc.delivered_seq() >= base + 9
+        assert not llo._regulate_backlog.get(vc_id)
+
+    def test_local_delivered_seq(self, film):
+        establish(film)
+        vc_id = film.streams[0].vc_id
+        assert film.bed.llos["ws"].local_delivered_seq(vc_id) == -1
+        # The source node is not the sink: returns None.
+        assert film.bed.llos["video-srv"].local_delivered_seq(vc_id) is None
+
+
+class TestDropRequests:
+    def test_drop_request_opdu_executes_at_source(self, film):
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        vc_id = film.streams[0].vc_id
+        send_vc = film.bed.entities["video-srv"].send_vcs[vc_id]
+        # Pipeline is primed: the send buffer holds queued units.
+        assert len(send_vc.buffer) > 0
+        source_llo = film.bed.llos["video-srv"]
+        source_llo._handle_drop_request(
+            DropRequestOPDU(session_id="sess-1", request_id=1,
+                            origin="ws", vc_id=vc_id, count=2)
+        )
+        assert send_vc.buffer.dropped_at_source == 2
+        assert source_llo.drops_performed == 2
+
+    def test_drop_request_for_unknown_vc_is_noop(self, film):
+        establish(film)
+        source_llo = film.bed.llos["video-srv"]
+        source_llo._handle_drop_request(
+            DropRequestOPDU(session_id="sess-1", request_id=1,
+                            origin="ws", vc_id="ghost", count=1)
+        )
+        assert source_llo.drops_performed == 0
+
+
+class TestRegulateEdgeCases:
+    def test_regulate_unknown_session_ignored(self, film):
+        agent = establish(film)
+        llo = film.bed.llos["ws"]
+        # Unknown session: silently dropped (membership races).
+        llo.regulate_request = llo.regulate_request  # same object
+        llo._handle_regulate_cmd(
+            RegulateCmdOPDU(session_id="nope", request_id=1, origin="ws",
+                            vc_id=film.streams[0].vc_id, target_osdu=10,
+                            max_drop=0, interval_length=0.2, interval_id=1)
+        )
+        film.bed.run(0.5)  # no crash, nothing regulated
+
+    def test_regulate_request_after_remove_is_silent(self, film):
+        agent = establish(film)
+        vc_id = film.streams[0].vc_id
+        film.run_coro(agent.remove_stream(vc_id))
+        # Must not raise.
+        film.bed.llos["ws"].regulate_request(
+            "sess-1", vc_id, 100, 0, 0.2, 99
+        )
+
+    def test_zero_due_interval_still_reports(self, film):
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        film.run_coro(agent.start(regulate=False), window=1.0)
+        llo = film.bed.llos["ws"]
+        vc_id = film.streams[0].vc_id
+        recv_vc = film.bed.entities["ws"].recv_vcs[vc_id]
+        recv_vc.meter_gate()
+        queue = llo.agent_queue("sess-1")
+        base = recv_vc.delivered_seq()
+        llo.regulate_request("sess-1", vc_id, base, 0, 0.25, 7)  # n_due == 0
+        film.bed.run(1.0)
+        indications = []
+        while len(queue):
+            indications.append(queue.get_nowait())
+        matching = [i for i in indications if i.interval_id == 7]
+        assert len(matching) == 1
+        assert matching[0].osdu_seq == base

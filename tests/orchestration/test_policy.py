@@ -1,0 +1,86 @@
+"""Tests for orchestration policy: validation and the rebase option."""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")
+
+from repro.orchestration.policy import CompensationAction, OrchestrationPolicy
+
+
+class TestPolicyValidation:
+    def test_defaults_valid(self):
+        policy = OrchestrationPolicy()
+        assert policy.strictness == pytest.approx(0.080)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            OrchestrationPolicy(interval_length=0.0)
+
+    def test_invalid_strictness_rejected(self):
+        with pytest.raises(ValueError):
+            OrchestrationPolicy(strictness=0.0)
+
+    def test_invalid_patience_rejected(self):
+        with pytest.raises(ValueError):
+            OrchestrationPolicy(patience_intervals=0)
+
+
+class TestRebaseToSlowest:
+    """Section 3.6: 'linking QoS degradations on one VC to
+    corresponding compensations on another'."""
+
+    def _run(self, rebase: bool):
+        from tests.orchestration.conftest import OrchFixture
+        from repro.ansa.stream import AudioQoS, VideoQoS
+        from repro.media.encodings import audio_pcm, video_cbr
+        from repro.orchestration.hlo_agent import StreamSpec
+
+        fixture = OrchFixture(bandwidth=20e6)
+        # Video is crippled: the source produces at only ~12.5 fps.
+        video_qos = VideoQoS.of(fps=25.0, compression_ratio=80.0)
+        video = fixture.add_media_stream(
+            "video", "video-srv", 10,
+            video_cbr(25.0, video_qos.osdu_bytes), video_qos,
+            source_kwargs={"per_osdu_delay": 0.08},
+        )
+        audio = fixture.add_media_stream(
+            "audio", "audio-srv", 11, audio_pcm(8000.0, 1, 32),
+            AudioQoS.telephone(),
+        )
+        fixture.specs = [
+            StreamSpec(video.vc_id, "video-srv", "ws", 25.0, 0),
+            StreamSpec(audio.vc_id, "audio-srv", "ws", 250.0, 0),
+        ]
+        policy = OrchestrationPolicy(
+            interval_length=0.25, rebase_to_slowest=rebase,
+            patience_intervals=2,
+        )
+        agent = fixture.agent(policy)
+        fixture.run_coro(agent.establish())
+        fixture.run_coro(agent.prime())
+        fixture.run_coro(agent.start(), window=1.0)
+        fixture.bed.run(15.0)
+        return fixture, agent
+
+    def test_without_rebase_skew_grows(self):
+        _fixture, agent = self._run(rebase=False)
+        # Audio keeps pace, crippled video lags: skew grows unbounded.
+        assert agent.skew_series[-1][1] > 1.0
+
+    def test_rebase_slows_group_to_laggard(self):
+        fixture, agent = self._run(rebase=True)
+        # The group timeline was pushed back to the slow stream.
+        assert agent.config.timeline_offset > 0.5
+        # Skew stays bounded (both streams run at the laggard's pace).
+        late = [s for t, s in agent.skew_series[-10:]]
+        assert max(late) < 1.0
+        actions = {
+            action for report in agent.reports
+            for _vc, action in report.actions
+        }
+        assert CompensationAction.REBASE in actions
+        # Audio delivery was slowed below its nominal 250/s.
+        audio_rate = fixture.sinks["audio"].presented / 15.0
+        assert audio_rate < 240.0

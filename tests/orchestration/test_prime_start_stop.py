@@ -1,0 +1,156 @@
+"""Orch.Prime / Orch.Start / Orch.Stop semantics (Table 5, section 6.2)."""
+
+import pytest
+
+from repro.sim.scheduler import Timeout
+
+
+def establish(film, policy=None):
+    agent = film.agent(policy)
+    reply = film.run_coro(agent.establish())
+    assert reply.accept
+    return agent
+
+
+class TestPrime:
+    def test_prime_fills_receive_buffers_without_delivery(self, film):
+        agent = establish(film)
+        reply = film.run_coro(agent.prime())
+        assert reply.accept
+        for stream in film.streams:
+            recv_vc = film.bed.entities["ws"].recv_vcs[stream.vc_id]
+            assert recv_vc.buffer.full
+        # Nothing reached the application threads yet.
+        assert film.sinks["video"].presented == 0
+        assert film.sinks["audio"].presented == 0
+
+    def test_prime_starts_source_generation(self, film):
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        assert film.sources["video"].generating
+        assert film.sources["video"].generated > 0
+
+    def test_prime_blocks_sources_via_flow_control(self, film):
+        """Section 6.2.1: 'the source will also be blocked by the
+        protocol's flow control mechanism, but the pipeline is filled'."""
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        video_sent_at_prime = film.sources["video"].generated
+        film.bed.run(2.0)  # no start: nothing more should flow far
+        # The source can only run ahead by its own send-buffer depth.
+        send_buffer = film.bed.entities["video-srv"].send_vcs[
+            film.streams[0].vc_id
+        ].buffer
+        assert (
+            film.sources["video"].generated
+            <= video_sent_at_prime + send_buffer.capacity + 1
+        )
+
+    def test_deny_by_sink_application(self, film):
+        film.sinks["video"].deny_prime = True
+        agent = establish(film)
+        reply = film.run_coro(agent.prime())
+        assert not reply.accept
+        assert reply.reason == "sink-not-ready"
+
+    def test_deny_by_source_application(self, film):
+        film.sources["audio"].deny_prime = True
+        agent = establish(film)
+        reply = film.run_coro(agent.prime())
+        assert not reply.accept
+        assert reply.reason == "source-not-ready"
+
+
+class TestStartStop:
+    def test_primed_start_is_nearly_simultaneous(self, film):
+        """Section 6.2.2: all sinks start receiving at (almost) the
+        same instant."""
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        film.run_coro(agent.start())
+        film.bed.run(2.0)
+        first_video = film.sinks["video"].records[0].delivered_at
+        first_audio = film.sinks["audio"].records[0].delivered_at
+        assert abs(first_video - first_audio) < 0.1
+
+    def test_start_without_regulation_opens_gates(self, film):
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        film.run_coro(agent.start(regulate=False))
+        film.bed.run(1.0)
+        for stream in film.streams:
+            recv_vc = film.bed.entities["ws"].recv_vcs[stream.vc_id]
+            assert recv_vc.buffer.gate_state == "open"
+
+    def test_stop_freezes_delivery(self, film):
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        film.run_coro(agent.start())
+        film.bed.run(3.0)
+        film.run_coro(agent.stop())
+        frozen_video = film.sinks["video"].presented
+        frozen_audio = film.sinks["audio"].presented
+        film.bed.run(3.0)
+        assert film.sinks["video"].presented == frozen_video
+        assert film.sinks["audio"].presented == frozen_audio
+
+    def test_stop_leaves_buffers_available_for_restart(self, film):
+        """Section 6.2.3: buffers made unavailable, not drained."""
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        film.run_coro(agent.start())
+        film.bed.run(3.0)
+        film.run_coro(agent.stop())
+        film.bed.run(1.0)
+        for stream in film.streams:
+            recv_vc = film.bed.entities["ws"].recv_vcs[stream.vc_id]
+            assert len(recv_vc.buffer) > 0
+
+    def test_stop_then_restart_resumes_flow(self, film):
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        film.run_coro(agent.start())
+        film.bed.run(3.0)
+        film.run_coro(agent.stop())
+        before = film.sinks["video"].presented
+        film.run_coro(agent.start())
+        film.bed.run(3.0)
+        assert film.sinks["video"].presented > before
+
+    def test_stop_seek_prime_restart_has_no_stale_data(self, film):
+        """Section 3.6/6.2.1: after stop + seek, 'the play-out should
+        resume from the new position without old data being left in the
+        communications buffers'."""
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        film.run_coro(agent.start())
+        film.bed.run(4.0)
+        film.run_coro(agent.stop())
+        # Seek both media to 60 s.
+        film.sources["video"].seek(60.0)
+        film.sources["audio"].seek(60.0)
+        resume_at = film.sim.now
+        film.run_coro(agent.prime())
+        film.run_coro(agent.start())
+        film.bed.run(3.0)
+        resumed = [
+            r for r in film.sinks["video"].records
+            if r.delivered_at > resume_at
+        ]
+        assert resumed
+        # Every post-resume frame comes from the new position: no
+        # stale pre-seek frame leaks out of the buffers.
+        assert all(r.media_time >= 60.0 for r in resumed)
+
+    def test_atomic_start_skew_scales_with_group(self, film):
+        """Even with both streams, start skew stays within one frame."""
+        agent = establish(film)
+        film.run_coro(agent.prime())
+        t0 = film.sim.now
+        film.run_coro(agent.start())
+        film.bed.run(2.0)
+        firsts = [
+            film.sinks[name].records[0].delivered_at for name in ("video",
+                                                                  "audio")
+        ]
+        assert max(firsts) - min(firsts) <= 0.05

@@ -1,0 +1,69 @@
+"""Orchestration session establishment and release (Table 4)."""
+
+import pytest
+
+from repro.orchestration.llo import (
+    REASON_NO_SUCH_VC,
+    REASON_NO_TABLE_SPACE,
+)
+
+
+class TestSessionEstablishment:
+    def test_successful_establishment(self, film):
+        agent = film.agent()
+        reply = film.run_coro(agent.establish())
+        assert reply.accept
+        assert agent.established
+        # Every involved node tracks the session.
+        for node in ("video-srv", "audio-srv", "ws"):
+            assert "sess-1" in film.bed.llos[node].sessions
+
+    def test_rejection_for_unknown_vc(self, film):
+        from repro.orchestration.hlo_agent import HLOAgent, StreamSpec
+
+        specs = [StreamSpec("ghost-vc", "video-srv", "ws", 25.0)]
+        agent = HLOAgent(film.sim, film.bed.llos["ws"], "sess-x", specs)
+        reply = film.run_coro(agent.establish())
+        assert not reply.accept
+        assert reply.reason == REASON_NO_SUCH_VC
+        # Rejected sessions leave no residue anywhere.
+        for node in ("video-srv", "audio-srv", "ws"):
+            assert "sess-x" not in film.bed.llos[node].sessions
+
+    def test_rejection_when_no_table_space(self, film):
+        from repro.orchestration.hlo_agent import HLOAgent
+
+        film.bed.llos["ws"].max_sessions = 0
+        agent = film.agent()
+        reply = film.run_coro(agent.establish())
+        assert not reply.accept
+        assert reply.reason == REASON_NO_TABLE_SPACE
+
+    def test_remote_table_space_exhaustion_also_rejects(self, film):
+        film.bed.llos["video-srv"].max_sessions = 0
+        agent = film.agent()
+        reply = film.run_coro(agent.establish())
+        assert not reply.accept
+        assert reply.reason == REASON_NO_TABLE_SPACE
+        assert "sess-1" not in film.bed.llos["audio-srv"].sessions
+
+    def test_release_clears_all_nodes(self, film):
+        agent = film.agent()
+        film.run_coro(agent.establish())
+        agent.release()
+        film.bed.run(1.0)
+        for node in ("video-srv", "audio-srv", "ws"):
+            assert "sess-1" not in film.bed.llos[node].sessions
+        assert not agent.established
+
+    def test_two_sessions_coexist(self, film):
+        from repro.orchestration.hlo_agent import HLOAgent
+
+        agent1 = film.agent()
+        film.run_coro(agent1.establish())
+        agent2 = HLOAgent(
+            film.sim, film.bed.llos["ws"], "sess-2", film.specs
+        )
+        reply = film.run_coro(agent2.establish())
+        assert reply.accept
+        assert len(film.bed.llos["ws"].sessions) == 2

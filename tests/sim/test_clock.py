@@ -1,0 +1,65 @@
+"""Tests for drifting node clocks."""
+
+import pytest
+
+from repro.sim.clock import NodeClock
+from repro.sim.scheduler import SimulationError, Simulator
+
+
+class TestNodeClock:
+    def test_zero_skew_tracks_sim_time(self, sim):
+        clock = NodeClock(sim)
+        sim.run(until=10.0)
+        assert clock.now() == pytest.approx(10.0)
+
+    def test_positive_skew_runs_fast(self, sim):
+        clock = NodeClock(sim, skew_ppm=100.0)
+        sim.run(until=1000.0)
+        assert clock.now() == pytest.approx(1000.1)
+
+    def test_negative_skew_runs_slow(self, sim):
+        clock = NodeClock(sim, skew_ppm=-100.0)
+        sim.run(until=1000.0)
+        assert clock.now() == pytest.approx(999.9)
+
+    def test_offset_applies(self, sim):
+        clock = NodeClock(sim, offset=5.0)
+        assert clock.now() == pytest.approx(5.0)
+
+    def test_roundtrip_to_local_to_sim(self, sim):
+        clock = NodeClock(sim, skew_ppm=250.0, offset=1.25)
+        for t in (0.0, 1.0, 3600.0):
+            assert clock.to_sim(clock.to_local(t)) == pytest.approx(t)
+
+    def test_durations_scale_by_rate(self, sim):
+        clock = NodeClock(sim, skew_ppm=1000.0)  # 0.1% fast
+        assert clock.local_duration(1000.0) == pytest.approx(1001.0)
+        assert clock.sim_duration(1001.0) == pytest.approx(1000.0)
+
+    def test_adjust_steps_offset(self, sim):
+        clock = NodeClock(sim)
+        clock.adjust(0.5)
+        assert clock.now() == pytest.approx(0.5)
+
+    def test_set_skew_preserves_current_time(self, sim):
+        clock = NodeClock(sim, skew_ppm=100.0)
+        sim.run(until=500.0)
+        before = clock.now()
+        clock.set_skew_ppm(-100.0)
+        assert clock.now() == pytest.approx(before)
+        sim.run(until=1500.0)
+        # The next 1000 s run slow by 0.1 ms/s.
+        assert clock.now() == pytest.approx(before + 1000.0 * (1 - 100e-6))
+
+    def test_offset_from_other_clock(self, sim):
+        fast = NodeClock(sim, skew_ppm=200.0)
+        slow = NodeClock(sim, skew_ppm=-200.0)
+        sim.run(until=1000.0)
+        assert fast.offset_from(slow) == pytest.approx(0.4)
+
+    def test_offset_from_foreign_sim_rejected(self, sim):
+        other_sim = Simulator()
+        a = NodeClock(sim)
+        b = NodeClock(other_sim)
+        with pytest.raises(SimulationError):
+            a.offset_from(b)

@@ -1,0 +1,40 @@
+"""Tests for named random streams."""
+
+from repro.sim.random import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_sequence(self):
+        a = RandomStreams(7).stream("link")
+        b = RandomStreams(7).stream("link")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_are_independent(self):
+        streams = RandomStreams(7)
+        a = streams.stream("one")
+        b = streams.stream("two")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x")
+        b = RandomStreams(2).stream("x")
+        assert a.random() != b.random()
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_creation_order_does_not_matter(self):
+        first = RandomStreams(3)
+        first.stream("a")
+        value_after_a = first.stream("b").random()
+        second = RandomStreams(3)
+        value_direct = second.stream("b").random()
+        assert value_after_a == value_direct
+
+    def test_fork_is_deterministic_and_distinct(self):
+        parent = RandomStreams(9)
+        child1 = parent.fork("sub")
+        child2 = RandomStreams(9).fork("sub")
+        assert child1.stream("x").random() == child2.stream("x").random()
+        assert parent.stream("x").random() != child1.stream("x").random()

@@ -1,0 +1,242 @@
+"""Tests for semaphores, timed semaphores and queues."""
+
+import pytest
+
+from repro.sim.scheduler import SimulationError, Timeout
+from repro.sim.sync import Queue, QueueFull, Semaphore, TimedSemaphore
+
+
+class TestSemaphore:
+    def test_immediate_acquire_when_available(self, sim):
+        sem = Semaphore(sim, 2)
+
+        def coro():
+            yield sem.acquire()
+            return sim.now
+
+        proc = sim.spawn(coro())
+        sim.run()
+        assert proc.finished.value == 0.0
+        assert sem.value == 1
+
+    def test_acquire_blocks_until_release(self, sim):
+        sem = Semaphore(sim, 0)
+
+        def coro():
+            yield sem.acquire()
+            return sim.now
+
+        proc = sim.spawn(coro())
+        sim.call_after(2.0, sem.release)
+        sim.run()
+        assert proc.finished.value == 2.0
+
+    def test_fifo_wakeup_order(self, sim):
+        sem = Semaphore(sim, 0)
+        order = []
+
+        def coro(name):
+            yield sem.acquire()
+            order.append(name)
+
+        sim.spawn(coro("first"))
+        sim.spawn(coro("second"))
+        sim.call_after(1.0, sem.release)
+        sim.call_after(2.0, sem.release)
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_release_with_no_waiters_increments(self, sim):
+        sem = Semaphore(sim, 0)
+        sem.release()
+        assert sem.value == 1
+
+    def test_try_acquire(self, sim):
+        sem = Semaphore(sim, 1)
+        assert sem.try_acquire()
+        assert not sem.try_acquire()
+
+    def test_try_acquire_respects_waiters(self, sim):
+        # A queued waiter must get the unit before any try_acquire.
+        sem = Semaphore(sim, 0)
+        got = []
+
+        def coro():
+            yield sem.acquire()
+            got.append(sim.now)
+
+        sim.spawn(coro())
+        sim.run()
+        sem.release()
+        assert not sem.try_acquire()
+        sim.run()
+        assert got
+
+    def test_negative_initial_value_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Semaphore(sim, -1)
+
+    def test_waiting_count(self, sim):
+        sem = Semaphore(sim, 0)
+
+        def coro():
+            yield sem.acquire()
+
+        sim.spawn(coro())
+        sim.spawn(coro())
+        sim.run()
+        assert sem.waiting == 2
+
+
+class TestTimedSemaphore:
+    def test_no_blocking_time_when_available(self, sim):
+        sem = TimedSemaphore(sim, 1)
+
+        def coro():
+            yield sem.acquire("app")
+
+        sim.spawn(coro())
+        sim.run()
+        assert sem.blocked_time("app") == 0.0
+
+    def test_blocking_time_accumulates(self, sim):
+        sem = TimedSemaphore(sim, 0)
+
+        def coro():
+            yield sem.acquire("app")
+            yield sem.acquire("app")
+
+        sim.spawn(coro())
+        sim.call_after(1.0, sem.release)
+        sim.call_after(4.0, sem.release)
+        sim.run()
+        assert sem.blocked_time("app") == pytest.approx(4.0)
+
+    def test_roles_tracked_independently(self, sim):
+        sem = TimedSemaphore(sim, 0)
+
+        def coro(role):
+            yield sem.acquire(role)
+
+        sim.spawn(coro("app"))
+        sim.spawn(coro("proto"))
+        sim.call_after(1.0, sem.release)
+        sim.call_after(3.0, sem.release)
+        sim.run()
+        assert sem.blocked_time("app") == pytest.approx(1.0)
+        assert sem.blocked_time("proto") == pytest.approx(3.0)
+
+    def test_reset_stats(self, sim):
+        sem = TimedSemaphore(sim, 0)
+
+        def coro():
+            yield sem.acquire("app")
+
+        sim.spawn(coro())
+        sim.call_after(2.0, sem.release)
+        sim.run()
+        sem.reset_stats()
+        assert sem.blocked_time("app") == 0.0
+        assert sem.acquire_count("app") == 0
+
+    def test_acquire_count(self, sim):
+        sem = TimedSemaphore(sim, 5)
+
+        def coro():
+            for _ in range(3):
+                yield sem.acquire("app")
+
+        sim.spawn(coro())
+        sim.run()
+        assert sem.acquire_count("app") == 3
+
+
+class TestQueue:
+    def test_put_get_roundtrip(self, sim):
+        q = Queue(sim)
+
+        def coro():
+            yield q.put("item")
+            value = yield q.get()
+            return value
+
+        proc = sim.spawn(coro())
+        sim.run()
+        assert proc.finished.value == "item"
+
+    def test_get_blocks_until_put(self, sim):
+        q = Queue(sim)
+
+        def getter():
+            value = yield q.get()
+            return (sim.now, value)
+
+        proc = sim.spawn(getter())
+        sim.call_after(3.0, lambda: q.put_nowait("late"))
+        sim.run()
+        assert proc.finished.value == (3.0, "late")
+
+    def test_fifo_order(self, sim):
+        q = Queue(sim)
+        for i in range(5):
+            q.put_nowait(i)
+        assert [q.get_nowait() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_bounded_put_blocks(self, sim):
+        q = Queue(sim, capacity=1)
+        q.put_nowait("first")
+
+        def putter():
+            yield q.put("second")
+            return sim.now
+
+        proc = sim.spawn(putter())
+        sim.call_after(2.0, q.get_nowait)
+        sim.run()
+        assert proc.finished.value == 2.0
+
+    def test_put_nowait_full_raises(self, sim):
+        q = Queue(sim, capacity=1)
+        q.put_nowait(1)
+        with pytest.raises(QueueFull):
+            q.put_nowait(2)
+
+    def test_get_nowait_empty_raises(self, sim):
+        q = Queue(sim)
+        with pytest.raises(IndexError):
+            q.get_nowait()
+
+    def test_invalid_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Queue(sim, capacity=0)
+
+    def test_waiting_getter_receives_direct_handoff(self, sim):
+        q = Queue(sim)
+        got = []
+
+        def getter():
+            got.append((yield q.get()))
+
+        sim.spawn(getter())
+        sim.run()
+        q.put_nowait("x")
+        sim.run()
+        assert got == ["x"]
+        assert len(q) == 0
+
+    def test_clear_drops_items_and_admits_putters(self, sim):
+        q = Queue(sim, capacity=2)
+        q.put_nowait(1)
+        q.put_nowait(2)
+
+        def putter():
+            yield q.put(3)
+            return sim.now
+
+        proc = sim.spawn(putter())
+        sim.run()
+        dropped = q.clear()
+        sim.run()
+        assert dropped == 2
+        assert proc.finished.is_set
+        assert q.get_nowait() == 3

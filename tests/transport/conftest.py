@@ -1,0 +1,54 @@
+"""Fixtures for entity-level transport tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.reservation import ReservationManager
+from repro.netsim.topology import Network
+from repro.sim.random import RandomStreams
+from repro.transport.addresses import TransportAddress
+from repro.transport.primitives import TConnectRequest
+from repro.transport.profiles import ClassOfService, ProtocolProfile
+from repro.transport.qos import QoSSpec
+from repro.transport.service import build_transport
+
+
+class Stack:
+    """Three hosts (alpha, beta, gamma) around a router, full stack."""
+
+    def __init__(self, sim, bandwidth_bps=10e6, prop_delay=0.002,
+                 sample_period=0.5, **link_kwargs):
+        self.sim = sim
+        self.network = Network(sim, RandomStreams(42))
+        for name in ("alpha", "beta", "gamma"):
+            self.network.add_host(name)
+        self.network.add_router("r")
+        for name in ("alpha", "beta", "gamma"):
+            self.network.add_link(name, "r", bandwidth_bps,
+                                  prop_delay=prop_delay, **link_kwargs)
+        self.reservations = ReservationManager(self.network)
+        self.entities = build_transport(
+            sim, self.network, self.reservations, sample_period=sample_period
+        )
+
+    def entity(self, name):
+        return self.entities[name]
+
+    def addr(self, name, tsap):
+        return TransportAddress(name, tsap)
+
+    def connect_request(self, initiator, src, dst, qos=None, cos=None,
+                        profile=ProtocolProfile.CM_RATE_BASED, vc_id=None):
+        qos = qos or QoSSpec.simple(1e6, max_osdu_bytes=1000)
+        cos = cos or ClassOfService.detect_and_indicate()
+        vc_id = vc_id or self.entities[initiator.node].new_vc_id()
+        return TConnectRequest(
+            initiator=initiator, src=src, dst=dst, protocol=profile,
+            class_of_service=cos, qos=qos, vc_id=vc_id,
+        )
+
+
+@pytest.fixture
+def stack(sim):
+    return Stack(sim)

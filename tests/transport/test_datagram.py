@@ -1,0 +1,89 @@
+"""Tests for the connectionless T-Unitdata service."""
+
+import pytest
+
+from repro.netsim.link import BernoulliLoss
+from repro.netsim.packet import Priority
+from repro.netsim.topology import Network
+from repro.sim.random import RandomStreams
+from repro.transport.addresses import TransportAddress
+from repro.transport.datagram import (
+    DatagramService,
+    build_datagram_services,
+)
+
+
+@pytest.fixture
+def services(sim):
+    net = Network(sim, RandomStreams(85))
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 10e6, prop_delay=0.005)
+    return net, build_datagram_services(sim, net)
+
+
+class TestDatagram:
+    def test_unitdata_delivered_with_addresses(self, sim, services):
+        net, dgram = services
+        got = []
+        dgram["b"].listen(7, got.append)
+        dgram["a"].unitdata_request(
+            3, TransportAddress("b", 7), {"op": "ping"}, size_bytes=32
+        )
+        sim.run()
+        assert len(got) == 1
+        indication = got[0]
+        assert indication.src == TransportAddress("a", 3)
+        assert indication.dst == TransportAddress("b", 7)
+        assert indication.payload == {"op": "ping"}
+
+    def test_no_listener_silently_dropped(self, sim, services):
+        net, dgram = services
+        dgram["a"].unitdata_request(1, TransportAddress("b", 99), "x")
+        sim.run()
+        assert dgram["b"].dropped_no_listener == 1
+
+    def test_unconfirmed_service_survives_loss(self, sim):
+        net = Network(sim, RandomStreams(3))
+        net.add_host("a")
+        net.add_host("b")
+        net.add_link("a", "b", 10e6, prop_delay=0.002,
+                     loss=BernoulliLoss(0.3))
+        dgram = build_datagram_services(sim, net)
+        got = []
+        dgram["b"].listen(1, got.append)
+        for i in range(200):
+            dgram["a"].unitdata_request(1, TransportAddress("b", 1), i)
+        sim.run()
+        # No retransmission, no error: roughly (1-p) get through.
+        assert 100 < len(got) < 180
+        payloads = [ind.payload for ind in got]
+        assert len(payloads) == len(set(payloads))  # at most once
+
+    def test_priority_mapped_to_link_band(self, sim, services):
+        net, dgram = services
+        order = []
+        dgram["b"].listen(1, lambda ind: order.append(ind.payload))
+        # Two bulk datagrams queue; a control one overtakes the queued.
+        dgram["a"].unitdata_request(1, TransportAddress("b", 1), "bulk1",
+                                    size_bytes=60000)
+        dgram["a"].unitdata_request(1, TransportAddress("b", 1), "bulk2",
+                                    size_bytes=60000)
+        dgram["a"].unitdata_request(1, TransportAddress("b", 1), "urgent",
+                                    priority=Priority.CONTROL)
+        sim.run()
+        assert order.index("urgent") < order.index("bulk2")
+
+    def test_double_listen_rejected(self, sim, services):
+        _net, dgram = services
+        dgram["b"].listen(1, lambda ind: None)
+        with pytest.raises(ValueError):
+            dgram["b"].listen(1, lambda ind: None)
+        dgram["b"].unlisten(1)
+        dgram["b"].listen(1, lambda ind: None)
+
+    def test_invalid_size_rejected(self, sim, services):
+        _net, dgram = services
+        with pytest.raises(ValueError):
+            dgram["a"].unitdata_request(1, TransportAddress("b", 1), "x",
+                                        size_bytes=0)

@@ -1,0 +1,148 @@
+"""Tests for the reorder/recovery buffer."""
+
+import pytest
+
+from repro.transport.errorcontrol import ReorderBuffer
+from repro.transport.osdu import OPDU, OSDU
+
+
+def osdu(seq):
+    return OSDU(size_bytes=10, payload=seq, opdu=OPDU(seq))
+
+
+def make(sim, correction=True, **kwargs):
+    nacks = []
+    buf = ReorderBuffer(
+        sim, correction_enabled=correction, nack=nacks.append, **kwargs
+    )
+    return buf, nacks
+
+
+class TestInOrder:
+    def test_in_order_release(self, sim):
+        buf, _ = make(sim)
+        releases = buf.on_arrival(0, osdu(0))
+        assert [(o.seq, s) for o, s in releases] == [(0, 0)]
+        assert buf.next_expected == 1
+
+    def test_consecutive_sequence(self, sim):
+        buf, _ = make(sim)
+        out = []
+        for i in range(5):
+            out.extend(buf.on_arrival(i, osdu(i)))
+        assert [s for _o, s in out] == [0, 1, 2, 3, 4]
+        assert buf.lost_count == 0
+
+    def test_duplicate_ignored(self, sim):
+        buf, _ = make(sim)
+        buf.on_arrival(0, osdu(0))
+        assert buf.on_arrival(0, osdu(0)) == []
+        assert buf.duplicate_count == 1
+
+
+class TestRecovery:
+    def test_gap_triggers_nack(self, sim):
+        buf, nacks = make(sim)
+        buf.on_arrival(0, osdu(0))
+        buf.on_arrival(3, osdu(3))
+        assert nacks == [[1, 2]]
+
+    def test_gap_not_renacked(self, sim):
+        buf, nacks = make(sim)
+        buf.on_arrival(0, osdu(0))
+        buf.on_arrival(2, osdu(2))
+        buf.on_arrival(3, osdu(3))
+        assert nacks == [[1]]
+
+    def test_retransmission_fills_gap_in_order(self, sim):
+        buf, _ = make(sim)
+        released = []
+        buf.on_release = lambda o, s: released.append(s)
+        buf.on_arrival(0, osdu(0))
+        buf.on_arrival(2, osdu(2))
+        buf.on_arrival(1, osdu(1))  # retransmission arrives
+        assert released == [0, 1, 2]
+        assert buf.recovered_count == 1
+        assert buf.lost_count == 0
+
+    def test_unfilled_gap_skipped_after_timeout(self, sim):
+        buf, _ = make(sim, gap_timeout=0.1)
+        released = []
+        buf.on_release = lambda o, s: released.append((s, o is None))
+        buf.on_arrival(0, osdu(0))
+        buf.on_arrival(2, osdu(2))
+        sim.run(until=1.0)
+        assert released == [(0, False), (1, True), (2, False)]
+        assert buf.lost_count == 1
+
+    def test_skip_timer_rearms_for_later_gaps(self, sim):
+        buf, _ = make(sim, gap_timeout=0.1)
+        buf.on_arrival(1, osdu(1))   # gap at 0
+        sim.run(until=0.5)
+        assert buf.next_expected == 2
+        buf.on_arrival(3, osdu(3))   # gap at 2
+        sim.run(until=1.0)
+        assert buf.next_expected == 4
+        assert buf.lost_count == 2
+
+    def test_stash_overflow_forces_skip(self, sim):
+        buf, _ = make(sim, gap_timeout=100.0, max_stash=4)
+        buf.on_arrival(0, osdu(0))
+        for seq in range(2, 8):  # 6 stashed, gap at 1
+            buf.on_arrival(seq, osdu(seq))
+        assert buf.next_expected == 8
+        assert buf.lost_count == 1
+
+
+class TestNoCorrection:
+    def test_gap_immediately_counted_lost(self, sim):
+        buf, nacks = make(sim, correction=False)
+        released = []
+        buf.on_release = lambda o, s: released.append((s, o is None))
+        buf.on_arrival(0, osdu(0))
+        buf.on_arrival(2, osdu(2))
+        assert released == [(0, False), (1, True), (2, False)]
+        assert buf.lost_count == 1
+        assert nacks == []
+
+    def test_late_arrival_is_duplicate(self, sim):
+        buf, _ = make(sim, correction=False)
+        buf.on_arrival(0, osdu(0))
+        buf.on_arrival(2, osdu(2))
+        assert buf.on_arrival(1, osdu(1)) == []
+        assert buf.duplicate_count == 1
+
+
+class TestDropNotices:
+    def test_none_arrival_advances_line(self, sim):
+        buf, nacks = make(sim)
+        released = []
+        buf.on_release = lambda o, s: released.append((s, o is None))
+        buf.on_arrival(0, osdu(0))
+        buf.on_arrival(1, None)  # source drop notice
+        buf.on_arrival(2, osdu(2))
+        assert released == [(0, False), (1, True), (2, False)]
+        assert nacks == []
+
+    def test_out_of_order_drop_notice_stashes(self, sim):
+        buf, _ = make(sim)
+        released = []
+        buf.on_release = lambda o, s: released.append(s)
+        buf.on_arrival(1, None)
+        buf.on_arrival(0, osdu(0))
+        assert released == [0, 1]
+
+
+class TestReset:
+    def test_reset_forgets_everything(self, sim):
+        buf, _ = make(sim, gap_timeout=0.1)
+        buf.on_arrival(0, osdu(0))
+        buf.on_arrival(5, osdu(5))
+        buf.reset(next_expected=10)
+        assert buf.next_expected == 10
+        sim.run(until=1.0)  # the pending skip timer must be inert
+        assert buf.next_expected == 10
+
+    def test_invalid_gap_timeout_rejected(self, sim):
+        with pytest.raises(ValueError):
+            ReorderBuffer(sim, True, gap_timeout=0.0)

@@ -1,0 +1,134 @@
+"""Tests for the per-VC QoS monitor."""
+
+import pytest
+
+from repro.transport.monitor import QoSMonitor
+
+
+def collect(sim, period=1.0):
+    measurements = []
+    monitor = QoSMonitor(sim, period, measurements.append)
+    return monitor, measurements
+
+
+class TestQoSMonitor:
+    def test_period_boundaries(self, sim):
+        monitor, out = collect(sim, period=0.5)
+        monitor.start()
+        sim.run(until=2.1)
+        assert len(out) == 4
+        assert out[0].period_start == pytest.approx(0.0)
+        assert out[0].period_end == pytest.approx(0.5)
+        assert out[3].period_end == pytest.approx(2.0)
+
+    def test_throughput_computed(self, sim):
+        monitor, out = collect(sim)
+        monitor.start()
+        # One 100 kbit unit every 0.1 s: a 1 Mbit/s active-span rate.
+        for k in range(10):
+            sim.call_at(
+                k * 0.1,
+                lambda: monitor.record_delivery(
+                    size_bits=100_000, delay_s=0.01, corrupted=False
+                ),
+            )
+        sim.run(until=1.5)
+        assert out[0].throughput_bps == pytest.approx(1e6)
+        assert out[0].osdus_delivered == 10
+
+    def test_throughput_measured_over_active_span(self, sim):
+        # A burst ending mid-period is not diluted by trailing idle.
+        monitor, out = collect(sim)
+        monitor.start()
+        for k in range(5):
+            sim.call_at(
+                k * 0.05,
+                lambda: monitor.record_delivery(
+                    size_bits=50_000, delay_s=0.01, corrupted=False
+                ),
+            )
+        sim.run(until=1.5)
+        assert out[0].throughput_bps == pytest.approx(1e6)
+
+    def test_throughput_none_when_source_idle(self, sim):
+        monitor, out = collect(sim)
+        monitor.start()
+        for k in range(4):
+            sim.call_at(
+                k * 0.2,
+                lambda: monitor.record_delivery(
+                    size_bits=1000, delay_s=0.01, corrupted=False,
+                    backlogged=False,
+                ),
+            )
+        sim.run(until=1.5)
+        assert out[0].throughput_bps is None
+
+    def test_delay_and_jitter(self, sim):
+        monitor, out = collect(sim)
+        monitor.start()
+        for d in (0.01, 0.02, 0.03):
+            monitor.record_delivery(size_bits=8, delay_s=d, corrupted=False)
+        sim.run(until=1.5)
+        assert out[0].mean_delay_s == pytest.approx(0.02)
+        assert out[0].jitter_s == pytest.approx(0.01)
+
+    def test_single_delivery_has_zero_jitter(self, sim):
+        monitor, out = collect(sim)
+        monitor.start()
+        monitor.record_delivery(size_bits=8, delay_s=0.01, corrupted=False)
+        sim.run(until=1.5)
+        assert out[0].jitter_s == 0.0
+
+    def test_packet_error_rate(self, sim):
+        monitor, out = collect(sim)
+        monitor.start()
+        for _ in range(8):
+            monitor.record_delivery(size_bits=8, delay_s=0.01, corrupted=False)
+        monitor.record_loss(2)
+        sim.run(until=1.5)
+        assert out[0].packet_error_rate == pytest.approx(0.2)
+
+    def test_corrupted_bits_feed_ber(self, sim):
+        monitor, out = collect(sim)
+        monitor.start()
+        monitor.record_delivery(size_bits=100, delay_s=0.01, corrupted=True)
+        monitor.record_delivery(size_bits=100, delay_s=0.01, corrupted=False)
+        sim.run(until=1.5)
+        assert out[0].bit_error_rate == pytest.approx(0.5)
+
+    def test_empty_period_reports_nothing_observed(self, sim):
+        monitor, out = collect(sim)
+        monitor.start()
+        sim.run(until=1.5)
+        assert out[0].throughput_bps is None
+        assert out[0].mean_delay_s is None
+        assert out[0].packet_error_rate is None
+
+    def test_periods_reset(self, sim):
+        monitor, out = collect(sim)
+        monitor.start()
+        monitor.record_delivery(size_bits=800, delay_s=0.01, corrupted=False)
+        sim.run(until=1.5)  # period 1 emitted; nothing recorded in period 2
+        sim.run(until=2.5)
+        assert out[0].osdus_delivered == 1
+        assert out[1].osdus_delivered == 0
+
+    def test_stop_halts_emission(self, sim):
+        monitor, out = collect(sim)
+        monitor.start()
+        sim.run(until=1.5)
+        monitor.stop()
+        sim.run(until=5.0)
+        assert len(out) == 1
+
+    def test_start_is_idempotent(self, sim):
+        monitor, out = collect(sim)
+        monitor.start()
+        monitor.start()
+        sim.run(until=1.5)
+        assert len(out) == 1
+
+    def test_invalid_period_rejected(self, sim):
+        with pytest.raises(ValueError):
+            QoSMonitor(sim, 0.0, lambda m: None)

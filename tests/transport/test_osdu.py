@@ -1,0 +1,78 @@
+"""Tests for OSDU/OPDU framing."""
+
+import pytest
+
+from repro.transport.osdu import OPDU, OSDU
+from repro.transport.addresses import TransportAddress
+from repro.transport.profiles import ClassOfService, Guarantee
+
+
+class TestOPDU:
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ValueError):
+            OPDU(-1)
+
+    def test_event_defaults_to_none(self):
+        assert OPDU(0).event is None
+
+
+class TestOSDU:
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            OSDU(size_bytes=0)
+
+    def test_seq_requires_opdu(self):
+        with pytest.raises(ValueError):
+            _ = OSDU(size_bytes=1).seq
+
+    def test_with_opdu_assigns_sequence(self):
+        unit = OSDU(size_bytes=10, payload="x").with_opdu(7)
+        assert unit.seq == 7
+        assert unit.payload == "x"
+
+    def test_with_opdu_preserves_application_event(self):
+        marked = OSDU(size_bytes=10, opdu=OPDU(0, event=0xAB))
+        stamped = marked.with_opdu(42)
+        assert stamped.seq == 42
+        assert stamped.event == 0xAB
+
+    def test_with_opdu_event_argument_used_when_unmarked(self):
+        unit = OSDU(size_bytes=10).with_opdu(3, event=9)
+        assert unit.event == 9
+
+
+class TestTransportAddress:
+    def test_string_form(self):
+        assert str(TransportAddress("host", 5)) == "host:5"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransportAddress("host", -1)
+        with pytest.raises(ValueError):
+            TransportAddress("", 1)
+
+    def test_equality_and_ordering(self):
+        a = TransportAddress("a", 1)
+        assert a == TransportAddress("a", 1)
+        assert a < TransportAddress("a", 2)
+        assert a < TransportAddress("b", 0)
+
+
+class TestClassOfService:
+    def test_paper_options(self):
+        i = ClassOfService.detect_and_indicate()
+        assert i.error_detection and i.error_indication
+        assert not i.error_correction
+        ii = ClassOfService.detect_and_correct()
+        assert ii.error_correction and not ii.error_indication
+        iii = ClassOfService.detect_correct_indicate()
+        assert iii.error_correction and iii.error_indication
+
+    def test_raw_class(self):
+        raw = ClassOfService.raw()
+        assert not raw.error_detection
+        assert raw.guarantee is Guarantee.BEST_EFFORT
+
+    def test_correction_requires_detection(self):
+        with pytest.raises(ValueError):
+            ClassOfService(error_detection=False, error_correction=True)

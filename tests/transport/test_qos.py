@@ -1,0 +1,203 @@
+"""Tests for QoS tolerances, negotiation and violation detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.transport.qos import (
+    QoSContract,
+    QoSMeasurement,
+    QoSOffer,
+    QoSSpec,
+    Tolerance,
+    delay,
+    throughput,
+)
+
+
+def spec(**kwargs):
+    defaults = dict(
+        throughput=throughput(2e6, 1e6),
+        delay=delay(0.1, 0.2),
+        jitter=Tolerance(0.01, 0.05),
+        packet_error_rate=Tolerance(0.0, 0.05),
+        bit_error_rate=Tolerance(0.0, 1e-5),
+        max_osdu_bytes=1000,
+    )
+    defaults.update(kwargs)
+    return QoSSpec(**defaults)
+
+
+def offer(**kwargs):
+    defaults = dict(
+        throughput_bps=1.5e6,
+        delay_s=0.05,
+        jitter_s=0.02,
+        packet_error_rate=0.01,
+        bit_error_rate=1e-6,
+    )
+    defaults.update(kwargs)
+    return QoSOffer(**defaults)
+
+
+class TestTolerance:
+    def test_higher_is_better_validation(self):
+        with pytest.raises(ValueError):
+            Tolerance(1.0, 2.0, higher_is_better=True)
+
+    def test_lower_is_better_validation(self):
+        with pytest.raises(ValueError):
+            Tolerance(2.0, 1.0, higher_is_better=False)
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Tolerance(-1.0, 0.0)
+
+    def test_admits_regions(self):
+        t = throughput(2e6, 1e6)
+        assert t.admits(1e6)
+        assert t.admits(5e6)
+        assert not t.admits(0.5e6)
+        d = delay(0.1, 0.2)
+        assert d.admits(0.15)
+        assert not d.admits(0.25)
+
+    def test_clamp_offer_caps_at_preferred(self):
+        t = throughput(2e6, 1e6)
+        assert t.clamp_offer(5e6) == pytest.approx(2e6)
+        assert t.clamp_offer(1.2e6) == pytest.approx(1.2e6)
+        assert t.clamp_offer(0.9e6) is None
+        d = delay(0.1, 0.2)
+        assert d.clamp_offer(0.05) == pytest.approx(0.1)
+        assert d.clamp_offer(0.15) == pytest.approx(0.15)
+        assert d.clamp_offer(0.3) is None
+
+    def test_tightened_takes_stricter_bounds(self):
+        a = delay(0.1, 0.3)
+        b = delay(0.05, 0.2)
+        combined = a.tightened(b)
+        assert combined.preferred == pytest.approx(0.05)
+        assert combined.acceptable == pytest.approx(0.2)
+
+    def test_tightened_opposite_sense_rejected(self):
+        with pytest.raises(ValueError):
+            throughput(2.0, 1.0).tightened(delay(0.1, 0.2))
+
+
+class TestQoSSpec:
+    def test_wrong_sense_rejected(self):
+        with pytest.raises(ValueError):
+            spec(throughput=delay(0.1, 0.2))
+        with pytest.raises(ValueError):
+            spec(delay=throughput(2.0, 1.0))
+
+    def test_simple_constructor(self):
+        s = QoSSpec.simple(4e6, delay_s=0.1, slack=2.0)
+        assert s.throughput.preferred == pytest.approx(4e6)
+        assert s.throughput.acceptable == pytest.approx(2e6)
+        assert s.delay.acceptable == pytest.approx(0.2)
+
+    def test_negotiate_success_values(self):
+        contract = spec().negotiate(offer())
+        assert contract is not None
+        assert contract.throughput_bps == pytest.approx(1.5e6)
+        assert contract.delay_s == pytest.approx(0.1)  # better than asked
+        assert contract.jitter_s == pytest.approx(0.02)
+        assert contract.max_osdu_bytes == 1000
+
+    def test_negotiate_fails_when_any_parameter_unacceptable(self):
+        assert spec().negotiate(offer(throughput_bps=0.5e6)) is None
+        assert spec().negotiate(offer(delay_s=0.5)) is None
+        assert spec().negotiate(offer(jitter_s=0.1)) is None
+        assert spec().negotiate(offer(packet_error_rate=0.2)) is None
+        assert spec().negotiate(offer(bit_error_rate=1e-3)) is None
+
+    def test_tightened_combines_peers(self):
+        a = spec()
+        b = spec(delay=delay(0.05, 0.1), max_osdu_bytes=500)
+        combined = a.tightened(b)
+        assert combined.delay.acceptable == pytest.approx(0.1)
+        assert combined.max_osdu_bytes == 500
+
+    def test_with_throughput(self):
+        s = spec().with_throughput(8e6, 4e6)
+        assert s.throughput.preferred == pytest.approx(8e6)
+        assert s.delay == spec().delay
+
+
+class TestViolations:
+    def make_contract(self):
+        return spec().negotiate(offer())
+
+    def test_no_violation_when_within_contract(self):
+        contract = self.make_contract()
+        measurement = QoSMeasurement(
+            0.0, 1.0, osdus_delivered=100,
+            throughput_bps=1.5e6, mean_delay_s=0.09, jitter_s=0.01,
+            packet_error_rate=0.005, bit_error_rate=0.0,
+        )
+        assert contract.violations(measurement) == []
+
+    def test_throughput_violation_detected(self):
+        contract = self.make_contract()
+        measurement = QoSMeasurement(
+            0.0, 1.0, osdus_delivered=10, throughput_bps=0.5e6,
+        )
+        violations = contract.violations(measurement)
+        assert [v.parameter for v in violations] == ["throughput"]
+
+    def test_delay_and_jitter_violations(self):
+        contract = self.make_contract()
+        measurement = QoSMeasurement(
+            0.0, 1.0, osdus_delivered=10, mean_delay_s=0.5, jitter_s=0.5,
+        )
+        names = {v.parameter for v in contract.violations(measurement)}
+        assert names == {"delay", "jitter"}
+
+    def test_unobserved_parameters_not_checked(self):
+        contract = self.make_contract()
+        measurement = QoSMeasurement(0.0, 1.0)
+        assert contract.violations(measurement) == []
+
+    def test_margin_tolerates_small_deviation(self):
+        contract = self.make_contract()
+        measurement = QoSMeasurement(
+            0.0, 1.0, osdus_delivered=10,
+            throughput_bps=contract.throughput_bps * 0.97,
+        )
+        assert contract.violations(measurement) == []
+
+
+@st.composite
+def tolerances(draw, higher_is_better):
+    a = draw(st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
+    b = draw(st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
+    good, bad = (max(a, b), min(a, b)) if higher_is_better else (min(a, b), max(a, b))
+    return Tolerance(good, bad, higher_is_better)
+
+
+@given(
+    tol=tolerances(True),
+    offered=st.floats(min_value=0.0, max_value=2e6, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_clamp_offer_result_is_acceptable_and_not_above_offer(tol, offered):
+    agreed = tol.clamp_offer(offered)
+    if agreed is None:
+        assert not tol.admits(offered)
+    else:
+        assert tol.admits(agreed)
+        assert agreed <= offered  # never promise more than offered
+
+
+@given(
+    tol=tolerances(False),
+    offered=st.floats(min_value=0.0, max_value=2e6, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_clamp_offer_lower_is_better_never_better_than_offer(tol, offered):
+    agreed = tol.clamp_offer(offered)
+    if agreed is None:
+        assert not tol.admits(offered)
+    else:
+        assert tol.admits(agreed)
+        assert agreed >= offered  # never promise better than offered

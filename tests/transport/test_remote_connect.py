@@ -1,0 +1,167 @@
+"""Remote connect: initiator, source and sink all distinct (Figures 2/3)."""
+
+import pytest
+
+from repro.transport.primitives import (
+    REASON_NO_SUCH_TSAP,
+    REASON_REJECTED_BY_SOURCE,
+    REASON_USER_RELEASE,
+    TConnectConfirm,
+    TConnectIndication,
+    TConnectResponse,
+    TDisconnectIndication,
+    TDisconnectRequest,
+)
+
+from tests.transport.test_connect import accept_all, issue_connect
+
+
+class TestRemoteConnect:
+    def test_three_party_establishment(self, stack):
+        """Figure 2: gamma connects alpha's TSAP A to beta's TSAP B."""
+        initiator = stack.addr("gamma", 9)
+        src = stack.addr("alpha", 1)
+        dst = stack.addr("beta", 1)
+        init_binding = stack.entity("gamma").bind(9)
+        src_binding = accept_all(stack, "alpha", 1)
+        accept_all(stack, "beta", 1)
+        request = stack.connect_request(initiator, src, dst)
+        confirm = issue_connect(stack, init_binding, request)
+        assert isinstance(confirm, TConnectConfirm)
+        assert confirm.contract is not None
+        # VC endpoints live at the source and destination, not at the
+        # initiator.
+        assert request.vc_id in stack.entity("alpha").send_vcs
+        assert request.vc_id in stack.entity("beta").recv_vcs
+        assert request.vc_id not in stack.entity("gamma").send_vcs
+
+    def test_source_application_also_gets_confirm(self, stack):
+        """Figure 3: the confirm reaches source *and* initiator."""
+        initiator = stack.addr("gamma", 9)
+        src = stack.addr("alpha", 1)
+        dst = stack.addr("beta", 1)
+        init_binding = stack.entity("gamma").bind(9)
+        src_binding = accept_all(stack, "alpha", 1)
+        accept_all(stack, "beta", 1)
+        request = stack.connect_request(initiator, src, dst)
+        issue_connect(stack, init_binding, request)
+        confirms = [
+            p for p in src_binding.inbox if isinstance(p, TConnectConfirm)
+        ]
+        assert len(confirms) == 1
+        assert confirms[0].vc_id == request.vc_id
+
+    def test_source_endpoint_registered_at_source_binding(self, stack):
+        initiator = stack.addr("gamma", 9)
+        src = stack.addr("alpha", 1)
+        dst = stack.addr("beta", 1)
+        init_binding = stack.entity("gamma").bind(9)
+        src_binding = accept_all(stack, "alpha", 1)
+        accept_all(stack, "beta", 1)
+        request = stack.connect_request(initiator, src, dst)
+        issue_connect(stack, init_binding, request)
+        assert src_binding.endpoints[request.vc_id].kind == "send"
+
+    def test_rejection_by_source(self, stack):
+        initiator = stack.addr("gamma", 9)
+        src = stack.addr("alpha", 1)
+        dst = stack.addr("beta", 1)
+        init_binding = stack.entity("gamma").bind(9)
+        entity_a = stack.entity("alpha")
+        a_binding = entity_a.bind(1)
+
+        def refuser():
+            while True:
+                primitive = yield a_binding.next_primitive()
+                if isinstance(primitive, TConnectIndication):
+                    entity_a.request(
+                        TDisconnectRequest(
+                            initiator=primitive.initiator,
+                            vc_id=primitive.vc_id,
+                        )
+                    )
+
+        stack.sim.spawn(refuser())
+        request = stack.connect_request(initiator, src, dst)
+        outcome = issue_connect(stack, init_binding, request)
+        assert isinstance(outcome, TDisconnectIndication)
+        assert outcome.reason == REASON_REJECTED_BY_SOURCE
+
+    def test_rejection_when_source_tsap_unbound(self, stack):
+        initiator = stack.addr("gamma", 9)
+        request = stack.connect_request(
+            initiator, stack.addr("alpha", 55), stack.addr("beta", 1)
+        )
+        init_binding = stack.entity("gamma").bind(9)
+        outcome = issue_connect(stack, init_binding, request)
+        assert isinstance(outcome, TDisconnectIndication)
+        assert outcome.reason == REASON_NO_SUCH_TSAP
+
+    def test_initiator_notified_when_vc_released(self, stack):
+        """Section 3.5: management responses go to initiator too."""
+        initiator = stack.addr("gamma", 9)
+        src = stack.addr("alpha", 1)
+        dst = stack.addr("beta", 1)
+        init_binding = stack.entity("gamma").bind(9)
+        src_binding = accept_all(stack, "alpha", 1)
+        accept_all(stack, "beta", 1)
+        request = stack.connect_request(initiator, src, dst)
+        issue_connect(stack, init_binding, request)
+        # The source releases the VC.
+        stack.entity("alpha").request(
+            TDisconnectRequest(
+                initiator=src_binding.address, vc_id=request.vc_id
+            )
+        )
+        got = []
+
+        def watcher():
+            got.append((yield init_binding.next_primitive()))
+
+        stack.sim.spawn(watcher())
+        stack.sim.run(until=stack.sim.now + 1.0)
+        assert got and isinstance(got[0], TDisconnectIndication)
+
+    def test_remote_release_indicates_to_endpoint_app(self, stack):
+        """Section 4.1.1: a remote T-Disconnect.request raises an
+        indication at the endpoint; the app then releases."""
+        initiator = stack.addr("gamma", 9)
+        src = stack.addr("alpha", 1)
+        dst = stack.addr("beta", 1)
+        init_binding = stack.entity("gamma").bind(9)
+        src_binding = accept_all(stack, "alpha", 1)
+        accept_all(stack, "beta", 1)
+        request = stack.connect_request(initiator, src, dst)
+        issue_connect(stack, init_binding, request)
+        stack.entity("gamma").remote_release(
+            initiator, "alpha", request.vc_id
+        )
+        stack.sim.run(until=stack.sim.now + 1.0)
+        indications = [
+            p for p in src_binding.inbox
+            if isinstance(p, TDisconnectIndication)
+            and p.reason == REASON_USER_RELEASE
+        ]
+        assert indications
+        # The application acts on the indication.
+        stack.entity("alpha").request(
+            TDisconnectRequest(
+                initiator=src_binding.address, vc_id=request.vc_id
+            )
+        )
+        stack.sim.run(until=stack.sim.now + 1.0)
+        assert request.vc_id not in stack.entity("alpha").send_vcs
+        assert request.vc_id not in stack.entity("beta").recv_vcs
+
+    def test_conventional_when_initiator_equals_source(self, stack):
+        """Section 4.1.1: initiator == source short-circuits the relay."""
+        src = stack.addr("alpha", 1)
+        dst = stack.addr("beta", 1)
+        binding = stack.entity("alpha").bind(1)
+        accept_all(stack, "beta", 1)
+        request = stack.connect_request(src, src, dst)
+        confirm = issue_connect(stack, binding, request)
+        assert isinstance(confirm, TConnectConfirm)
+        # Exactly one confirm: no duplicate relay to "the initiator".
+        more = [p for p in binding.primitives._items]
+        assert not any(isinstance(p, TConnectConfirm) for p in more)

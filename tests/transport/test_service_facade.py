@@ -1,0 +1,110 @@
+"""Tests for the TransportService convenience facade."""
+
+import pytest
+
+from repro.netsim.reservation import ReservationManager
+from repro.netsim.topology import Network
+from repro.sim.random import RandomStreams
+from repro.transport.addresses import TransportAddress
+from repro.transport.entity import TransportServiceError
+from repro.transport.qos import QoSSpec
+from repro.transport.service import (
+    ConnectionRefused,
+    TransportService,
+    build_transport,
+    connect_pair,
+)
+
+
+@pytest.fixture
+def pair(sim):
+    net = Network(sim, RandomStreams(77))
+    net.add_host("a")
+    net.add_host("b")
+    net.add_link("a", "b", 10e6, prop_delay=0.004)
+    entities = build_transport(sim, net, ReservationManager(net))
+    return net, entities
+
+
+class TestFacade:
+    def test_build_transport_covers_all_hosts(self, sim, pair):
+        _net, entities = pair
+        assert set(entities) == {"a", "b"}
+
+    def test_connect_returns_endpoint(self, sim, pair):
+        _net, entities = pair
+        send, recv = connect_pair(
+            sim, entities, TransportAddress("a", 1), TransportAddress("b", 1),
+            QoSSpec.simple(1e6, max_osdu_bytes=500),
+        )
+        assert send.kind == "send"
+        assert recv.kind == "recv"
+        assert send.vc_id == recv.vc_id
+
+    def test_connect_refused_raises(self, sim, pair):
+        _net, entities = pair
+        service = TransportService(entities["a"])
+        binding = service.bind(1)
+        # No listener on b:9.
+        holder = {}
+
+        def driver():
+            try:
+                yield from service.connect(
+                    binding, TransportAddress("b", 9),
+                    QoSSpec.simple(1e6, max_osdu_bytes=500),
+                )
+            except ConnectionRefused as exc:
+                holder["reason"] = exc.reason
+
+        sim.spawn(driver())
+        sim.run(until=5.0)
+        assert "tsap" in holder["reason"]
+
+    def test_double_bind_rejected(self, sim, pair):
+        _net, entities = pair
+        service = TransportService(entities["a"])
+        service.bind(1)
+        with pytest.raises(TransportServiceError):
+            service.bind(1)
+
+    def test_disconnect_releases(self, sim, pair):
+        _net, entities = pair
+        send, _recv = connect_pair(
+            sim, entities, TransportAddress("a", 1), TransportAddress("b", 1),
+            QoSSpec.simple(1e6, max_osdu_bytes=500),
+        )
+        service = TransportService(entities["a"])
+        binding = entities["a"].bindings[1]
+        service.disconnect(binding, send.vc_id)
+        sim.run(until=sim.now + 1.0)
+        assert send.vc_id not in entities["a"].send_vcs
+        assert send.vc_id not in entities["b"].recv_vcs
+
+    def test_endpoint_direction_misuse_rejected(self, sim, pair):
+        _net, entities = pair
+        from repro.transport.osdu import OSDU
+
+        send, recv = connect_pair(
+            sim, entities, TransportAddress("a", 1), TransportAddress("b", 1),
+            QoSSpec.simple(1e6, max_osdu_bytes=500),
+        )
+        with pytest.raises(TransportServiceError):
+            recv.try_write(OSDU(size_bytes=10))
+        with pytest.raises(TransportServiceError):
+            send.try_read()
+
+    def test_invalid_primitive_type_rejected(self, sim, pair):
+        _net, entities = pair
+        from repro.transport.primitives import TConnectConfirm
+
+        with pytest.raises(TransportServiceError):
+            entities["a"].request(
+                TConnectConfirm(
+                    initiator=TransportAddress("a", 1),
+                    src=TransportAddress("a", 1),
+                    dst=TransportAddress("b", 1),
+                    protocol=None, class_of_service=None, qos=None,
+                    vc_id="x",
+                )
+            )
