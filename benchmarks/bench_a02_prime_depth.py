@@ -50,7 +50,7 @@ def run_case(depth: int):
     stream = holder["stream"]
     StoredMediaSource(bed.sim, stream.send_endpoint, audio_pcm(8000.0, 1, 32))
     sink = PlayoutSink(bed.sim, stream.recv_endpoint, 250.0,
-                       bed.network.host("ws").clock)
+                       bed.clock("ws"))
     agent = HLOAgent(
         bed.sim, bed.llos["ws"], f"depth{depth}",
         [StreamSpec(stream.vc_id, "srv", "ws", 250.0)],

@@ -19,14 +19,14 @@ which is how a deployment should pick the knob.
 
 import pytest
 
-from repro.apps.testbed import Testbed
+from repro.core import Stack
 from repro.metrics.table import Table
 from repro.netsim.link import BernoulliLoss
 from repro.transport.addresses import TransportAddress
 from repro.transport.osdu import OSDU
 from repro.transport.profiles import ClassOfService
 from repro.transport.qos import QoSSpec
-from repro.transport.service import build_transport, connect_pair
+from repro.transport.service import connect_pair
 
 RUN_UNITS = 1500
 LOSS = 0.05
@@ -35,20 +35,13 @@ from benchmarks.common import emit, once
 
 
 def run_case(gap_timeout: float):
-    from repro.netsim.reservation import ReservationManager
-    from repro.netsim.topology import Network
-    from repro.sim.random import RandomStreams
-    from repro.sim.scheduler import Simulator
-
-    sim = Simulator()
-    net = Network(sim, RandomStreams(83))
-    net.add_host("a")
-    net.add_host("b")
-    net.add_link("a", "b", 10e6, prop_delay=0.008,
-                 loss=BernoulliLoss(LOSS))
-    entities = build_transport(
-        sim, net, ReservationManager(net), gap_timeout=gap_timeout
-    )
+    stack = Stack(seed=83, gap_timeout=gap_timeout)
+    stack.host("a")
+    stack.host("b")
+    stack.link("a", "b", 10e6, prop_delay=0.008,
+               loss=BernoulliLoss(LOSS))
+    stack.up()
+    sim, entities = stack.sim, stack.entities
     qos = QoSSpec.simple(4e6, max_osdu_bytes=1000, per=0.5, ber=0.5)
     send, recv = connect_pair(
         sim, entities, TransportAddress("a", 1), TransportAddress("b", 1),

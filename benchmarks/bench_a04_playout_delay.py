@@ -57,7 +57,7 @@ def run_case(jitter_s: float, playout_delay: float, seed: int = 97):
     )
     sink = PlayoutSink(
         bed.sim, stream.recv_endpoint, FPS,
-        bed.network.host("dst").clock, mode="paced",
+        bed.clock("dst"), mode="paced",
         playout_delay=playout_delay,
     )
     source.play()

@@ -63,7 +63,7 @@ def build_group(bed, n):
         )
         sinks.append(
             PlayoutSink(bed.sim, stream.recv_endpoint, 250.0,
-                        bed.network.host("ws").clock)
+                        bed.clock("ws"))
         )
     return streams, sources, sinks
 

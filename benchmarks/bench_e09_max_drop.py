@@ -47,7 +47,7 @@ def run_case(drop_budget: int):
         bed.sim, stream.send_endpoint, video_cbr(25.0, qos.osdu_bytes)
     )
     sink = PlayoutSink(
-        bed.sim, stream.recv_endpoint, 25.0, bed.network.host("ws").clock
+        bed.sim, stream.recv_endpoint, 25.0, bed.clock("ws")
     )
     spec = StreamSpec(stream.vc_id, "video-srv", "ws", 25.0,
                       max_drop_per_interval=drop_budget)

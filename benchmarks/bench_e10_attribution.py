@@ -51,7 +51,7 @@ def run_case(fault: str):
         per_osdu_delay=FAULT_DELAY if fault == "source" else 0.0,
     )
     PlayoutSink(
-        bed.sim, stream.recv_endpoint, 25.0, bed.network.host("ws").clock,
+        bed.sim, stream.recv_endpoint, 25.0, bed.clock("ws"),
         per_osdu_delay=FAULT_DELAY if fault == "sink" else 0.0,
     )
     spec = StreamSpec(stream.vc_id, "video-srv", "ws", 25.0,

@@ -18,7 +18,7 @@ linearly -- the crossover argument of [Govindan,91].
 
 import pytest
 
-from repro.sim.scheduler import Simulator
+from repro.core import Runtime
 from repro.sim.sync import TimedSemaphore
 from repro.transport.buffers import SharedCircularBuffer
 from repro.transport.osdu import OSDU
@@ -30,7 +30,7 @@ UNITS = 2000
 
 
 def shared_buffer_path(payload_bytes: int) -> None:
-    sim = Simulator()
+    sim = Runtime().sim
     buffer = SharedCircularBuffer(sim, 16)
     payload = bytes(payload_bytes)
     received = []
@@ -57,7 +57,7 @@ def per_call_copy_path(payload_bytes: int) -> None:
     ``bytes(b)`` is a no-op on an existing bytes object in CPython, so
     genuine copies are forced with ``bytearray``/slicing.
     """
-    sim = Simulator()
+    sim = Runtime().sim
     system_space = []
     space = TimedSemaphore(sim, 16)
     items = TimedSemaphore(sim, 0)

@@ -55,7 +55,7 @@ def build(seed):
         event_marks={f: MARK for f in MARKED_FRAMES},
     )
     sink = PlayoutSink(bed.sim, stream.recv_endpoint, 25.0,
-                       bed.network.host("ws").clock)
+                       bed.clock("ws"))
     return bed, stream, source, sink
 
 

@@ -19,7 +19,7 @@ provisioning VBR behaves like CBR.
 
 import pytest
 
-from repro.apps.testbed import Testbed
+from repro.core import Stack
 from repro.media.encodings import VBREncoding, video_cbr
 from repro.metrics.stats import interarrival_jitter, summarize
 from repro.metrics.table import Table
@@ -27,7 +27,7 @@ from repro.sim.scheduler import Timeout
 from repro.transport.addresses import TransportAddress
 from repro.transport.osdu import OSDU
 from repro.transport.qos import QoSSpec
-from repro.transport.service import build_transport, connect_pair
+from repro.transport.service import connect_pair
 
 from benchmarks.common import emit, once
 
@@ -37,17 +37,12 @@ VBR = VBREncoding("vbr", FPS, 9000, gop=12, p_fraction=0.3, noise=0.15)
 
 
 def run_case(encoding, headroom: float):
-    from repro.netsim.reservation import ReservationManager
-    from repro.netsim.topology import Network
-    from repro.sim.random import RandomStreams
-    from repro.sim.scheduler import Simulator
-
-    sim = Simulator()
-    net = Network(sim, RandomStreams(91))
-    net.add_host("a")
-    net.add_host("b")
-    net.add_link("a", "b", 30e6, prop_delay=0.004)
-    entities = build_transport(sim, net, ReservationManager(net))
+    stack = Stack(seed=91)
+    stack.host("a")
+    stack.host("b")
+    stack.link("a", "b", 30e6, prop_delay=0.004)
+    stack.up()
+    sim, entities = stack.sim, stack.entities
     mean_wire_bps = FPS * (VBR.mean_osdu_bytes + 72) * 8
     qos = QoSSpec.simple(
         mean_wire_bps * headroom, slack=1.0,
@@ -59,7 +54,7 @@ def run_case(encoding, headroom: float):
         qos,
     )
     deliveries = []
-    rng = RandomStreams(91).stream("vbr-sizes")
+    rng = stack.stream("vbr-sizes")
 
     def producer():
         n = 0

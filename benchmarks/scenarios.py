@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.apps.testbed import Testbed
+from repro.core import Stack
 from repro.ansa.stream import AudioQoS, VideoQoS
 from repro.media.encodings import audio_pcm, video_cbr
 from repro.media.sink import PlayoutSink
@@ -23,7 +23,7 @@ def film_testbed(
     loss=None,
 ):
     """video-srv + audio-srv feeding one workstation through a router."""
-    bed = Testbed(seed=seed)
+    bed = Stack(seed=seed)
     bed.host("video-srv", clock_skew_ppm=drift_ppm)
     bed.host("audio-srv", clock_skew_ppm=-drift_ppm)
     bed.host("ws", clock_skew_ppm=drift_ppm / 4)
@@ -84,7 +84,7 @@ class FilmScenario:
                 holder[name].recv_endpoint,
                 osdu_rate=encodings[name].osdu_rate,
                 clock=(
-                    self.bed.network.host("ws").clock
+                    self.bed.clock("ws")
                     if self.orchestrated
                     else playout_clocks[name]
                 ),

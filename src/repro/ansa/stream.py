@@ -18,7 +18,7 @@ HLO consults when selecting the orchestrating node.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
 from repro.sim.scheduler import Simulator
@@ -31,7 +31,7 @@ from repro.transport.primitives import (
 )
 from repro.transport.profiles import ClassOfService, ProtocolProfile
 from repro.transport.osdu import OPDU
-from repro.transport.qos import QoSSpec, UNCONSTRAINED
+from repro.transport.qos import QoSSpec
 from repro.transport.tpdu import DATA_HEADER_BYTES
 from repro.transport.service import ConnectionRefused, TransportService
 from repro.orchestration.hlo_agent import StreamSpec

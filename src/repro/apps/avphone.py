@@ -78,14 +78,14 @@ class AVPhoneCall:
                     self.bed.sim,
                     stream.send_endpoint,
                     encoding,
-                    clock=self.bed.network.host(caller).clock,
+                    clock=self.bed.clock(caller),
                     rng=self.bed.rng.stream(f"avphone:{stream.vc_id}"),
                 )
                 sink = PlayoutSink(
                     self.bed.sim,
                     stream.recv_endpoint,
                     osdu_rate=qos.osdu_rate,
-                    clock=self.bed.network.host(callee).clock,
+                    clock=self.bed.clock(callee),
                     mode="gated",
                 )
                 source.switch_on()

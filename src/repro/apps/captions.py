@@ -99,13 +99,13 @@ class CaptionedPlayout:
             self.bed.sim,
             self.video_stream.recv_endpoint,
             osdu_rate=video_encoding.osdu_rate,
-            clock=self.bed.network.host(self.viewer).clock,
+            clock=self.bed.clock(self.viewer),
         )
         self.caption_sink = PlayoutSink(
             self.bed.sim,
             self.caption_stream.recv_endpoint,
             osdu_rate=caption_encoding.osdu_rate,
-            clock=self.bed.network.host(self.viewer).clock,
+            clock=self.bed.clock(self.viewer),
         )
         specs = [
             self.video_stream.spec(),

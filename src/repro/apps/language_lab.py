@@ -79,7 +79,7 @@ class LanguageLab:
                     self.bed.sim,
                     stream.recv_endpoint,
                     osdu_rate=encoding.osdu_rate,
-                    clock=self.bed.network.host(workstation).clock,
+                    clock=self.bed.clock(workstation),
                     mode="gated",
                 )
             )

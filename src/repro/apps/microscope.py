@@ -15,9 +15,8 @@ Figure 2.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, Optional
 
-from repro.sim.scheduler import Simulator
 from repro.transport.addresses import TransportAddress
 from repro.transport.primitives import (
     TConnectConfirm,
@@ -118,7 +117,7 @@ class MicroscopeServer:
                     self.bed.sim,
                     endpoint,
                     encoding,
-                    clock=self.bed.network.host(self.node).clock,
+                    clock=self.bed.clock(self.node),
                     rng=self.bed.rng.stream(f"camera:{primitive.vc_id}"),
                 )
                 source.switch_on()
@@ -184,7 +183,7 @@ class MicroscopeClient:
                     self.bed.sim,
                     recv_endpoint,
                     osdu_rate=server.video_qos.osdu_rate,
-                    clock=self.bed.network.host(self.node).clock,
+                    clock=self.bed.clock(self.node),
                     mode="gated",
                 )
                 return True

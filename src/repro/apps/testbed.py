@@ -3,27 +3,18 @@
 Mirrors Figure 1: network emulator at the bottom, transport entities
 above it, LLO instances beside the transport, the HLO and the
 object-based platform (trader + REX) on top.
+
+The construction logic now lives in :mod:`repro.core.runtime`;
+``Testbed`` is the historical name kept for existing call sites and is
+simply the :class:`~repro.core.runtime.Stack` builder.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
-
-from repro.sim.random import RandomStreams
-from repro.sim.scheduler import Simulator
-from repro.netsim.link import JitterModel, Link, LossModel
-from repro.netsim.reservation import ReservationManager
-from repro.netsim.topology import Network
-from repro.transport.entity import TransportEntity
-from repro.transport.service import build_transport
-from repro.orchestration.hlo import HighLevelOrchestrator
-from repro.orchestration.llo import LLOInstance, build_llos
-from repro.ansa.rex import RexRPC
-from repro.ansa.stream import StreamFactory
-from repro.ansa.trader import Trader
+from repro.core.runtime import HostBuilder, Runtime, Stack
 
 
-class Testbed:
+class Testbed(Stack):
     """Builder and container for a complete experiment environment.
 
     Usage::
@@ -39,115 +30,5 @@ class Testbed:
     #: Not a pytest test class despite the name.
     __test__ = False
 
-    def __init__(self, seed: int = 0, sample_period: float = 1.0,
-                 gap_timeout: float = 0.05, reservable_fraction: float = 0.9):
-        self.sim = Simulator()
-        self.rng = RandomStreams(seed)
-        self.network = Network(self.sim, self.rng)
-        self.sample_period = sample_period
-        self.gap_timeout = gap_timeout
-        self.reservable_fraction = reservable_fraction
-        self.reservations: Optional[ReservationManager] = None
-        self.entities: Dict[str, TransportEntity] = {}
-        self.llos: Dict[str, LLOInstance] = {}
-        self.hlo: Optional[HighLevelOrchestrator] = None
-        self.trader: Optional[Trader] = None
-        self.rpc: Optional[RexRPC] = None
-        self.factory: Optional[StreamFactory] = None
-        self._up = False
 
-    # -- topology ----------------------------------------------------------
-
-    def host(self, name: str, clock_skew_ppm: float = 0.0):
-        """Add an end-system before :meth:`up`."""
-        self._check_down()
-        return self.network.add_host(name, clock_skew_ppm=clock_skew_ppm)
-
-    def router(self, name: str):
-        self._check_down()
-        return self.network.add_router(name)
-
-    def link(
-        self,
-        a: str,
-        b: str,
-        bandwidth_bps: float = 10e6,
-        prop_delay: float = 0.002,
-        jitter: Optional[JitterModel] = None,
-        loss: Optional[LossModel] = None,
-        ber: float = 0.0,
-        buffer_bytes: int = 256 * 1024,
-        bidirectional: bool = True,
-    ) -> Tuple[Link, Optional[Link]]:
-        self._check_down()
-        return self.network.add_link(
-            a, b, bandwidth_bps, prop_delay=prop_delay, jitter=jitter,
-            loss=loss, ber=ber, buffer_bytes=buffer_bytes,
-            bidirectional=bidirectional,
-        )
-
-    def _check_down(self) -> None:
-        if self._up:
-            raise RuntimeError("topology is frozen once the stack is up")
-
-    # -- stack -----------------------------------------------------------------
-
-    def up(self, max_orch_sessions: int = 8) -> "Testbed":
-        """Instantiate transport, orchestration and platform layers."""
-        if self._up:
-            return self
-        self._up = True
-        self.reservations = ReservationManager(
-            self.network, reservable_fraction=self.reservable_fraction
-        )
-        self.entities = build_transport(
-            self.sim,
-            self.network,
-            self.reservations,
-            sample_period=self.sample_period,
-            gap_timeout=self.gap_timeout,
-        )
-        self.llos = build_llos(
-            self.sim, self.network, self.entities,
-            max_sessions=max_orch_sessions,
-        )
-        self.hlo = HighLevelOrchestrator(self.sim, self.llos)
-        self.trader = Trader()
-        self.rpc = RexRPC(self.sim, self.network, self.trader)
-        self.factory = StreamFactory(self.sim, self.entities)
-        return self
-
-    # -- conveniences ------------------------------------------------------------
-
-    def run(self, duration: float) -> float:
-        """Advance the simulation by ``duration`` seconds."""
-        return self.sim.run(until=self.sim.now + duration)
-
-    def spawn(self, gen, name: Optional[str] = None):
-        return self.sim.spawn(gen, name=name)
-
-    @staticmethod
-    def star(
-        seed: int = 0,
-        leaves: int = 3,
-        bandwidth_bps: float = 20e6,
-        prop_delay: float = 0.003,
-        jitter: Optional[JitterModel] = None,
-        clock_skew_ppm: float = 100.0,
-        centre_name: str = "hub",
-    ) -> "Testbed":
-        """A hub-and-spoke topology: ``leaf0..leafN`` around a router.
-
-        Leaf clocks drift at alternating ±``clock_skew_ppm`` so that
-        drift experiments have genuine divergence out of the box.
-        """
-        bed = Testbed(seed=seed)
-        bed.router(centre_name)
-        for i in range(leaves):
-            skew = clock_skew_ppm if i % 2 == 0 else -clock_skew_ppm
-            bed.host(f"leaf{i}", clock_skew_ppm=skew * (1 + i / 10))
-            bed.link(
-                f"leaf{i}", centre_name, bandwidth_bps,
-                prop_delay=prop_delay, jitter=jitter,
-            )
-        return bed
+__all__ = ["HostBuilder", "Runtime", "Stack", "Testbed"]

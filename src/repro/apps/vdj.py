@@ -69,7 +69,7 @@ class VideoDiscJockey:
     def setup(self, policy: Optional[OrchestrationPolicy] = None) -> Generator:
         """Coroutine: connect the audio bed and every deck; orchestrate
         the bed plus the first deck."""
-        clock = self.bed.network.host(self.console).clock
+        clock = self.bed.clock(self.console)
         audio_stream = yield from self.bed.factory.create(
             TransportAddress(self.audio_server, self.base_tsap),
             TransportAddress(self.console, self.base_tsap),

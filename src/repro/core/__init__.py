@@ -1,0 +1,5 @@
+"""Shared virtual-time runtime core (simulator, RNG, clocks, stack)."""
+
+from repro.core.runtime import HostBuilder, Runtime, Stack
+
+__all__ = ["HostBuilder", "Runtime", "Stack"]

@@ -1,0 +1,285 @@
+"""Unified virtual-time runtime shared by every layer of the stack.
+
+Before this module existed, each app module and benchmark hand-wired
+the same pile: a :class:`~repro.sim.scheduler.Simulator`, a
+:class:`~repro.sim.random.RandomStreams`, a
+:class:`~repro.netsim.topology.Network`, a reservation manager, one
+transport entity and one LLO per host, the HLO, and the ANSA platform
+objects -- then fished per-node clocks back out of the network when an
+experiment needed local time.  Component-platform follow-ups to the
+paper (Korrontea, the component-based multimedia platforms) argue for
+exactly the opposite shape: one small shared runtime/connector core
+that media components plug into.
+
+Three objects provide that core:
+
+``Runtime``
+    Owns the simulator, the seeded named RNG streams and the per-node
+    clock registry.  Everything time- or randomness-related hangs off
+    one object with one seed.
+
+``Stack``
+    A ``Runtime`` plus the layered service built on it (Figure 1 of
+    the paper): network emulator, transport entities, LLOs, HLO,
+    trader/REX/stream factory.  Topology is declared first
+    (:meth:`Stack.host` / :meth:`Stack.link`), then :meth:`Stack.up`
+    instantiates all layers.
+
+``HostBuilder``
+    The handle returned by :meth:`Stack.host`: it composes the netsim
+    node, the node clock, and -- once the stack is up -- that host's
+    transport entity and LLO instance, so call sites stop reaching
+    through ``bed.network.host(name).clock`` and friends.
+
+:class:`repro.apps.testbed.Testbed` is now a thin alias of ``Stack``
+kept for existing call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.ansa.rex import RexRPC
+from repro.ansa.stream import StreamFactory
+from repro.ansa.trader import Trader
+from repro.netsim.link import JitterModel, Link, LossModel
+from repro.netsim.reservation import ReservationManager
+from repro.netsim.topology import Host, Network
+from repro.orchestration.hlo import HighLevelOrchestrator
+from repro.orchestration.llo import LLOInstance, build_llos
+from repro.sim.clock import NodeClock
+from repro.sim.random import RandomStreams
+from repro.sim.scheduler import Process, Simulator
+from repro.transport.entity import TransportEntity
+from repro.transport.service import build_transport
+
+
+class Runtime:
+    """The virtual-time substrate: simulator + RNG streams + clocks.
+
+    One ``Runtime`` per experiment; every layer built on top shares its
+    simulator and draws named, independently-seeded randomness from
+    :meth:`stream`.  Node clocks register here as hosts are created, so
+    per-node local time is one registry lookup instead of a dig through
+    the topology.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.sim = Simulator()
+        self.rng = RandomStreams(seed)
+        self._clocks: Dict[str, NodeClock] = {}
+
+    # -- time --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def run(self, duration: float) -> float:
+        """Advance the simulation by ``duration`` seconds."""
+        return self.sim.run(until=self.sim.now + duration)
+
+    def run_until(self, when: float) -> float:
+        return self.sim.run(until=when)
+
+    def spawn(self, gen, name: Optional[str] = None) -> Process:
+        return self.sim.spawn(gen, name=name)
+
+    # -- randomness --------------------------------------------------------
+
+    def stream(self, name: str):
+        """Named RNG stream, deterministic given the runtime seed."""
+        return self.rng.stream(name)
+
+    # -- clock registry ----------------------------------------------------
+
+    def register_clock(self, name: str, clock: NodeClock) -> NodeClock:
+        self._clocks[name] = clock
+        return clock
+
+    def clock(self, name: str) -> NodeClock:
+        return self._clocks[name]
+
+    def clocks(self) -> Iterator[Tuple[str, NodeClock]]:
+        return iter(self._clocks.items())
+
+
+class HostBuilder:
+    """Composed per-host view: netsim node + clock + entity + LLO.
+
+    Returned by :meth:`Stack.host`.  The node and clock exist
+    immediately; :attr:`entity` and :attr:`llo` become available once
+    the stack is up.
+    """
+
+    def __init__(self, stack: "Stack", node: Host):
+        self._stack = stack
+        self.node = node
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def clock(self) -> NodeClock:
+        return self.node.clock
+
+    def link(
+        self,
+        other: str,
+        bandwidth_bps: float = 10e6,
+        prop_delay: float = 0.002,
+        jitter: Optional[JitterModel] = None,
+        loss: Optional[LossModel] = None,
+        ber: float = 0.0,
+        buffer_bytes: int = 256 * 1024,
+        bidirectional: bool = True,
+    ) -> "HostBuilder":
+        """Attach this host to ``other`` (host or router); chainable."""
+        self._stack.link(
+            self.name, other, bandwidth_bps, prop_delay=prop_delay,
+            jitter=jitter, loss=loss, ber=ber, buffer_bytes=buffer_bytes,
+            bidirectional=bidirectional,
+        )
+        return self
+
+    @property
+    def entity(self) -> TransportEntity:
+        """This host's transport entity (stack must be up)."""
+        return self._stack.entities[self.name]
+
+    @property
+    def llo(self) -> LLOInstance:
+        """This host's low-level orchestrator (stack must be up)."""
+        return self._stack.llos[self.name]
+
+
+class Stack(Runtime):
+    """Builder and container for a complete experiment environment.
+
+    Usage::
+
+        stack = Stack(seed=1)
+        stack.host("client")
+        stack.host("server", clock_skew_ppm=120).link("client")
+        stack.up()                    # instantiate all layers
+        ... stack.sim, stack.entities, stack.hlo, stack.factory ...
+    """
+
+    #: Not a pytest test class despite subclasses' names.
+    __test__ = False
+
+    def __init__(self, seed: int = 0, sample_period: float = 1.0,
+                 gap_timeout: float = 0.05, reservable_fraction: float = 0.9):
+        super().__init__(seed)
+        self.network = Network(self.sim, self.rng)
+        self.sample_period = sample_period
+        self.gap_timeout = gap_timeout
+        self.reservable_fraction = reservable_fraction
+        self.reservations: Optional[ReservationManager] = None
+        self.entities: Dict[str, TransportEntity] = {}
+        self.llos: Dict[str, LLOInstance] = {}
+        self.hlo: Optional[HighLevelOrchestrator] = None
+        self.trader: Optional[Trader] = None
+        self.rpc: Optional[RexRPC] = None
+        self.factory: Optional[StreamFactory] = None
+        self._hosts: Dict[str, HostBuilder] = {}
+        self._up = False
+
+    # -- topology ----------------------------------------------------------
+
+    def host(self, name: str, clock_skew_ppm: float = 0.0) -> HostBuilder:
+        """Add an end-system before :meth:`up`."""
+        self._check_down()
+        node = self.network.add_host(name, clock_skew_ppm=clock_skew_ppm)
+        self.register_clock(name, node.clock)
+        builder = HostBuilder(self, node)
+        self._hosts[name] = builder
+        return builder
+
+    def router(self, name: str):
+        self._check_down()
+        return self.network.add_router(name)
+
+    def link(
+        self,
+        a: str,
+        b: str,
+        bandwidth_bps: float = 10e6,
+        prop_delay: float = 0.002,
+        jitter: Optional[JitterModel] = None,
+        loss: Optional[LossModel] = None,
+        ber: float = 0.0,
+        buffer_bytes: int = 256 * 1024,
+        bidirectional: bool = True,
+    ) -> Tuple[Link, Optional[Link]]:
+        self._check_down()
+        return self.network.add_link(
+            a, b, bandwidth_bps, prop_delay=prop_delay, jitter=jitter,
+            loss=loss, ber=ber, buffer_bytes=buffer_bytes,
+            bidirectional=bidirectional,
+        )
+
+    def host_stack(self, name: str) -> HostBuilder:
+        """The composed per-host view for an existing host."""
+        return self._hosts[name]
+
+    def _check_down(self) -> None:
+        if self._up:
+            raise RuntimeError("topology is frozen once the stack is up")
+
+    # -- stack -------------------------------------------------------------
+
+    def up(self, max_orch_sessions: int = 8) -> "Stack":
+        """Instantiate transport, orchestration and platform layers."""
+        if self._up:
+            return self
+        self._up = True
+        self.reservations = ReservationManager(
+            self.network, reservable_fraction=self.reservable_fraction
+        )
+        self.entities = build_transport(
+            self.sim,
+            self.network,
+            self.reservations,
+            sample_period=self.sample_period,
+            gap_timeout=self.gap_timeout,
+        )
+        self.llos = build_llos(
+            self.sim, self.network, self.entities,
+            max_sessions=max_orch_sessions,
+        )
+        self.hlo = HighLevelOrchestrator(self.sim, self.llos)
+        self.trader = Trader()
+        self.rpc = RexRPC(self.sim, self.network, self.trader)
+        self.factory = StreamFactory(self.sim, self.entities)
+        return self
+
+    # -- conveniences ------------------------------------------------------
+
+    @classmethod
+    def star(
+        cls,
+        seed: int = 0,
+        leaves: int = 3,
+        bandwidth_bps: float = 20e6,
+        prop_delay: float = 0.003,
+        jitter: Optional[JitterModel] = None,
+        clock_skew_ppm: float = 100.0,
+        centre_name: str = "hub",
+    ) -> "Stack":
+        """A hub-and-spoke topology: ``leaf0..leafN`` around a router.
+
+        Leaf clocks drift at alternating ±``clock_skew_ppm`` so that
+        drift experiments have genuine divergence out of the box.
+        """
+        stack = cls(seed=seed)
+        stack.router(centre_name)
+        for i in range(leaves):
+            skew = clock_skew_ppm if i % 2 == 0 else -clock_skew_ppm
+            stack.host(f"leaf{i}", clock_skew_ppm=skew * (1 + i / 10))
+            stack.link(
+                f"leaf{i}", centre_name, bandwidth_bps,
+                prop_delay=prop_delay, jitter=jitter,
+            )
+        return stack

@@ -53,7 +53,7 @@ def gather(results_dir: str) -> List[str]:
     if not os.path.isdir(results_dir):
         raise FileNotFoundError(
             f"no results directory at {results_dir!r}; run "
-            f"`pytest benchmarks/ --benchmark-only` first"
+            "`pytest benchmarks/ --benchmark-only` first"
         )
     present = {
         name[:-4]

@@ -8,7 +8,6 @@ with :meth:`Network.send`; routers forward hop by hop.
 
 from __future__ import annotations
 
-import random as _random
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx

@@ -23,7 +23,7 @@ from typing import List, Optional, Tuple
 
 from repro.netsim.packet import Packet, Priority
 from repro.netsim.topology import Network
-from repro.sim.scheduler import Event, Process, Simulator, Timeout
+from repro.sim.scheduler import Process, Simulator, Timeout
 
 #: Wire size of one synchronisation probe/reply, bytes.
 SYNC_WIRE_BYTES = 48

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import itertools
 from collections import Counter
-from dataclasses import replace as dc_replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.scheduler import Simulator
@@ -29,7 +28,6 @@ from repro.orchestration.clock_sync import NTPLikeSynchronizer
 from repro.orchestration.hlo_agent import HLOAgent, StreamSpec
 from repro.orchestration.llo import LLOInstance
 from repro.orchestration.policy import OrchestrationPolicy
-from repro.orchestration.primitives import OrchReply
 
 
 class OrchestrationError(Exception):

@@ -32,13 +32,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.sim.scheduler import Event, Process, Simulator, Timeout
+from repro.sim.scheduler import Process, Simulator, Timer
 from repro.orchestration.llo import LLOInstance
 from repro.orchestration.policy import CompensationAction, OrchestrationPolicy
 from repro.orchestration.primitives import (
     OrchEventIndication,
     OrchRegulateIndication,
-    OrchReply,
 )
 
 
@@ -264,6 +263,7 @@ class HLOAgent:
 
     def _regulation_loop(self):
         interval_length = self.policy.interval_length
+        pace = Timer(self.sim)
         while self.running:
             self.config.intervals_issued += 1
             interval_id = self.config.intervals_issued
@@ -287,7 +287,7 @@ class HLOAgent:
                 )
             remaining = self.clock.sim_duration(end_master - self.clock.now())
             if remaining > 0:
-                yield Timeout(self.sim, remaining)
+                yield pace.after(remaining)
 
     def _target_for(self, spec: StreamSpec, media_time: float) -> int:
         """Target OSDU sequence for a stream at a master media time.

@@ -30,7 +30,7 @@ from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.netsim.packet import Packet, Priority
 from repro.netsim.topology import Network
-from repro.sim.scheduler import AllOf, AnyOf, Event, Simulator, Timeout
+from repro.sim.scheduler import AllOf, AnyOf, Event, Simulator, Timeout, Timer
 from repro.sim.sync import Queue
 from repro.transport.buffers import ROLE_APPLICATION, ROLE_PROTOCOL
 from repro.transport.entity import TransportEntity, VCEndpoint
@@ -53,7 +53,6 @@ from repro.orchestration.opdu import (
 from repro.orchestration.primitives import (
     AddIndication,
     DelayedIndication,
-    OrchDenyIndication,
     OrchEventIndication,
     OrchRegulateIndication,
     OrchReply,
@@ -180,7 +179,7 @@ class LLOInstance:
         request_id = next(self._req_ids)
         aggregate = _PendingAggregate(set(nodes), Event(self.sim))
         self._pending[request_id] = aggregate
-        for node in nodes:
+        for node in sorted(nodes):
             opdu = SessionRequestOPDU(
                 session_id=session_id,
                 request_id=request_id,
@@ -208,7 +207,7 @@ class LLOInstance:
         self._release_everywhere(session, reason)
 
     def _release_everywhere(self, session: _Session, reason: str) -> None:
-        for node in session.nodes() | {session.origin}:
+        for node in sorted(session.nodes() | {session.origin}):
             opdu = SessionReleaseOPDU(
                 session_id=session.session_id,
                 request_id=next(self._req_ids),
@@ -241,7 +240,7 @@ class LLOInstance:
         request_id = next(self._req_ids)
         aggregate = _PendingAggregate(set(nodes), Event(self.sim))
         self._pending[request_id] = aggregate
-        for node in nodes:
+        for node in sorted(nodes):
             opdu = GroupCmdOPDU(
                 session_id=session_id,
                 request_id=request_id,
@@ -627,9 +626,10 @@ class LLOInstance:
             # travels at CONTROL priority and can overtake data) must
             # land and be flushed before the pipeline refills.
             deposited = recv_vc.buffer.deposited
+            quiesce = Timer(self.sim)
             while True:
                 recv_vc.flush()
-                yield Timeout(self.sim, self.prime_quiesce)
+                yield quiesce.after(self.prime_quiesce)
                 if recv_vc.buffer.deposited == deposited:
                     break
                 deposited = recv_vc.buffer.deposited
@@ -734,11 +734,14 @@ class LLOInstance:
         # it is pacing `interval_length` seconds, but its clock may
         # drift relative to the orchestrating node's master clock.
         interval_start_local = self.clock.now()
+        # One reusable timer paces the whole interval: the per-OSDU loop
+        # re-arms it instead of allocating a Timeout + closures per tick.
+        pace = Timer(self.sim)
         for k in range(1, n_due + 1):
             tick_local = interval_start_local + cmd.interval_length * k / n_due
             remaining_local = tick_local - self.clock.now()
             if remaining_local > 0:
-                yield Timeout(self.sim, self.clock.sim_duration(remaining_local))
+                yield pace.after(self.clock.sim_duration(remaining_local))
             pace_target = start_seq + k
             if recv_vc.delivered_seq() >= pace_target:
                 # Already at pace (source drops advance the sequence
@@ -755,7 +758,7 @@ class LLOInstance:
         end_local = interval_start_local + cmd.interval_length
         remaining_local = end_local - self.clock.now()
         if remaining_local > 0:
-            yield Timeout(self.sim, self.clock.sim_duration(remaining_local))
+            yield pace.after(self.clock.sim_duration(remaining_local))
         # Snapshot the delivered sequence *before* chaining the next
         # interval: its early grants must not leak into this report.
         final_seq = recv_vc.delivered_seq()

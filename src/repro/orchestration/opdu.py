@@ -13,7 +13,7 @@ ahead of all data traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 #: Nominal wire size of one control OPDU, bytes.
 OPDU_WIRE_BYTES = 96

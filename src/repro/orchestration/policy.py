@@ -11,8 +11,7 @@ section 5).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 
 class CompensationAction(enum.Enum):

@@ -1,6 +1,6 @@
 """Event scheduler and process model for the virtual-time kernel.
 
-The design is a conventional event-heap simulator with generator
+The design is a handle-based event-heap simulator with generator
 coroutines, written from scratch so the reproduction has no runtime
 dependencies beyond the standard library.
 
@@ -13,6 +13,21 @@ waitable's value as the result of the ``yield`` expression::
         value = yield some_event          # wait for an Event
         done = yield AnyOf(sim, [a, b])   # first of several
 
+Hot paths (per-OSDU pacing, NACK deadlines, sample periods) should not
+allocate a fresh :class:`Timeout` per event.  The kernel provides two
+reusable primitives instead:
+
+- :class:`Timer` -- a re-armable one-shot waitable.  A protocol loop
+  owns one and yields ``timer.after(delay)`` each iteration; the single
+  underlying :class:`TimerHandle` is rescheduled in place.
+- :class:`PeriodicTimer` -- fires a callback every ``period`` seconds,
+  re-arming one handle per tick.
+
+Every scheduling call returns a :class:`TimerHandle` with O(1)
+``cancel()`` and ``reschedule()``.  Cancelled or superseded heap entries
+are reclaimed lazily: they are skipped on pop, and the heap is compacted
+in one sweep whenever more than half of it is dead.
+
 Time is a float in **seconds** throughout the code base.
 """
 
@@ -20,6 +35,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 
@@ -35,19 +51,88 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+#: Heap size below which dead entries are never swept: rebuilding a tiny
+#: heap costs more than skipping its corpses on pop.
+_COMPACT_MIN_HEAP = 128
+
+
+class TimerHandle:
+    """Cancellable, reschedulable handle for one scheduled callback.
+
+    A handle owns its callback for life and can be re-armed any number
+    of times (:meth:`reschedule`), which is what makes zero-allocation
+    periodic work possible.  Heap entries carry the generation counter
+    at push time; cancelling or rescheduling bumps the live generation,
+    so superseded entries are recognised and discarded when they
+    surface at the top of the heap.
+    """
+
+    __slots__ = ("sim", "priority", "when", "_fn", "_gen", "_live", "_cancelled")
+
+    def __init__(self, sim: "Simulator", fn: Callable[[], None], priority: int = 0):
+        self.sim = sim
+        self.priority = priority
+        #: Absolute virtual time of the pending (or most recent) firing.
+        self.when: Optional[float] = None
+        self._fn = fn
+        self._gen = 0
+        self._live = False
+        self._cancelled = False
+
+    @property
+    def scheduled(self) -> bool:
+        """True while a firing is pending on the heap."""
+        return self._live
+
+    @property
+    def cancelled(self) -> bool:
+        """True after :meth:`cancel` (cleared by a later reschedule)."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Retract the pending firing, if any.  O(1); idempotent."""
+        self._cancelled = True
+        if self._live:
+            self._live = False
+            self.sim._note_dead()
+
+    def reschedule(self, when: float) -> "TimerHandle":
+        """(Re-)arm the handle at absolute time ``when``.  O(log n).
+
+        Works on idle, pending, cancelled and already-fired handles; a
+        pending firing is superseded in place.
+        """
+        self.sim._push(self, when)
+        return self
+
+    def reschedule_after(self, delay: float) -> "TimerHandle":
+        """(Re-)arm the handle ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.reschedule(self.sim._now + delay)
+
+
+#: Backwards-compatible name: the pre-handle kernel called these
+#: ScheduledCall; the API (cancel/cancelled) is a subset of TimerHandle.
+ScheduledCall = TimerHandle
+
+
 class Simulator:
     """A discrete-event simulator with a virtual clock.
 
-    Events are ``(time, priority, seq, callback)`` tuples on a heap; the
-    ``seq`` counter makes ordering of simultaneous events deterministic
-    (FIFO within equal time and priority).
+    Events are ``(time, priority, seq, gen, handle)`` tuples on a heap;
+    the ``seq`` counter makes ordering of simultaneous events
+    deterministic (FIFO within equal time and priority, including
+    reschedules: re-arming for the same instant re-enqueues behind its
+    contemporaries).
     """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, int, int, TimerHandle]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        self._dead = 0
         self.process_count = 0
 
     @property
@@ -55,29 +140,73 @@ class Simulator:
         """Current virtual time in seconds."""
         return self._now
 
+    # -- scheduling --------------------------------------------------------
+
     def call_at(
         self, when: float, fn: Callable[[], None], priority: int = 0
-    ) -> "ScheduledCall":
+    ) -> TimerHandle:
         """Schedule ``fn()`` at absolute virtual time ``when``."""
-        if when < self._now:
-            raise SimulationError(
-                f"cannot schedule at {when:.9f}, now is {self._now:.9f}"
-            )
-        handle = ScheduledCall(when, priority, next(self._seq), fn)
-        heapq.heappush(self._heap, handle._entry())
+        handle = TimerHandle(self, fn, priority)
+        self._push(handle, when)
         return handle
 
     def call_after(
         self, delay: float, fn: Callable[[], None], priority: int = 0
-    ) -> "ScheduledCall":
+    ) -> TimerHandle:
         """Schedule ``fn()`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         return self.call_at(self._now + delay, fn, priority)
 
-    def call_soon(self, fn: Callable[[], None], priority: int = 0) -> "ScheduledCall":
+    def call_soon(self, fn: Callable[[], None], priority: int = 0) -> TimerHandle:
         """Schedule ``fn()`` at the current time (after pending events)."""
         return self.call_at(self._now, fn, priority)
+
+    def _push(self, handle: TimerHandle, when: float) -> None:
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when:.9f}, now is {self._now:.9f}"
+            )
+        if handle._live:
+            # Supersede the pending entry in place.
+            handle._live = False
+            self._dead += 1
+        handle._gen += 1
+        handle._live = True
+        handle._cancelled = False
+        handle.when = when
+        heap = self._heap
+        _heappush(
+            heap, (when, handle.priority, next(self._seq), handle._gen, handle)
+        )
+        # Compaction check inlined: this is the hottest call in the kernel.
+        if self._dead * 2 > len(heap) >= _COMPACT_MIN_HEAP:
+            self._compact()
+
+    # -- dead-entry reclamation --------------------------------------------
+
+    def _note_dead(self) -> None:
+        self._dead += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        if self._dead * 2 > len(self._heap) >= _COMPACT_MIN_HEAP:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Sweep dead entries and rebuild the heap in one O(n) pass.
+
+        In place (slice assignment), because ``run()`` may hold an alias
+        of the heap list while callbacks trigger a compaction.
+        """
+        self._heap[:] = [
+            entry for entry in self._heap
+            if entry[4]._live and entry[3] == entry[4]._gen
+        ]
+        heapq.heapify(self._heap)
+        self._dead = 0
+
+    # -- execution ---------------------------------------------------------
 
     def spawn(
         self, gen: Generator[Any, Any, Any], name: Optional[str] = None
@@ -96,17 +225,22 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
+        heap = self._heap
         try:
-            while self._heap:
-                when, _prio, _seq, fn = self._heap[0]
-                if fn is None:  # cancelled
-                    heapq.heappop(self._heap)
+            while heap:
+                entry = heap[0]
+                handle = entry[4]
+                if not handle._live or entry[3] != handle._gen:
+                    _heappop(heap)
+                    self._dead -= 1
                     continue
+                when = entry[0]
                 if until is not None and when > until:
                     break
-                heapq.heappop(self._heap)
+                _heappop(heap)
                 self._now = when
-                fn()
+                handle._live = False
+                handle._fn()
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -116,51 +250,20 @@ class Simulator:
     def step(self) -> bool:
         """Execute a single event.  Returns False when none remain."""
         while self._heap:
-            when, _prio, _seq, fn = heapq.heappop(self._heap)
-            if fn is None:
+            when, _prio, _seq, gen, handle = _heappop(self._heap)
+            if not handle._live or gen != handle._gen:
+                self._dead -= 1
                 continue
             self._now = when
-            fn()
+            handle._live = False
+            handle._fn()
             return True
         return False
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled (non-cancelled) events."""
-        return sum(
-            1
-            for entry in self._heap
-            if entry[3] is not None and not getattr(
-                entry[3], "__self__", None
-            ).cancelled
-        )
-
-
-class ScheduledCall:
-    """Cancellable handle for a scheduled callback."""
-
-    __slots__ = ("when", "priority", "seq", "_fn", "_cancelled")
-
-    def __init__(self, when: float, priority: int, seq: int, fn: Callable[[], None]):
-        self.when = when
-        self.priority = priority
-        self.seq = seq
-        self._fn = fn
-        self._cancelled = False
-
-    def _entry(self):
-        return (self.when, self.priority, self.seq, self._run)
-
-    def _run(self) -> None:
-        if not self._cancelled:
-            self._fn()
-
-    def cancel(self) -> None:
-        self._cancelled = True
-
-    @property
-    def cancelled(self) -> bool:
-        return self._cancelled
+        """Number of scheduled (non-cancelled) events.  O(1)."""
+        return len(self._heap) - self._dead
 
 
 class Waitable:
@@ -175,8 +278,18 @@ class Waitable:
         raise NotImplementedError
 
 
+def _noop_detach() -> None:
+    return None
+
+
 class Timeout(Waitable):
-    """Fires once, ``delay`` seconds after creation."""
+    """Fires once, ``delay`` seconds after creation.
+
+    The underlying :class:`TimerHandle` is retained: when the last
+    waiter detaches before the deadline (an :class:`AnyOf` losing
+    branch, a process interrupt) the heap entry is reclaimed instead of
+    lingering until it fires into the void.
+    """
 
     def __init__(self, sim: Simulator, delay: float, value: Any = None):
         if delay < 0:
@@ -186,7 +299,8 @@ class Timeout(Waitable):
         self.value = value
         self._fired = False
         self._callbacks: list[Callable[[Any], None]] = []
-        sim.call_after(delay, self._fire)
+        self._when = sim.now + delay
+        self._handle = sim.call_at(self._when, self._fire)
 
     def _fire(self) -> None:
         self._fired = True
@@ -197,7 +311,11 @@ class Timeout(Waitable):
     def _await(self, callback: Callable[[Any], None]) -> Callable[[], None]:
         if self._fired:
             self.sim.call_soon(lambda: callback(self.value))
-            return lambda: None
+            return _noop_detach
+        if not self._handle.scheduled:
+            # All previous waiters detached and the timer was reclaimed;
+            # a new waiter re-arms it at the original deadline.
+            self._handle.reschedule(max(self._when, self.sim.now))
         self._callbacks.append(callback)
         return lambda: self._discard(callback)
 
@@ -205,7 +323,143 @@ class Timeout(Waitable):
         try:
             self._callbacks.remove(callback)
         except ValueError:
-            pass
+            return
+        if not self._callbacks and not self._fired:
+            self._handle.cancel()
+
+
+class Timer(Waitable):
+    """A reusable one-shot timer waitable for hot loops.
+
+    Allocate one per protocol machine and re-arm it per event::
+
+        pace = Timer(sim)
+        while True:
+            yield pace.after(slot_delay)      # no allocation per slot
+
+    At most one waiter may be attached at a time (re-yielding from the
+    same process, or membership in one :class:`AnyOf`, both satisfy
+    this).  Detaching -- an AnyOf loss, a process interrupt -- cancels
+    the underlying handle, so no orphaned firing stays on the heap.
+    """
+
+    __slots__ = ("sim", "value", "_handle", "_callback")
+
+    def __init__(self, sim: Simulator, priority: int = 0):
+        self.sim = sim
+        self.value: Any = None
+        self._callback: Optional[Callable[[Any], None]] = None
+        self._handle = TimerHandle(sim, self._fire, priority)
+
+    @property
+    def scheduled(self) -> bool:
+        return self._handle.scheduled
+
+    def after(self, delay: float, value: Any = None) -> "Timer":
+        """Arm (or re-arm) to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative timer delay {delay}")
+        return self.at(self.sim.now + delay, value)
+
+    def at(self, when: float, value: Any = None) -> "Timer":
+        """Arm (or re-arm) to fire at absolute time ``when``."""
+        self.value = value
+        self._handle.reschedule(when)
+        return self
+
+    def cancel(self) -> None:
+        self._handle.cancel()
+
+    def _fire(self) -> None:
+        callback, self._callback = self._callback, None
+        if callback is not None:
+            callback(self.value)
+
+    def _await(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        if self._callback is not None:
+            raise SimulationError("Timer already has a waiter")
+        if not self._handle.scheduled:
+            raise SimulationError("Timer must be armed (after/at) before waiting")
+        self._callback = callback
+        return self._detach
+
+    def _detach(self) -> None:
+        self._callback = None
+        self._handle.cancel()
+
+
+class PeriodicTimer:
+    """Calls ``fn`` every ``period`` seconds without per-tick allocation.
+
+    The workhorse for rate pacing, QoS sample periods and regulation
+    intervals: one :class:`TimerHandle` is re-armed per tick, replacing
+    the Timeout-plus-closures-per-event idiom.  Tick times accumulate
+    exactly (``start + k * period``), so boundaries do not drift.
+
+    ``fn`` runs after the next tick is armed and may call :meth:`stop`
+    or :meth:`set_period` (the latter takes effect from the following
+    tick).
+    """
+
+    __slots__ = ("sim", "_period", "_fn", "_handle", "_next", "_running")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        fn: Callable[[], None],
+        priority: int = 0,
+    ):
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self.sim = sim
+        self._period = period
+        self._fn = fn
+        self._handle = TimerHandle(sim, self._tick, priority)
+        self._next: Optional[float] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    def start(self, first_delay: Optional[float] = None) -> "PeriodicTimer":
+        """Begin ticking; the first tick is ``first_delay`` (default:
+        one period) from now.  No-op when already running."""
+        if self._running:
+            return self
+        delay = self._period if first_delay is None else first_delay
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._running = True
+        self._next = self.sim.now + delay
+        self._handle.reschedule(self._next)
+        return self
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._handle.cancel()
+
+    def set_period(self, period: float) -> None:
+        """Change the period; applies from the next re-arm."""
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self._period = period
+
+    def _tick(self) -> None:
+        # Re-arm before running fn (so fn may stop()); goes straight to
+        # the simulator's push to keep the per-tick call chain short.
+        sim = self.sim
+        when = self._next = self._next + self._period
+        now = sim._now
+        sim._push(self._handle, when if when > now else now)
+        self._fn()
 
 
 class Event(Waitable):
@@ -243,7 +497,7 @@ class Event(Waitable):
     def _await(self, callback: Callable[[Any], None]) -> Callable[[], None]:
         if self._is_set:
             self.sim.call_soon(lambda: callback(self._value))
-            return lambda: None
+            return _noop_detach
         self._callbacks.append(callback)
         return lambda: self._discard(callback)
 
@@ -257,7 +511,9 @@ class Event(Waitable):
 class AnyOf(Waitable):
     """Fires when the *first* of several waitables fires.
 
-    The resume value is ``(index, value)`` of the winner.
+    The resume value is ``(index, value)`` of the winner.  Losing
+    branches are detached, which reclaims their timers (see
+    :class:`Timeout` and :class:`Timer`).
     """
 
     def __init__(self, sim: Simulator, waitables: Iterable[Waitable]):
@@ -300,7 +556,7 @@ class AllOf(Waitable):
         total = len(self.waitables)
         if total == 0:
             self.sim.call_soon(lambda: callback([]))
-            return lambda: None
+            return _noop_detach
         values: list[Any] = [None] * total
         remaining = [total]
         detachers: list[Callable[[], None]] = []

@@ -15,7 +15,7 @@ requested, mapping straight onto the link scheduling bands.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
 from repro.netsim.packet import Packet, Priority

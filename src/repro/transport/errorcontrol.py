@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.sim.scheduler import ScheduledCall, Simulator
+from repro.sim.scheduler import Simulator, TimerHandle
 from repro.transport.osdu import OSDU
 
 #: (osdu, was_recovered) pairs released in order; a ``None`` osdu marks
@@ -71,7 +71,9 @@ class ReorderBuffer:
         self.max_stash = max_stash
         self.next_expected = 0
         self._stash: Dict[int, OSDU] = {}
-        self._skip_timer: Optional[ScheduledCall] = None
+        # One persistent gap timer for the life of the buffer, re-armed
+        # per gap instead of allocating a fresh scheduled call each time.
+        self._skip_timer = TimerHandle(sim, self._on_skip)
         self._nacked: set[int] = set()
         self._nack_attempts: Dict[int, int] = {}
         self.lost_count = 0
@@ -142,11 +144,10 @@ class ReorderBuffer:
                 self._nack_attempts[s] = 0
             if self.nack is not None:
                 self.nack(missing)
-        if self._skip_timer is None:
-            self._skip_timer = self.sim.call_after(self.gap_timeout, self._on_skip)
+        if not self._skip_timer.scheduled:
+            self._skip_timer.reschedule_after(self.gap_timeout)
 
     def _on_skip(self) -> None:
-        self._skip_timer = None
         if not self._gap_open():
             return
         first_stashed = min(self._stash)
@@ -166,7 +167,7 @@ class ReorderBuffer:
                 self._nack_attempts[s] = self._nack_attempts.get(s, 0) + 1
             if self.nack is not None and not self.reliable:
                 self.nack(retryable)
-            self._skip_timer = self.sim.call_after(self.gap_timeout, self._on_skip)
+            self._skip_timer.reschedule_after(self.gap_timeout)
             return
         releases = self._skip_gap()
         self._emit(releases)
@@ -191,11 +192,10 @@ class ReorderBuffer:
         return bool(self._stash)
 
     def _rearm_or_cancel_timer(self) -> None:
-        if self._skip_timer is not None:
-            self._skip_timer.cancel()
-            self._skip_timer = None
         if self._gap_open():
-            self._skip_timer = self.sim.call_after(self.gap_timeout, self._on_skip)
+            self._skip_timer.reschedule_after(self.gap_timeout)
+        else:
+            self._skip_timer.cancel()
 
     def _emit(self, releases: List[Release]) -> None:
         if self.on_release is not None:
@@ -208,6 +208,4 @@ class ReorderBuffer:
         self._stash.clear()
         self._nacked.clear()
         self._nack_attempts.clear()
-        if self._skip_timer is not None:
-            self._skip_timer.cancel()
-            self._skip_timer = None
+        self._skip_timer.cancel()

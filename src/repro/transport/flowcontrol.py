@@ -22,9 +22,9 @@ from typing import Generator, Optional
 
 from repro.sim.scheduler import (
     Event,
-    ScheduledCall,
     Simulator,
-    Timeout,
+    Timer,
+    TimerHandle,
 )
 
 
@@ -35,6 +35,9 @@ class RateBasedFlowControl:
     sender may transmit a unit of that size while respecting the
     configured bit rate.  Rate changes apply to the *next* slot
     computation, so adaptation latency is one OSDU at most.
+
+    Pacing reuses one :class:`~repro.sim.scheduler.Timer`, re-armed per
+    slot, so the per-OSDU hot path allocates nothing on the event heap.
     """
 
     def __init__(self, sim: Simulator, rate_bps: float):
@@ -45,6 +48,7 @@ class RateBasedFlowControl:
         self._next_slot = 0.0
         self._paused = False
         self._resume_event: Optional[Event] = None
+        self._pace = Timer(sim)
 
     @property
     def rate_bps(self) -> float:
@@ -80,7 +84,7 @@ class RateBasedFlowControl:
         start = max(self.sim.now, self._next_slot)
         self._next_slot = start + size_bits / self._rate_bps
         if start > self.sim.now:
-            yield Timeout(self.sim, start - self.sim.now)
+            yield self._pace.at(start)
         # A pause may have landed while we slept.
         while self._paused:
             yield self._resume_event
@@ -118,7 +122,7 @@ class WindowBasedFlowControl:
         self._base = 0            # oldest unacked seq
         self._next_seq = 0        # next seq to be sent
         self._space_event: Optional[Event] = None
-        self._timer: Optional[ScheduledCall] = None
+        self._timer = TimerHandle(sim, self._on_timeout)
         self.on_retransmit = None  # Callable[[int, int], None]: range base..next-1
         self.retransmission_count = 0
         self.timeout_count = 0
@@ -142,7 +146,7 @@ class WindowBasedFlowControl:
                 self._space_event = Event(self.sim)
             yield self._space_event
         self._next_seq += 1
-        if self._timer is None:
+        if not self._timer.scheduled:
             self._arm_timer()
         return None
 
@@ -167,15 +171,12 @@ class WindowBasedFlowControl:
                 event.set(None)
 
     def _arm_timer(self) -> None:
-        self._timer = self.sim.call_after(self.rto, self._on_timeout)
+        self._timer.reschedule_after(self.rto)
 
     def _disarm_timer(self) -> None:
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
+        self._timer.cancel()
 
     def _on_timeout(self) -> None:
-        self._timer = None
         if self.outstanding == 0:
             return
         self.timeout_count += 1

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional
 
-from repro.netsim.packet import Packet, Priority
+from repro.netsim.packet import Packet
 from repro.netsim.reservation import AdmissionError, Reservation
 from repro.sim.scheduler import Process, Simulator
 from repro.sim.sync import TimedSemaphore

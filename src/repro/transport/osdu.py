@@ -14,7 +14,7 @@ orchestration service attaches an :class:`OPDU` to every OSDU carrying:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 

@@ -1,0 +1,85 @@
+"""Tests for the shared runtime core (Runtime / Stack / HostBuilder)."""
+
+import pytest
+
+from repro.apps.testbed import Testbed
+from repro.core import Runtime, Stack
+
+
+class TestRuntime:
+    def test_owns_simulator_and_clock(self):
+        rt = Runtime(seed=7)
+        assert rt.now == 0.0
+        assert rt.run(2.5) == pytest.approx(2.5)
+        assert rt.now == pytest.approx(2.5)
+
+    def test_named_streams_are_deterministic(self):
+        a, b = Runtime(seed=7), Runtime(seed=7)
+        assert [a.stream("x").random() for _ in range(5)] == [
+            b.stream("x").random() for _ in range(5)
+        ]
+        assert a.stream("x") is a.stream("x")
+
+    def test_spawn_runs_processes(self):
+        rt = Runtime()
+        trace = []
+
+        def proc():
+            trace.append(rt.now)
+            if False:
+                yield None
+
+        rt.spawn(proc())
+        rt.run(1.0)
+        assert trace == [0.0]
+
+
+class TestStack:
+    def test_host_builder_composes_all_layers(self):
+        stack = Stack(seed=1)
+        server = stack.host("server", clock_skew_ppm=120.0)
+        client = stack.host("client").link("server", bandwidth_bps=10e6)
+        stack.up()
+        # Node + clock are live from creation...
+        assert server.name == "server"
+        assert server.clock is stack.network.host("server").clock
+        # ...entity and LLO appear once the stack is up.
+        assert server.entity is stack.entities["server"]
+        assert server.llo is stack.llos["server"]
+        assert client.entity is stack.entities["client"]
+        assert stack.hlo is not None and stack.factory is not None
+
+    def test_clock_registry(self):
+        stack = Stack(seed=1)
+        stack.host("a", clock_skew_ppm=200.0)
+        stack.host("b", clock_skew_ppm=-200.0)
+        assert stack.clock("a") is stack.network.host("a").clock
+        assert dict(stack.clocks()).keys() == {"a", "b"}
+        stack.link("a", "b")
+        stack.up()
+        stack.run(10.0)
+        # Skewed clocks actually diverge.
+        assert stack.clock("a").now() > stack.clock("b").now()
+
+    def test_topology_frozen_after_up(self):
+        stack = Stack()
+        stack.host("a")
+        stack.host("b")
+        stack.link("a", "b")
+        stack.up()
+        with pytest.raises(RuntimeError):
+            stack.host("c")
+
+    def test_host_stack_lookup(self):
+        stack = Stack()
+        stack.host("a")
+        assert stack.host_stack("a").name == "a"
+
+    def test_testbed_is_a_stack(self):
+        bed = Testbed(seed=3)
+        assert isinstance(bed, Stack)
+        assert isinstance(bed, Runtime)
+        star = Testbed.star(leaves=2)
+        assert isinstance(star, Testbed)
+        star.up()
+        assert set(star.entities) == {"leaf0", "leaf1"}

@@ -9,7 +9,6 @@ flow rate target": a blocked protocol thread blames the application
 
 import sys
 
-import pytest
 
 sys.path.insert(0, "tests")
 

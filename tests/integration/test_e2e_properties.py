@@ -1,6 +1,5 @@
 """Property-based end-to-end transport tests (hypothesis)."""
 
-import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.netsim.link import BernoulliLoss

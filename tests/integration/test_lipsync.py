@@ -6,7 +6,6 @@ due to the inevitable discrepancies between remote clock rates"; the
 orchestration service bounds the skew.
 """
 
-import pytest
 
 from repro.apps.testbed import Testbed
 from repro.ansa.stream import AudioQoS, VideoQoS

@@ -6,7 +6,6 @@ NTP-like synchronisation function inside the orchestrator protocols.
 ``require_common_node=False`` enables exactly that.
 """
 
-import pytest
 
 from repro.apps.testbed import Testbed
 from repro.ansa.stream import AudioQoS, VideoQoS

@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.testbed import Testbed
 from repro.ansa.stream import AudioQoS, VideoQoS
-from repro.media.encodings import audio_pcm, video_cbr
+from repro.media.encodings import video_cbr
 from repro.media.sink import PlayoutSink
 from repro.media.source import LiveSource, StoredMediaSource
 from repro.media.lipsync import (

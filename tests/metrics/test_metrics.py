@@ -94,7 +94,7 @@ class TestTable:
 
 class TestReport:
     def test_render_orders_and_includes_tables(self, tmp_path):
-        from repro.metrics.report import EXPERIMENT_INDEX, render
+        from repro.metrics.report import render
 
         (tmp_path / "e06_regulation.txt").write_text("E6 TABLE\n")
         (tmp_path / "e01_connection.txt").write_text("E1 TABLE\n")

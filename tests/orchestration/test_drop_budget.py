@@ -1,6 +1,5 @@
 """The max-drop# catch-up mechanism (section 6.3.1.1)."""
 
-import pytest
 
 from repro.orchestration.hlo_agent import StreamSpec
 from repro.orchestration.policy import OrchestrationPolicy

@@ -7,7 +7,6 @@ from repro.orchestration.llo import (
     REASON_TIMEOUT,
     auto_orch_responder,
 )
-from repro.orchestration.primitives import OrchReply
 
 
 def establish(film):

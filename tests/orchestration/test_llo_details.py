@@ -1,6 +1,5 @@
 """Focused LLO mechanism tests: backlog, queries, drop handling."""
 
-import pytest
 
 from repro.orchestration.opdu import DropRequestOPDU, RegulateCmdOPDU
 

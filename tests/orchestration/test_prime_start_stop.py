@@ -1,8 +1,6 @@
 """Orch.Prime / Orch.Start / Orch.Stop semantics (Table 5, section 6.2)."""
 
-import pytest
 
-from repro.sim.scheduler import Timeout
 
 
 def establish(film, policy=None):

@@ -1,6 +1,5 @@
 """Orchestration session establishment and release (Table 4)."""
 
-import pytest
 
 from repro.orchestration.llo import (
     REASON_NO_SUCH_VC,

@@ -7,7 +7,6 @@ from repro.sim.scheduler import (
     AnyOf,
     Event,
     Interrupt,
-    Process,
     SimulationError,
     Simulator,
     Timeout,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.scheduler import SimulationError, Timeout
+from repro.sim.scheduler import SimulationError
 from repro.sim.sync import Queue, QueueFull, Semaphore, TimedSemaphore
 
 

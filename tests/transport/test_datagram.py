@@ -8,7 +8,6 @@ from repro.netsim.topology import Network
 from repro.sim.random import RandomStreams
 from repro.transport.addresses import TransportAddress
 from repro.transport.datagram import (
-    DatagramService,
     build_datagram_services,
 )
 

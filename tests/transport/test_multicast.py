@@ -4,8 +4,6 @@ import pytest
 
 from repro.apps.testbed import Testbed
 from repro.netsim.link import BernoulliLoss
-from repro.netsim.packet import Packet
-from repro.sim.scheduler import Timeout
 from repro.transport.addresses import TransportAddress
 from repro.transport.multicast import create_multicast
 from repro.transport.osdu import OSDU

@@ -6,7 +6,6 @@ from repro.netsim.link import BernoulliLoss
 from repro.netsim.reservation import ReservationManager
 from repro.netsim.topology import Network
 from repro.sim.random import RandomStreams
-from repro.sim.scheduler import Timeout
 from repro.transport.addresses import TransportAddress
 from repro.transport.osdu import OSDU
 from repro.transport.primitives import TQoSIndication

@@ -1,6 +1,5 @@
 """Remote connect: initiator, source and sink all distinct (Figures 2/3)."""
 
-import pytest
 
 from repro.transport.primitives import (
     REASON_NO_SUCH_TSAP,
@@ -8,7 +7,6 @@ from repro.transport.primitives import (
     REASON_USER_RELEASE,
     TConnectConfirm,
     TConnectIndication,
-    TConnectResponse,
     TDisconnectIndication,
     TDisconnectRequest,
 )
