@@ -37,6 +37,9 @@ kept for existing call sites.
 
 from __future__ import annotations
 
+import atexit
+import itertools
+import os
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.ansa.rex import RexRPC
@@ -45,6 +48,7 @@ from repro.ansa.trader import Trader
 from repro.netsim.link import JitterModel, Link, LossModel
 from repro.netsim.reservation import ReservationManager
 from repro.netsim.topology import Host, Network
+from repro.obs.trace import NULL_TRACER, TraceLevel, Tracer
 from repro.orchestration.hlo import HighLevelOrchestrator
 from repro.orchestration.llo import LLOInstance, build_llos
 from repro.sim.clock import NodeClock
@@ -64,10 +68,39 @@ class Runtime:
     the topology.
     """
 
+    #: Sequence numbers for the ``REPRO_TRACE`` auto-export files.
+    _trace_auto_ids = itertools.count()
+
     def __init__(self, seed: int = 0):
         self.sim = Simulator()
         self.rng = RandomStreams(seed)
         self._clocks: Dict[str, NodeClock] = {}
+        self._maybe_auto_trace()
+
+    def _maybe_auto_trace(self) -> None:
+        """Honour the ``REPRO_TRACE`` environment hook.
+
+        ``REPRO_TRACE=<prefix>`` turns tracing on for every runtime in
+        the process and exports ``<prefix>.<n>.json`` at interpreter
+        exit -- how CI smoke-runs a benchmark traced without the
+        benchmark knowing.  ``REPRO_TRACE_LEVEL=packet`` raises the
+        verbosity.
+        """
+        prefix = os.environ.get("REPRO_TRACE")
+        if not prefix:
+            return
+        level_name = os.environ.get("REPRO_TRACE_LEVEL", "lifecycle")
+        tracer = self.enable_tracing(TraceLevel[level_name.upper()])
+        path = f"{prefix}.{next(Runtime._trace_auto_ids)}.json"
+
+        def export() -> None:
+            if len(tracer):
+                directory = os.path.dirname(path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                tracer.export(path)
+
+        atexit.register(export)
 
     # -- time --------------------------------------------------------------
 
@@ -90,6 +123,34 @@ class Runtime:
     def stream(self, name: str):
         """Named RNG stream, deterministic given the runtime seed."""
         return self.rng.stream(name)
+
+    # -- observability -----------------------------------------------------
+
+    def enable_tracing(self, level: TraceLevel = TraceLevel.LIFECYCLE) -> Tracer:
+        """Install a sim-time tracer on the simulator and return it.
+
+        All instrumentation sites across the stack start recording;
+        ``level=TraceLevel.PACKET`` additionally records per-packet link
+        occupancy and host receive events.  Call before (or after) the
+        run; tracing only appends to an in-memory list and never
+        perturbs simulation event ordering.
+        """
+        tracer = Tracer(lambda: self.sim.now, level)
+        self.sim.trace = tracer
+        return tracer
+
+    def disable_tracing(self) -> None:
+        """Revert to the zero-cost null tracer."""
+        self.sim.trace = NULL_TRACER
+
+    def export_trace(self, path: str) -> str:
+        """Write the recorded trace as Chrome-trace JSON (Perfetto-ready)."""
+        tracer = self.sim.trace
+        if isinstance(tracer, Tracer):
+            return tracer.export(path)
+        raise RuntimeError(
+            "tracing is not enabled; call enable_tracing() before export"
+        )
 
     # -- clock registry ----------------------------------------------------
 

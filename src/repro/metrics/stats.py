@@ -24,7 +24,7 @@ class Summary:
         return (
             f"n={self.count} mean={self.mean:.6g} std={self.std:.6g} "
             f"min={self.minimum:.6g} p50={self.p50:.6g} p95={self.p95:.6g} "
-            f"max={self.maximum:.6g}"
+            f"p99={self.p99:.6g} max={self.maximum:.6g}"
         )
 
 

@@ -20,6 +20,7 @@ from collections import deque
 from typing import Callable, Deque, Optional
 
 from repro.netsim.packet import Packet, Priority
+from repro.obs.registry import MetricsRegistry
 from repro.sim.scheduler import Simulator
 
 
@@ -158,23 +159,46 @@ class TruncatedGaussianJitter(JitterModel):
 
 
 class LinkStats:
-    """Per-link counters exposed for the benchmarks."""
+    """Per-link counters, held in a :class:`~repro.obs.registry.MetricsRegistry`.
 
-    def __init__(self) -> None:
-        self.sent_packets = 0
-        self.delivered_packets = 0
-        self.lost_packets = 0
-        self.buffer_drops = 0
-        self.corrupted_packets = 0
-        self.sent_bits = 0
-        self.delivered_bits = 0
-        self.total_queue_delay = 0.0
+    The registry owns the values (so ``sim.metrics.as_dict()`` sees
+    every link); the attribute API the benchmarks read is a thin
+    property view over those counters.  Constructed without a registry
+    (unit tests) it allocates a private one.
+    """
+
+    _FIELDS = (
+        "sent_packets", "delivered_packets", "lost_packets",
+        "buffer_drops", "corrupted_packets", "sent_bits", "delivered_bits",
+    )
+
+    def __init__(self, metrics: Optional["MetricsRegistry"] = None,
+                 scope: str = "link") -> None:
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        for field in self._FIELDS:
+            setattr(self, "_" + field, metrics.counter(f"{scope}.{field}"))
+        self._total_queue_delay = metrics.gauge(f"{scope}.total_queue_delay")
 
     @property
     def loss_fraction(self) -> float:
         if self.sent_packets == 0:
             return 0.0
         return (self.lost_packets + self.buffer_drops) / self.sent_packets
+
+
+def _stats_view(field: str):
+    def get(self: LinkStats) -> int:
+        return getattr(self, "_" + field).value
+
+    def set_(self: LinkStats, value: int) -> None:
+        getattr(self, "_" + field).value = value
+
+    return property(get, set_)
+
+
+for _field in LinkStats._FIELDS + ("total_queue_delay",):
+    setattr(LinkStats, _field, _stats_view(_field))
+del _field
 
 
 class Link:
@@ -228,13 +252,18 @@ class Link:
         self.ber = ber
         self.buffer_bytes = buffer_bytes
         self.rng = rng or _random.Random(0)
-        self.stats = LinkStats()
+        self.stats = LinkStats(sim.metrics, f"link.{src}->{dst}")
         self.on_deliver: Optional[Callable[[Packet], None]] = None
         self._high: Deque[tuple[Packet, float]] = deque()
         self._low: Deque[tuple[Packet, float]] = deque()
         self._queued_bytes = 0.0
         self._transmitting = False
-        self._last_delivery = 0.0
+        # No-reorder clamp per priority band: jitter must not reorder
+        # deliveries *within a band*, but the CONTROL/RESERVED band must
+        # never be held behind a BEST_EFFORT packet's jittered delivery
+        # (the guaranteed out-of-band control channels of section 5).
+        self._last_delivery_high = 0.0
+        self._last_delivery_low = 0.0
 
     # -- capacity accounting used by the reservation manager ------------
 
@@ -254,6 +283,12 @@ class Link:
         self.stats.sent_bits += packet.size_bits
         if self._queued_bytes + packet.size_bytes > self.buffer_bytes:
             self.stats.buffer_drops += 1
+            trace = self.sim.trace
+            if trace.packets:
+                trace.instant(
+                    "drop:buffer", track=f"link:{self.src}->{self.dst}",
+                    cat="link", args={"flow": packet.flow_id},
+                )
             return
         self._queued_bytes += packet.size_bytes
         entry = (packet, self.sim.now)
@@ -277,8 +312,26 @@ class Link:
 
     def _tx_done(self, packet: Packet) -> None:
         self._queued_bytes -= packet.size_bytes
-        if self.loss.is_lost(self.rng):
+        trace = self.sim.trace
+        if trace.packets:
+            # Serialisation occupancy: this packet held the link from
+            # tx-start to now.
+            now = self.sim.now
+            trace.complete(
+                packet.flow_id or type(packet.payload).__name__,
+                now - self.tx_time(packet.size_bits), now,
+                track=f"link:{self.src}->{self.dst}", cat="link",
+                args={"bits": packet.size_bits,
+                      "priority": int(packet.priority)},
+            )
+        lost = self.loss.is_lost(self.rng)
+        if lost:
             self.stats.lost_packets += 1
+            if trace.packets:
+                trace.instant(
+                    "loss", track=f"link:{self.src}->{self.dst}", cat="link",
+                    args={"flow": packet.flow_id},
+                )
         else:
             if self.ber > 0.0:
                 p_corrupt = 1.0 - (1.0 - self.ber) ** packet.size_bits
@@ -286,9 +339,15 @@ class Link:
                     packet.corrupted = True
                     self.stats.corrupted_packets += 1
             arrival = self.sim.now + self.prop_delay + self.jitter.sample(self.rng)
-            # Jitter must not reorder packets within the link.
-            arrival = max(arrival, self._last_delivery)
-            self._last_delivery = arrival
+            # Jitter must not reorder packets within a priority band
+            # (but may reorder across bands: control traffic is never
+            # clamped behind a best-effort delivery).
+            if packet.priority >= Priority.RESERVED:
+                arrival = max(arrival, self._last_delivery_high)
+                self._last_delivery_high = arrival
+            else:
+                arrival = max(arrival, self._last_delivery_low)
+                self._last_delivery_low = arrival
             self.sim.call_at(arrival, lambda: self._deliver(packet))
         self._start_next()
 

@@ -126,6 +126,12 @@ class Host(Node):
             return
         self.received_packets += 1
         key = getattr(packet.payload, "handler_key", type(packet.payload).__name__)
+        trace = self.sim.trace
+        if trace.packets:
+            trace.instant(
+                f"rx:{key}", track=f"node:{self.name}", cat="host",
+                args={"src": packet.src, "flow": packet.flow_id},
+            )
         handler = self._handlers.get(key)
         if handler is None:
             self.unhandled_packets += 1

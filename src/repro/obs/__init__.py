@@ -1,0 +1,61 @@
+"""Observability layer: metrics registry + sim-time tracing.
+
+The paper's whole evaluation (Table 2 degradation reports, the
+blocking-time fault attribution of section 6.3.1.2) rests on measuring
+the running system over *sample periods*.  This package provides the
+two primitives that measurement is built from:
+
+``repro.obs.registry``
+    :class:`MetricsRegistry` -- named :class:`Counter`/:class:`Gauge`
+    values, :class:`WindowedStat`/:class:`WindowedSeries` accumulators
+    that reset *atomically* at each period boundary (the abstraction
+    whose absence caused the QoS monitor's stale-window bug), and
+    :class:`SpanAccumulator` for blocked/occupied-time accounting with
+    window re-basing.
+
+``repro.obs.trace``
+    A sim-time :class:`Tracer` emitting spans and instant events in
+    Chrome-trace/Perfetto JSON, plus the zero-cost :data:`NULL_TRACER`
+    installed on every :class:`~repro.sim.scheduler.Simulator` by
+    default.  Enable with :meth:`repro.core.runtime.Runtime.enable_tracing`.
+
+``repro.obs.report``
+    ``python -m repro.obs.report trace.json`` summarises an exported
+    trace (span durations, event counts, per-category breakdown).
+
+Both submodules are dependency-free leaves (they take a ``clock``
+callable instead of importing the simulator), so the kernel can depend
+on them without a cycle.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    SpanAccumulator,
+    WindowSnapshot,
+    WindowedSeries,
+    WindowedStat,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceLevel,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "SpanAccumulator",
+    "WindowSnapshot",
+    "WindowedSeries",
+    "WindowedStat",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceLevel",
+    "Tracer",
+]

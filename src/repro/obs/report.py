@@ -1,0 +1,128 @@
+"""Summarise an exported Chrome-trace JSON file.
+
+Usage::
+
+    python -m repro.obs.report trace.json [--category CAT] [--top N]
+
+Prints the trace's time range, the event counts per category, and a
+duration summary per span name -- the quick look before (or instead of)
+opening the file in Perfetto.  Exits non-zero when the file is missing
+or is not a valid Chrome-trace JSON object.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.stats import summarize
+from repro.metrics.table import Table
+
+
+def load_events(path: str) -> List[Dict[str, Any]]:
+    """Read and validate a Chrome-trace JSON file; returns its events."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if isinstance(data, list):
+        events = data  # bare-array variant of the format
+    elif isinstance(data, dict) and isinstance(data.get("traceEvents"), list):
+        events = data["traceEvents"]
+    else:
+        raise ValueError(
+            f"{path!r} is not Chrome-trace JSON "
+            "(expected an object with a traceEvents array)"
+        )
+    for event in events:
+        if not isinstance(event, dict) or "ph" not in event:
+            raise ValueError(f"malformed trace event: {event!r}")
+    return events
+
+
+def _process_names(events: List[Dict[str, Any]]) -> Dict[int, str]:
+    names: Dict[int, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            names[event.get("pid", 0)] = event.get("args", {}).get("name", "?")
+    return names
+
+
+def render(path: str, category: Optional[str] = None, top: int = 20) -> str:
+    """Build the textual report for one trace file."""
+    events = load_events(path)
+    tracks = _process_names(events)
+    payload = [e for e in events if e.get("ph") != "M"]
+    if category:
+        payload = [e for e in payload if e.get("cat") == category]
+    blocks: List[str] = []
+    if not payload:
+        return f"{path}: no events" + (f" in category {category!r}" if category else "")
+
+    ts_values = [e["ts"] for e in payload if "ts" in e]
+    t0, t1 = min(ts_values), max(
+        e["ts"] + e.get("dur", 0.0) for e in payload if "ts" in e
+    )
+    blocks.append(
+        f"{path}: {len(payload)} events on {len(tracks)} tracks, "
+        f"{(t1 - t0) / 1e6:.6g} s of virtual time "
+        f"({t0 / 1e6:.6g} .. {t1 / 1e6:.6g})"
+    )
+
+    by_cat: Dict[str, int] = defaultdict(int)
+    for event in payload:
+        by_cat[event.get("cat", "?")] += 1
+    cat_table = Table(["category", "events"], title="Events per category")
+    for cat, count in sorted(by_cat.items(), key=lambda kv: -kv[1]):
+        cat_table.add(cat, count)
+    blocks.append(cat_table.render())
+
+    durations: Dict[str, List[float]] = defaultdict(list)
+    for event in payload:
+        if event.get("ph") == "X":
+            durations[event.get("name", "?")].append(
+                event.get("dur", 0.0) / 1e6
+            )
+    if durations:
+        span_table = Table(
+            ["span", "count", "mean (s)", "p95 (s)", "max (s)"],
+            title=f"Span durations (top {top} by count)",
+        )
+        ranked = sorted(durations.items(), key=lambda kv: -len(kv[1]))[:top]
+        for name, values in ranked:
+            summary = summarize(values)
+            span_table.add(
+                name, summary.count, summary.mean, summary.p95,
+                summary.maximum,
+            )
+        blocks.append(span_table.render())
+    return "\n\n".join(blocks)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("trace", help="path to an exported Chrome-trace JSON")
+    parser.add_argument("--category", help="only report this event category")
+    parser.add_argument("--top", type=int, default=20,
+                        help="span names to list (by event count)")
+    args = parser.parse_args(argv)
+    try:
+        print(render(args.trace, category=args.category, top=args.top))
+    except FileNotFoundError:
+        print(f"no trace file at {args.trace!r}", file=sys.stderr)
+        return 1
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Reader (e.g. ``| head``) closed the pipe early; not an error.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

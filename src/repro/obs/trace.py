@@ -1,0 +1,222 @@
+"""Sim-time tracing with Chrome-trace/Perfetto JSON export.
+
+A :class:`Tracer` records *spans* (connect handshakes, Orch.Prime /
+Orch.Start legs, regulation intervals, per-packet link occupancy) and
+*instant events* (NACKs, recoveries, gate transitions, QoS period
+reports) against the virtual clock, and serialises them in the Chrome
+trace-event format, so a run can be dropped straight into
+``chrome://tracing`` or https://ui.perfetto.dev.
+
+Tracks
+    Events land on named tracks ("vc:hostA-vc0", "link:src->dst",
+    "node:ws", ...).  Each track becomes one Chrome-trace *process*
+    (named via metadata events); spans on one track are emitted as
+    complete ("X") events and are expected to nest or not overlap --
+    the instrumentation keeps per-VC and per-link tracks serial by
+    construction.
+
+Zero cost when disabled
+    :data:`NULL_TRACER` is installed on every simulator; every call
+    site guards with ``if trace.enabled:`` (or ``trace.packets`` for
+    per-packet verbosity), so the disabled path is a single attribute
+    load and branch -- nothing is allocated and no simulator events are
+    scheduled.  The tracer itself never schedules anything either: it
+    only appends to an in-memory list at call time.
+
+This module is a dependency-free leaf: the tracer takes a ``clock``
+callable (seconds of virtual time) rather than importing the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from enum import IntEnum
+from typing import Any, Callable, Dict, List, Optional
+
+Clock = Callable[[], float]
+
+#: Virtual seconds -> Chrome-trace microseconds.
+_US = 1e6
+
+
+class TraceLevel(IntEnum):
+    """Verbosity of the instrumentation call sites."""
+
+    OFF = 0
+    #: Control-plane events: connects, prime/start/stop, regulation
+    #: intervals, NACK/recovery cycles, QoS sample periods.
+    LIFECYCLE = 1
+    #: Additionally every packet's link occupancy (serialisation span)
+    #: and host receive events -- large traces, full wire visibility.
+    PACKET = 2
+
+
+class Span:
+    """An open span; close it with :meth:`end` (or via the tracer)."""
+
+    __slots__ = ("_tracer", "name", "track", "cat", "start", "args")
+
+    def __init__(self, tracer: "Tracer", name: str, track: str, cat: str,
+                 start: float, args: Optional[Dict[str, Any]]):
+        self._tracer = tracer
+        self.name = name
+        self.track = track
+        self.cat = cat
+        self.start = start
+        self.args = args
+
+    def end(self, **extra_args: Any) -> None:
+        """Close the span at the current virtual time."""
+        if extra_args:
+            merged = dict(self.args or {})
+            merged.update(extra_args)
+            self.args = merged
+        self._tracer.complete(
+            self.name, self.start, self._tracer.now, track=self.track,
+            cat=self.cat, args=self.args,
+        )
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``enabled``/``packets`` are plain class attributes (not properties)
+    so the guard at instrumentation sites compiles to one attribute
+    load; span-returning methods return ``None`` so callers hold no
+    object at all while tracing is off.
+    """
+
+    enabled = False
+    packets = False
+
+    def instant(self, name: str, track: str = "sim", cat: str = "event",
+                args: Optional[Dict[str, Any]] = None) -> None:
+        return None
+
+    def span(self, name: str, track: str = "sim", cat: str = "span",
+             args: Optional[Dict[str, Any]] = None) -> None:
+        return None
+
+    def complete(self, name: str, start: float, end: float,
+                 track: str = "sim", cat: str = "span",
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        return None
+
+    def counter(self, name: str, values: Dict[str, float],
+                track: str = "sim") -> None:
+        return None
+
+
+#: Shared process-wide no-op tracer (stateless, safe to share).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records trace events against a virtual clock.
+
+    Args:
+        clock: callable returning virtual time in seconds.
+        level: verbosity; call sites consult :attr:`enabled` (LIFECYCLE
+            and up) and :attr:`packets` (PACKET and up).
+    """
+
+    def __init__(self, clock: Clock, level: TraceLevel = TraceLevel.LIFECYCLE):
+        self._clock = clock
+        self.level = TraceLevel(level)
+        self._events: List[Dict[str, Any]] = []
+        self._pids: Dict[str, int] = {}
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.level >= TraceLevel.LIFECYCLE
+
+    @property
+    def packets(self) -> bool:
+        return self.level >= TraceLevel.PACKET
+
+    @property
+    def now(self) -> float:
+        return self._clock()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """The recorded events (metadata events excluded)."""
+        return list(self._events)
+
+    # -- recording ---------------------------------------------------------
+
+    def _pid(self, track: str) -> int:
+        try:
+            return self._pids[track]
+        except KeyError:
+            pid = self._pids[track] = len(self._pids) + 1
+            return pid
+
+    def instant(self, name: str, track: str = "sim", cat: str = "event",
+                args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a point-in-time event ("i" phase, thread scope)."""
+        event: Dict[str, Any] = {
+            "name": name, "ph": "i", "s": "t",
+            "ts": self._clock() * _US,
+            "pid": self._pid(track), "tid": 0, "cat": cat,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def span(self, name: str, track: str = "sim", cat: str = "span",
+             args: Optional[Dict[str, Any]] = None) -> Span:
+        """Open a span starting now; close it with ``span.end()``."""
+        return Span(self, name, track, cat, self._clock(), args)
+
+    def complete(self, name: str, start: float, end: float,
+                 track: str = "sim", cat: str = "span",
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a closed span ("X" complete event) from start to end."""
+        event: Dict[str, Any] = {
+            "name": name, "ph": "X",
+            "ts": start * _US, "dur": max(end - start, 0.0) * _US,
+            "pid": self._pid(track), "tid": 0, "cat": cat,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def counter(self, name: str, values: Dict[str, float],
+                track: str = "sim") -> None:
+        """Record a counter sample ("C" event, stacked in the viewer)."""
+        self._events.append({
+            "name": name, "ph": "C",
+            "ts": self._clock() * _US,
+            "pid": self._pid(track), "tid": 0,
+            "args": dict(values),
+        })
+
+    # -- export ------------------------------------------------------------
+
+    def _metadata(self) -> List[Dict[str, Any]]:
+        return [
+            {
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": track},
+            }
+            for track, pid in sorted(self._pids.items(), key=lambda kv: kv[1])
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full trace as a Chrome-trace JSON object."""
+        return {
+            "traceEvents": self._metadata() + self._events,
+            "displayTimeUnit": "ms",
+        }
+
+    def export(self, path: str) -> str:
+        """Write the trace as Chrome-trace JSON; returns ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle)
+        return path

@@ -164,13 +164,28 @@ class HLOAgent:
     # Session lifecycle (Table 4 / Table 5 wrappers)
     # ------------------------------------------------------------------
 
+    def _group_span(self, op: str):
+        """Open a trace span for one group command (None when disabled)."""
+        trace = self.sim.trace
+        if not trace.enabled:
+            return None
+        return trace.span(
+            f"{op}:{self.session_id}",
+            track=f"session:{self.session_id}",
+            cat="orch",
+            args={"vcs": sorted(self.streams)},
+        )
+
     def establish(self):
         """Coroutine: Orch.request for the whole group."""
+        span = self._group_span("establish")
         vcs = {
             s.vc_id: (s.source_node, s.sink_node) for s in self.streams.values()
         }
         reply = yield from self.llo.orch_request(self.session_id, vcs)
         self.established = reply.accept
+        if span is not None:
+            span.end(ok=reply.accept)
         return reply
 
     def release(self, reason: str = "released") -> None:
@@ -180,11 +195,18 @@ class HLOAgent:
 
     def prime(self):
         """Coroutine: Orch.Prime the group (fill sink pipelines)."""
-        return (yield from self.llo.prime(self.session_id))
+        span = self._group_span("prime")
+        reply = yield from self.llo.prime(self.session_id)
+        if span is not None:
+            span.end(ok=reply.accept)
+        return reply
 
     def start(self, regulate: bool = True):
         """Coroutine: Orch.Start the group; optionally begin regulation."""
+        span = self._group_span("start")
         reply = yield from self.llo.start(self.session_id, metered=regulate)
+        if span is not None:
+            span.end(ok=reply.accept)
         if reply.accept and regulate:
             self.start_regulation()
         return reply
@@ -192,7 +214,11 @@ class HLOAgent:
     def stop(self):
         """Coroutine: Orch.Stop the group (freeze data flow)."""
         self.stop_regulation()
-        return (yield from self.llo.stop(self.session_id))
+        span = self._group_span("stop")
+        reply = yield from self.llo.stop(self.session_id)
+        if span is not None:
+            span.end(ok=reply.accept)
+        return reply
 
     def add_stream(self, spec: StreamSpec):
         """Coroutine: Orch.Add one VC to the running group.

@@ -585,6 +585,26 @@ class LLOInstance:
     def _apply_cmd(self, kind: str, session: _Session, vc_id: str, role: str,
                    metered: bool = False):
         """Coroutine: execute one command leg; returns (ok, reason)."""
+        trace = self.sim.trace
+        span = (
+            trace.span(
+                f"{kind}:{vc_id}",
+                track=f"orch:{vc_id}/{role}",
+                cat="orch",
+                args={"role": role, "node": self.node_name},
+            )
+            if trace.enabled
+            else None
+        )
+        ok, reason = yield from self._apply_cmd_leg(
+            kind, session, vc_id, role, metered
+        )
+        if span is not None:
+            span.end(ok=ok, reason=reason)
+        return ok, reason
+
+    def _apply_cmd_leg(self, kind: str, session: _Session, vc_id: str,
+                       role: str, metered: bool = False):
         endpoint = self.entity.endpoint_for(vc_id)
         if kind == "prime-clean":
             return (yield from self._prime_clean(session, vc_id, role,
@@ -722,6 +742,21 @@ class LLOInstance:
         if recv_vc is None:
             self._finish_interval(cmd.vc_id)
             return
+        trace = self.sim.trace
+        span = (
+            trace.span(
+                f"regulate:{cmd.vc_id}",
+                track=f"regulate:{cmd.vc_id}",
+                cat="orch",
+                args={
+                    "interval_id": cmd.interval_id,
+                    "target_osdu": cmd.target_osdu,
+                    "max_drop": cmd.max_drop,
+                },
+            )
+            if trace.enabled
+            else None
+        )
         source_node = session.vcs[cmd.vc_id][0]
         # (Re-)meter at every interval start: stale credits left over
         # from a previous interval are drained, otherwise unconsumed
@@ -763,12 +798,23 @@ class LLOInstance:
         # interval: its early grants must not leak into this report.
         final_seq = recv_vc.delivered_seq()
         sink_buffered = len(recv_vc.buffer)
+        if span is not None:
+            span.end(
+                delivered=final_seq - start_seq,
+                drops_requested=drops_requested,
+            )
         self._finish_interval(cmd.vc_id)
         yield from self._report_interval(
             session, cmd, recv_vc, source_node, final_seq, sink_buffered
         )
 
     def _request_drop(self, source_node: str, session_id: str, vc_id: str) -> None:
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                "drop.request", track=f"regulate:{vc_id}", cat="orch",
+                args={"source": source_node},
+            )
         opdu = DropRequestOPDU(
             session_id=session_id,
             request_id=next(self._req_ids),

@@ -38,6 +38,9 @@ import itertools
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
+
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel."""
@@ -134,6 +137,17 @@ class Simulator:
         self._running = False
         self._dead = 0
         self.process_count = 0
+        #: Observability hooks.  ``trace`` is the no-op tracer until a
+        #: runtime installs a real one (see ``Runtime.enable_tracing``);
+        #: instrumented call sites throughout the stack guard with
+        #: ``if sim.trace.enabled:`` so the disabled path costs one
+        #: attribute load and branch.  The metrics registry is always
+        #: live (counters are plain attribute adds).
+        self.trace = NULL_TRACER
+        self.metrics = MetricsRegistry(self._clock)
+
+    def _clock(self) -> float:
+        return self._now
 
     @property
     def now(self) -> float:
@@ -601,6 +615,10 @@ class Process(Waitable):
         self._detach: Optional[Callable[[], None]] = None
         self._alive = True
         sim.process_count += 1
+        if sim.trace.enabled:
+            sim.trace.instant(
+                f"spawn:{self.name}", track="sim", cat="process"
+            )
         sim.call_soon(lambda: self._resume(None))
 
     @property
@@ -642,6 +660,10 @@ class Process(Waitable):
 
     def _finish(self, value: Any) -> None:
         self._alive = False
+        if self.sim.trace.enabled:
+            self.sim.trace.instant(
+                f"finish:{self.name}", track="sim", cat="process"
+            )
         self.finished.set(value)
 
     def interrupt(self, cause: Any = None) -> None:

@@ -12,9 +12,10 @@ spent blocked is accumulated.
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
-from typing import Any, Deque, Dict, Optional
+from collections import deque
+from typing import Any, Deque, Optional
 
+from repro.obs.registry import SpanAccumulator
 from repro.sim.scheduler import Event, SimulationError, Simulator, Waitable
 
 
@@ -75,25 +76,22 @@ class TimedSemaphore(Semaphore):
 
     def __init__(self, sim: Simulator, value: int = 1):
         super().__init__(sim, value)
-        self._blocked: Dict[str, float] = defaultdict(float)
-        self._acquire_count: Dict[str, int] = defaultdict(int)
-        self._in_progress: Dict[int, tuple] = {}
-        self._wait_ids = 0
+        # All per-role accounting lives in one windowed accumulator
+        # (repro.obs): open waits are re-based by reset_stats() and
+        # in-progress time is included in blocked_time(), exactly the
+        # sampling semantics section 6.3.1.2 needs.
+        self._waits = SpanAccumulator("semaphore.blocked", self._now)
+
+    def _now(self) -> float:
+        return self.sim.now
 
     def acquire(self, role: str = "unknown") -> Waitable:  # type: ignore[override]
-        started = self.sim.now
-        self._acquire_count[role] += 1
-        self._wait_ids += 1
-        wait_id = self._wait_ids
-        self._in_progress[wait_id] = (role, started)
+        token = self._waits.begin(role)
         inner = super().acquire()
         outer = Event(self.sim)
 
         def on_grant(_value: Any) -> None:
-            entry = self._in_progress.pop(wait_id, None)
-            # reset_stats() may have re-based this wait's start time.
-            start = entry[1] if entry is not None else started
-            self._blocked[role] += self.sim.now - start
+            self._waits.end(token)
             outer.set(None)
 
         inner._await(on_grant)
@@ -105,25 +103,17 @@ class TimedSemaphore(Semaphore):
         Includes waits still in progress -- the orchestrator samples at
         interval boundaries while threads may be parked.
         """
-        total = self._blocked[role]
-        for wait_role, started in self._in_progress.values():
-            if wait_role == role:
-                total += self.sim.now - started
-        return total
+        return self._waits.total(role)
 
     def acquire_count(self, role: str) -> int:
-        return self._acquire_count[role]
+        return self._waits.count(role)
 
     def reset_stats(self) -> None:
         """Zero the accumulated statistics (used at interval boundaries).
 
         In-progress waits restart their accounting from now.
         """
-        self._blocked.clear()
-        self._acquire_count.clear()
-        now = self.sim.now
-        for wait_id, (role, _started) in list(self._in_progress.items()):
-            self._in_progress[wait_id] = (role, now)
+        self._waits.reset()
 
 
 class QueueFull(Exception):

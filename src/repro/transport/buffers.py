@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Generator, Optional
 
+from repro.obs.registry import SpanAccumulator
 from repro.sim.scheduler import Event, SimulationError, Simulator, Waitable
 from repro.sim.sync import TimedSemaphore
 from repro.transport.osdu import OSDU
@@ -180,15 +181,20 @@ class GatedReceiveBuffer:
         self.deposited = 0
         self.overflow_drops = 0
         self.delivered = 0
-        self._became_full_at: Optional[float] = None
-        self._full_time_total = 0.0
-        self._became_congested_at: Optional[float] = None
-        self._congested_time_total = 0.0
+        # Full/congested occupancy accounting: open-interval spans in a
+        # windowed accumulator (repro.obs), so in-progress intervals are
+        # included when the orchestrator samples mid-interval.
+        self._occupancy = SpanAccumulator("recvbuf.occupancy", self._now)
+        self._full_token: Optional[int] = None
+        self._congested_token: Optional[int] = None
         self.last_delivered_seq: Optional[int] = None
         self._full_event: Optional[Event] = None
         #: Invoked after every successful application take; the receive
         #: VC uses it to return flow-control credits to the source.
         self.on_take: Optional[Any] = None
+
+    def _now(self) -> float:
+        return self.sim.now
 
     def __len__(self) -> int:
         return len(self._slots)
@@ -216,11 +222,11 @@ class GatedReceiveBuffer:
         self._slots.append(osdu)
         self.deposited += 1
         self._items.release()
-        if self.congested and self._became_congested_at is None:
-            self._became_congested_at = self.sim.now
+        if self.congested and self._congested_token is None:
+            self._congested_token = self._occupancy.begin("congested")
         if self.full:
-            if self._became_full_at is None:
-                self._became_full_at = self.sim.now
+            if self._full_token is None:
+                self._full_token = self._occupancy.begin("full")
             if self._full_event is not None and not self._full_event.is_set:
                 self._full_event.set(None)
         return True
@@ -350,14 +356,12 @@ class GatedReceiveBuffer:
         return flushed
 
     def _note_not_full(self) -> None:
-        if self._became_full_at is not None and not self.full:
-            self._full_time_total += self.sim.now - self._became_full_at
-            self._became_full_at = None
-        if self._became_congested_at is not None and not self.congested:
-            self._congested_time_total += (
-                self.sim.now - self._became_congested_at
-            )
-            self._became_congested_at = None
+        if self._full_token is not None and not self.full:
+            self._occupancy.end(self._full_token)
+            self._full_token = None
+        if self._congested_token is not None and not self.congested:
+            self._occupancy.end(self._congested_token)
+            self._congested_token = None
 
     def full_time(self) -> float:
         """Cumulative seconds the buffer has been completely full.
@@ -365,22 +369,18 @@ class GatedReceiveBuffer:
         Used as the sink-side *protocol* blocking statistic: a full
         receive buffer means the protocol could not hand data onward
         because the application was slow to consume (section 6.3.1.2).
+        Includes a still-open full interval up to now.
         """
-        total = self._full_time_total
-        if self._became_full_at is not None:
-            total += self.sim.now - self._became_full_at
-        return total
+        return self._occupancy.total("full")
 
     def congested_time(self) -> float:
         """Cumulative seconds the buffer sat effectively full.
 
         The sink-side congestion statistic: a persistently near-full
         receive buffer means the application is the bottleneck.
+        Includes a still-open congested interval up to now.
         """
-        total = self._congested_time_total
-        if self._became_congested_at is not None:
-            total += self.sim.now - self._became_congested_at
-        return total
+        return self._occupancy.total("congested")
 
     def blocked_time(self, role: str) -> float:
         return self._items.blocked_time(role) + self._credits.blocked_time(role)

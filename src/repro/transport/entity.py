@@ -177,6 +177,9 @@ class _SourcePending:
     offer: QoSOffer
     reservation: Optional[Reservation]
     remote_initiator: bool
+    #: Open trace span covering the CR -> CC/CJ handshake (None when
+    #: tracing is disabled).
+    span: Optional[object] = None
 
 
 @dataclass
@@ -346,8 +349,23 @@ class TransportEntity:
         if offer is None:
             self._source_connect_failed(request, remote_initiator, reason)
             return
+        trace = self.sim.trace
+        span = (
+            trace.span(
+                f"connect:{request.vc_id}",
+                track=f"vc:{request.vc_id}",
+                cat="transport",
+                args={
+                    "src": str(request.src),
+                    "dst": str(request.dst),
+                    "remote_initiator": remote_initiator,
+                },
+            )
+            if trace.enabled
+            else None
+        )
         self._src_pending[request.vc_id] = _SourcePending(
-            request, offer, reservation, remote_initiator
+            request, offer, reservation, remote_initiator, span
         )
         self._send_control(
             request.dst.node, ConnectRequestTPDU(request=request, offer=offer)
@@ -379,6 +397,8 @@ class TransportEntity:
         pending = self._src_pending.pop(vc_id, None)
         if pending is None:
             return
+        if pending.span is not None:
+            pending.span.end(outcome="retry-exhausted")
         if pending.reservation is not None:
             self.reservations.release(pending.reservation)
         self._source_connect_failed(
@@ -461,6 +481,8 @@ class TransportEntity:
         pending = self._src_pending.pop(tpdu.vc_id, None)
         if pending is None:
             return
+        if pending.span is not None:
+            pending.span.end(outcome="confirmed")
         request = pending.request
         contract = tpdu.contract
         if pending.reservation is not None and (
@@ -504,6 +526,8 @@ class TransportEntity:
         pending = self._src_pending.pop(tpdu.vc_id, None)
         if pending is None:
             return
+        if pending.span is not None:
+            pending.span.end(outcome="rejected", reason=tpdu.reason)
         if pending.reservation is not None:
             self.reservations.release(pending.reservation)
         self._source_connect_failed(
@@ -587,7 +611,9 @@ class TransportEntity:
             )
 
         if request.class_of_service.error_indication:
-            monitor = QoSMonitor(self.sim, self.sample_period, on_period)
+            monitor = QoSMonitor(
+                self.sim, self.sample_period, on_period, name=request.vc_id
+            )
         recv_vc = RecvVC(
             self.sim,
             self.network.send,
@@ -998,6 +1024,14 @@ class TransportEntity:
         violations = current_contract.violations(measurement)
         if not violations:
             return
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                "qos.violation",
+                track=f"vc:{request.vc_id}",
+                cat="monitor",
+                args={"violations": [v.parameter for v in violations]},
+            )
         indication = TQoSIndication(
             initiator=request.initiator,
             src=request.src,

@@ -57,12 +57,14 @@ class ReorderBuffer:
         nack_retries: int = 2,
         max_stash: int = 256,
         reliable: bool = False,
+        name: str = "vc",
     ):
         if gap_timeout <= 0:
             raise ValueError(f"gap timeout must be positive, got {gap_timeout}")
         if nack_retries < 0:
             raise ValueError(f"nack retries must be non-negative, got {nack_retries}")
         self.sim = sim
+        self.name = name
         self.correction_enabled = correction_enabled or reliable
         self.reliable = reliable
         self.gap_timeout = gap_timeout
@@ -95,9 +97,7 @@ class ReorderBuffer:
         releases: List[Release] = []
         if seq == self.next_expected:
             if seq in self._nacked:
-                self.recovered_count += 1
-                self._nacked.discard(seq)
-                self._nack_attempts.pop(seq, None)
+                self._mark_recovered(seq)
             releases.append((osdu, seq))
             self.next_expected += 1
             releases.extend(self._drain_stash())
@@ -105,14 +105,23 @@ class ReorderBuffer:
         else:
             self._stash[seq] = osdu
             if seq in self._nacked:
-                self.recovered_count += 1
-                self._nacked.discard(seq)
-                self._nack_attempts.pop(seq, None)
+                self._mark_recovered(seq)
             self._request_missing(seq)
             if not self.reliable and len(self._stash) > self.max_stash:
                 releases.extend(self._skip_gap())
         self._emit(releases)
         return releases
+
+    def _mark_recovered(self, seq: int) -> None:
+        self.recovered_count += 1
+        self._nacked.discard(seq)
+        self._nack_attempts.pop(seq, None)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                "recovered", track=f"vc:{self.name}", cat="recovery",
+                args={"seq": seq},
+            )
 
     def _release_without_correction(self, seq: int, osdu: OSDU) -> List[Release]:
         releases: List[Release] = []
@@ -165,6 +174,12 @@ class ReorderBuffer:
             # the go-back-N sender also retransmits on its own timer).
             for s in retryable:
                 self._nack_attempts[s] = self._nack_attempts.get(s, 0) + 1
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.instant(
+                    "nack.retry", track=f"vc:{self.name}", cat="recovery",
+                    args={"missing": list(retryable)},
+                )
             if self.nack is not None and not self.reliable:
                 self.nack(retryable)
             self._skip_timer.reschedule_after(self.gap_timeout)
@@ -177,6 +192,12 @@ class ReorderBuffer:
         if not self._stash:
             return []
         first_stashed = min(self._stash)
+        trace = self.sim.trace
+        if trace.enabled and first_stashed > self.next_expected:
+            trace.instant(
+                "skip", track=f"vc:{self.name}", cat="recovery",
+                args={"from_seq": self.next_expected, "to_seq": first_stashed},
+            )
         releases: List[Release] = []
         while self.next_expected < first_stashed:
             self.lost_count += 1

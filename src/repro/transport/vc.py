@@ -228,6 +228,12 @@ class SendVC:
     def on_nack(self, missing: List[int],
                 from_node: Optional[str] = None) -> None:
         """Selective retransmission (rate profile with correction)."""
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                "nack.recv", track=f"vc:{self.vc_id}", cat="recovery",
+                args={"missing": list(missing)},
+            )
         for seq in missing:
             cached = self._cache.get(seq)
             if cached is None:
@@ -241,6 +247,11 @@ class SendVC:
                 is_retransmission=True,
             )
             self.retransmit_count += 1
+            if trace.enabled:
+                trace.instant(
+                    "retransmit", track=f"vc:{self.vc_id}", cat="recovery",
+                    args={"seq": seq},
+                )
             self._send(retransmission, cached.osdu.size_bytes)
 
     def on_ack(self, cumulative_seq: int,
@@ -252,6 +263,12 @@ class SendVC:
             del self._cache[seq]
 
     def _go_back_n(self, base: int, next_seq: int) -> None:
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                "go-back-n", track=f"vc:{self.vc_id}", cat="recovery",
+                args={"base": base, "next_seq": next_seq},
+            )
         for seq in range(base, next_seq):
             cached = self._cache.get(seq)
             if cached is None:
@@ -385,6 +402,7 @@ class RecvVC:
                 else None
             ),
             reliable=profile is ProtocolProfile.WINDOW_BASED,
+            name=vc_id,
         )
         self.reorder.on_release = self._on_release
         self._skipped: set[int] = set()
@@ -534,6 +552,12 @@ class RecvVC:
     def _send_nack(self, missing: List[int]) -> None:
         relevant = [s for s in missing if s not in self._skipped]
         if relevant:
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.instant(
+                    "nack.send", track=f"vc:{self.vc_id}", cat="recovery",
+                    args={"missing": list(relevant)},
+                )
             self._send_control(NackTPDU(vc_id=self.vc_id, missing=relevant))
 
     def _send_control(self, tpdu) -> None:
@@ -551,13 +575,23 @@ class RecvVC:
     # -- orchestration hooks (sink side) -----------------------------------------------
 
     def close_gate(self) -> None:
+        self._trace_gate("closed")
         self.buffer.close_gate()
 
     def open_gate(self) -> None:
+        self._trace_gate("open")
         self.buffer.open_gate()
 
     def meter_gate(self) -> None:
+        self._trace_gate("metered")
         self.buffer.meter()
+
+    def _trace_gate(self, state: str) -> None:
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                f"gate:{state}", track=f"vc:{self.vc_id}", cat="gate",
+            )
 
     def grant(self, n: int = 1) -> None:
         self.buffer.grant(n)

@@ -7,6 +7,7 @@ import pytest
 from repro.netsim.link import (
     BernoulliLoss,
     GilbertElliottLoss,
+    JitterModel,
     Link,
     NoJitter,
     NoLoss,
@@ -79,6 +80,58 @@ class TestLinkTiming:
             link.send(p)
         sim.run()
         assert order == [p.packet_id for p in sent]
+
+    def test_control_not_clamped_behind_jittered_best_effort(self, sim):
+        """Regression: the no-reorder clamp must be per priority band.
+
+        A single shared ``_last_delivery`` clamp held CONTROL packets
+        behind the jittered delivery time of an earlier BEST_EFFORT
+        packet, delaying the out-of-band control channel by up to the
+        full jitter bound.
+        """
+
+        class ScriptedJitter(JitterModel):
+            def __init__(self, samples):
+                self._samples = list(samples)
+
+            def sample(self, rng):
+                return self._samples.pop(0)
+
+            def bound(self):
+                return 0.5
+
+        link = make_link(sim, jitter=ScriptedJitter([0.5, 0.0]))
+        arrivals = {}
+        link.on_deliver = lambda p: arrivals.setdefault(p.priority, sim.now)
+        link.send(packet())  # best-effort, drawn 0.5 s of jitter
+        link.send(packet(priority=Priority.CONTROL))  # no jitter
+        sim.run()
+        # tx 8 ms each at 1 Mbit/s, prop 10 ms: control is done at
+        # 16 ms and must arrive at 26 ms, not be held to 518 ms.
+        assert arrivals[Priority.CONTROL] == pytest.approx(0.026)
+        assert arrivals[Priority.BEST_EFFORT] == pytest.approx(0.518)
+
+    def test_jitter_never_reorders_within_band(self, sim):
+        link = make_link(
+            sim, jitter=UniformJitter(0.05), rng=random.Random(7)
+        )
+        order = []
+        link.on_deliver = lambda p: order.append(
+            (p.priority, p.packet_id)
+        )
+        sent = []
+        for i in range(40):
+            p = packet(
+                priority=Priority.CONTROL if i % 3 == 0
+                else Priority.BEST_EFFORT
+            )
+            sent.append(p)
+            link.send(p)
+        sim.run()
+        for band in (Priority.CONTROL, Priority.BEST_EFFORT):
+            got = [pid for prio, pid in order if prio == band]
+            expected = [p.packet_id for p in sent if p.priority == band]
+            assert got == expected
 
     def test_buffer_overflow_drops(self, sim):
         link = make_link(sim, buffer_bytes=2500)  # room for 2.5 packets

@@ -1,0 +1,156 @@
+"""Tests for the metrics registry's windowed accumulators."""
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    SpanAccumulator,
+    WindowedSeries,
+    WindowedStat,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_set_and_add(self):
+        g = Gauge("g")
+        g.set(2.5)
+        g.add(0.5)
+        assert g.value == 3.0
+
+
+class TestWindowedStat:
+    def test_accumulates_within_window(self):
+        clock = FakeClock()
+        w = WindowedStat("w", clock)
+        clock.t = 1.0
+        w.add(10.0)
+        clock.t = 2.0
+        w.add(30.0)
+        snap = w.snapshot()
+        assert snap.count == 2
+        assert snap.total == 40.0
+        assert snap.minimum == 10.0
+        assert snap.maximum == 30.0
+        assert snap.first_at == 1.0
+        assert snap.last_at == 2.0
+        assert snap.first_value == 10.0
+        assert snap.active_span == 1.0
+        assert snap.mean == 20.0
+
+    def test_roll_resets_everything(self):
+        """The window-boundary reset must forget *all* state,
+        first/last timestamps included (the QoS-monitor bug)."""
+        clock = FakeClock()
+        w = WindowedStat("w", clock)
+        clock.t = 1.0
+        w.add(10.0)
+        clock.t = 2.0
+        w.add(30.0)
+        rolled = w.roll()
+        assert rolled.count == 2
+        # Fresh window: nothing observed, no stale timestamps.
+        assert w.count == 0
+        assert w.total == 0.0
+        assert w.first_at is None
+        assert w.last_at is None
+        assert w.first_value == 0.0
+        clock.t = 5.0
+        w.add(7.0)
+        snap = w.snapshot()
+        assert snap.first_at == 5.0
+        assert snap.active_span == 0.0
+        assert snap.total == 7.0
+
+    def test_empty_roll(self):
+        clock = FakeClock()
+        w = WindowedStat("w", clock)
+        snap = w.roll()
+        assert snap.count == 0
+        assert snap.first_at is None
+
+    def test_window_start_advances_across_rolls(self):
+        clock = FakeClock()
+        w = WindowedStat("w", clock)
+        clock.t = 1.0
+        first = w.roll()
+        clock.t = 3.0
+        second = w.roll()
+        assert first.start == 0.0 and first.end == 1.0
+        assert second.start == 1.0 and second.end == 3.0
+
+
+class TestWindowedSeries:
+    def test_mean_and_sample_std(self):
+        clock = FakeClock()
+        s = WindowedSeries("s", clock)
+        for v in (0.01, 0.02, 0.03):
+            s.add(v)
+        assert s.mean() == pytest.approx(0.02)
+        assert s.sample_std() == pytest.approx(0.01)
+
+    def test_roll_starts_fresh(self):
+        clock = FakeClock()
+        s = WindowedSeries("s", clock)
+        s.add(1.0)
+        s.add(2.0)
+        drained = s.roll()
+        assert drained == [1.0, 2.0]
+        assert s.samples == []
+        assert s.sample_std() == 0.0
+
+
+class TestSpanAccumulator:
+    def test_total_includes_open_span(self):
+        clock = FakeClock()
+        acc = SpanAccumulator("a", clock)
+        token = acc.begin("role")
+        clock.t = 3.0
+        assert acc.total("role") == 3.0
+        acc.end(token)
+        clock.t = 10.0
+        assert acc.total("role") == 3.0
+        assert acc.count("role") == 1
+
+    def test_reset_rebases_open_spans(self):
+        clock = FakeClock()
+        acc = SpanAccumulator("a", clock)
+        acc.begin("role")
+        clock.t = 4.0
+        acc.reset()
+        assert acc.total("role") == 0.0
+        clock.t = 6.0
+        # The open span keeps accruing from the reset point.
+        assert acc.total("role") == 2.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry(FakeClock())
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+        assert reg.window("w") is reg.window("w")
+
+    def test_as_dict_snapshot(self):
+        clock = FakeClock()
+        reg = MetricsRegistry(clock)
+        reg.counter("packets").inc(3)
+        reg.gauge("depth").set(1.5)
+        flat = reg.as_dict()
+        assert flat["packets"] == 3
+        assert flat["depth"] == 1.5

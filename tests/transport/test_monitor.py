@@ -114,6 +114,31 @@ class TestQoSMonitor:
         assert out[0].osdus_delivered == 1
         assert out[1].osdus_delivered == 0
 
+    def test_constant_rate_reports_full_throughput_every_period(self, sim):
+        """Regression: the arrival window must reset at every boundary.
+
+        A constant 1 Mbit/s stream must report ~1 Mbit/s in *every*
+        sample period.  The old hand-rolled ``_reset_period`` forgot
+        ``_first_arrival``/``_last_arrival``/``_first_bits``, so every
+        period after the first computed throughput over an active span
+        stretching back to the first-ever arrival and under-reported.
+        """
+        monitor, out = collect(sim)
+        monitor.start()
+        # One 100 kbit unit every 0.1 s across three full periods.
+        for k in range(30):
+            sim.call_at(
+                k * 0.1,
+                lambda: monitor.record_delivery(
+                    size_bits=100_000, delay_s=0.01, corrupted=False
+                ),
+            )
+        sim.run(until=3.5)
+        assert len(out) >= 3
+        assert sum(m.osdus_delivered for m in out[:3]) == 30
+        for measurement in out[:3]:
+            assert measurement.throughput_bps == pytest.approx(1e6)
+
     def test_stop_halts_emission(self, sim):
         monitor, out = collect(sim)
         monitor.start()
