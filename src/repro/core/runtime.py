@@ -152,6 +152,41 @@ class Runtime:
             "tracing is not enabled; call enable_tracing() before export"
         )
 
+    # -- fault injection ---------------------------------------------------
+
+    def with_fault_plan(self, plan, network=None) -> "Runtime":
+        """Arm a fault plan (or :class:`~repro.faults.plan.ChaosPlan`).
+
+        ``network`` defaults to the runtime's own ``network`` attribute
+        (present on :class:`Stack`); a bare ``Runtime`` must pass one
+        explicitly.  A :class:`~repro.faults.plan.ChaosPlan` is
+        materialised from the dedicated ``"faults"`` RNG stream, so the
+        generated episodes are a pure function of the runtime seed and
+        never perturb any other stream.  Armed injectors are appended
+        to :attr:`fault_injectors` for inspection.  An empty plan arms
+        into nothing: zero simulator events, zero counters, zero
+        randomness -- fault-free runs stay bit-identical.
+        """
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import ChaosPlan, FaultPlan
+
+        if network is None:
+            network = getattr(self, "network", None)
+            if network is None:
+                raise ValueError(
+                    "this runtime has no network; pass one explicitly"
+                )
+        if isinstance(plan, ChaosPlan):
+            plan = plan.materialise(self.stream("faults"))
+        if not isinstance(plan, FaultPlan):
+            plan = FaultPlan(plan)
+        injector = FaultInjector(self.sim, network, plan).arm()
+        if not hasattr(self, "fault_injectors"):
+            #: Armed injectors, in installation order.
+            self.fault_injectors = []
+        self.fault_injectors.append(injector)
+        return self
+
     # -- clock registry ----------------------------------------------------
 
     def register_clock(self, name: str, clock: NodeClock) -> NodeClock:

@@ -1,0 +1,43 @@
+"""Scripted fault injection and graceful-degradation drivers.
+
+The *policy* half of the fault subsystem: declarative
+:class:`~repro.faults.plan.FaultPlan` scripts of timed episodes, an
+optional randomized :class:`~repro.faults.plan.ChaosPlan` generator,
+and the :class:`~repro.faults.injector.FaultInjector` that applies them
+deterministically through the simulator.  The *mechanisms* the injector
+drives live in :mod:`repro.netsim.faults`.
+
+Install a plan on any runtime with ``runtime.with_fault_plan(plan)``;
+an empty plan schedules nothing and perturbs nothing.
+"""
+
+from repro.faults.injector import EpisodeRecord, FaultInjector
+from repro.faults.plan import (
+    BandwidthSqueeze,
+    ChaosPlan,
+    FaultEpisode,
+    FaultPlan,
+    LinkDown,
+    LinkUp,
+    LossBurst,
+    NodeCrash,
+    NodeRestart,
+    link_outage,
+    node_outage,
+)
+
+__all__ = [
+    "BandwidthSqueeze",
+    "ChaosPlan",
+    "EpisodeRecord",
+    "FaultEpisode",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDown",
+    "LinkUp",
+    "LossBurst",
+    "NodeCrash",
+    "NodeRestart",
+    "link_outage",
+    "node_outage",
+]

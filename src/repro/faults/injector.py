@@ -1,0 +1,162 @@
+"""The fault injector: schedules a plan's episodes on the simulator.
+
+One :class:`FaultInjector` arms one :class:`~repro.faults.plan.FaultPlan`
+against one :class:`~repro.netsim.topology.Network`.  Every episode is
+scheduled as an ordinary simulator callback at plan-build time, so
+injection is fully deterministic: no randomness is consumed at fire
+time, and an empty plan arms into nothing at all.
+
+Observability: each applied episode bumps ``faults.*`` counters in
+``sim.metrics`` and -- when tracing is enabled -- appears on the
+``faults`` track as a span covering the episode's active interval
+(down..up, crash..restart, squeeze/burst begin..end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.faults.plan import (
+    BandwidthSqueeze,
+    FaultEpisode,
+    FaultPlan,
+    LinkDown,
+    LinkUp,
+    LossBurst,
+    NodeCrash,
+    NodeRestart,
+)
+from repro.netsim import faults as mech
+from repro.netsim.topology import Network
+from repro.sim.scheduler import Simulator, TimerHandle
+
+
+@dataclass
+class EpisodeRecord:
+    """One applied episode, for tests and benchmark reporting."""
+
+    at: float
+    kind: str
+    target: str
+
+
+class FaultInjector:
+    """Applies a fault plan to a network through the simulator."""
+
+    def __init__(self, sim: Simulator, network: Network, plan: FaultPlan):
+        self.sim = sim
+        self.network = network
+        self.plan = plan
+        self.applied: List[EpisodeRecord] = []
+        self._handles: List[TimerHandle] = []
+        self._armed = False
+        # Open trace spans for in-progress episodes, keyed by target.
+        self._open_spans: Dict[Tuple[str, str], object] = {}
+        # Undo records for interval episodes, keyed by (kind, target, at).
+        self._undo_state: Dict[Tuple[str, str, float], object] = {}
+
+    def arm(self) -> "FaultInjector":
+        """Schedule every episode; an empty plan schedules nothing."""
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        for episode in self.plan:
+            when = max(episode.at, self.sim.now)
+            self._handles.append(
+                self.sim.call_at(when, lambda e=episode: self._apply(e))
+            )
+            duration = getattr(episode, "duration", None)
+            if duration is not None:
+                self._handles.append(
+                    self.sim.call_at(
+                        when + duration, lambda e=episode: self._end(e)
+                    )
+                )
+        return self
+
+    def cancel(self) -> None:
+        """Retract every not-yet-fired episode."""
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+
+    # -- episode application -------------------------------------------
+
+    def _apply(self, episode: FaultEpisode) -> None:
+        """Fire an episode's begin action."""
+        target = self._target_of(episode)
+        if isinstance(episode, LinkDown):
+            mech.take_link_down(self.network, episode.src, episode.dst)
+            self._open_span("outage", target)
+        elif isinstance(episode, LinkUp):
+            mech.restore_link(self.network, episode.src, episode.dst)
+            self._close_span("outage", target)
+        elif isinstance(episode, BandwidthSqueeze):
+            state = mech.begin_squeeze(
+                self.network, episode.src, episode.dst, episode.factor
+            )
+            self._undo_state[(episode.kind, target, episode.at)] = state
+            self._open_span("squeeze", target, factor=episode.factor)
+        elif isinstance(episode, LossBurst):
+            state = mech.begin_loss_burst(
+                self.network, episode.src, episode.dst, episode.loss
+            )
+            self._undo_state[(episode.kind, target, episode.at)] = state
+            self._open_span("loss-burst", target)
+        elif isinstance(episode, NodeCrash):
+            mech.crash_node(self.network, episode.node)
+            self._open_span("crash", target)
+        elif isinstance(episode, NodeRestart):
+            mech.restart_node(self.network, episode.node)
+            self._close_span("crash", target)
+        else:  # pragma: no cover - plan validation prevents this
+            raise TypeError(f"unknown episode {episode!r}")
+        self._record(episode, target)
+
+    def _end(self, episode: FaultEpisode) -> None:
+        """Fire a timed episode's end action (restore captured state)."""
+        target = self._target_of(episode)
+        state = self._undo_state.pop((episode.kind, target, episode.at), None)
+        if state is not None:
+            state.restore()
+        label = "squeeze" if isinstance(episode, BandwidthSqueeze) else "loss-burst"
+        self._close_span(label, target)
+
+    # -- bookkeeping ----------------------------------------------------
+
+    @staticmethod
+    def _target_of(episode: FaultEpisode) -> str:
+        """Printable target name for counters, spans and records."""
+        if isinstance(episode, (NodeCrash, NodeRestart)):
+            return episode.node
+        return f"{episode.src}->{episode.dst}"
+
+    def _record(self, episode: FaultEpisode, target: str) -> None:
+        """Count and log one applied episode."""
+        self.applied.append(EpisodeRecord(self.sim.now, episode.kind, target))
+        self.sim.metrics.counter("faults.episodes").inc()
+        self.sim.metrics.counter(f"faults.{episode.kind}").inc()
+
+    def _open_span(self, label: str, target: str, **args) -> None:
+        """Open the episode's trace span (no-op when tracing is off)."""
+        trace = self.sim.trace
+        if not trace.enabled:
+            return
+        self._open_spans[(label, target)] = trace.span(
+            f"fault:{label}:{target}", track="faults", cat="fault",
+            args={"target": target, **args},
+        )
+
+    def _close_span(self, label: str, target: str) -> None:
+        """Close the matching open span, if tracing recorded one."""
+        span = self._open_spans.pop((label, target), None)
+        if span is not None:
+            span.end()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Human-readable summary for debugging."""
+        return (
+            f"FaultInjector({len(self.plan)} episodes, "
+            f"{len(self.applied)} applied)"
+        )

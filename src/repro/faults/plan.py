@@ -1,0 +1,292 @@
+"""Fault plans: declarative scripts of timed network-fault episodes.
+
+A :class:`FaultPlan` is an ordered collection of episodes, each pinned
+to a virtual-time instant:
+
+- :class:`LinkDown` / :class:`LinkUp` -- carrier loss and restoration
+  on one directed link (use :func:`link_outage` for the common paired,
+  optionally bidirectional outage);
+- :class:`BandwidthSqueeze` -- temporarily scale a link's serialisation
+  rate by a factor for a bounded interval;
+- :class:`LossBurst` -- swap a harsher
+  :class:`~repro.netsim.link.LossModel` onto a link for an interval;
+- :class:`NodeCrash` / :class:`NodeRestart` -- fail-stop and recover a
+  router (use :func:`node_outage` for the pair).
+
+Plans are pure data: nothing happens until a
+:class:`~repro.faults.injector.FaultInjector` arms them on a simulator,
+so the same plan replays identically across runs and seeds.
+:class:`ChaosPlan` generates a randomized plan from a named
+:mod:`repro.sim.random` stream -- deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.netsim.link import GilbertElliottLoss, LossModel
+
+
+@dataclass(frozen=True)
+class FaultEpisode:
+    """Base class: one scheduled fault event.
+
+    ``at`` is the absolute virtual time the episode begins.  Episodes
+    with a ``duration`` end (are undone) at ``at + duration``;
+    instantaneous episodes (:class:`LinkDown`, :class:`LinkUp`,
+    :class:`NodeCrash`, :class:`NodeRestart`) only begin.
+    """
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"episode time must be non-negative, got {self.at}")
+
+    @property
+    def kind(self) -> str:
+        """Short snake_case tag used for counters and trace labels."""
+        return _KIND_NAMES[type(self)]
+
+
+@dataclass(frozen=True)
+class LinkDown(FaultEpisode):
+    """Carrier loss on the directed link ``src -> dst`` at time ``at``."""
+
+    src: str = ""
+    dst: str = ""
+
+
+@dataclass(frozen=True)
+class LinkUp(FaultEpisode):
+    """Carrier restoration on the directed link ``src -> dst`` at ``at``."""
+
+    src: str = ""
+    dst: str = ""
+
+
+@dataclass(frozen=True)
+class BandwidthSqueeze(FaultEpisode):
+    """Scale the rate of ``src -> dst`` by ``factor`` for ``duration`` s."""
+
+    duration: float = 0.0
+    src: str = ""
+    dst: str = ""
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.factor <= 0:
+            raise ValueError(f"rate factor must be positive, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class LossBurst(FaultEpisode):
+    """Swap ``loss`` onto ``src -> dst`` for ``duration`` seconds.
+
+    The link's previous loss model is reinstated when the burst ends.
+    Defaults to a deep Gilbert-Elliott bad spell.
+    """
+
+    duration: float = 0.0
+    src: str = ""
+    dst: str = ""
+    loss: LossModel = field(
+        default_factory=lambda: GilbertElliottLoss(
+            p_good_to_bad=0.3, p_bad_to_good=0.1, p_good=0.05, p_bad=0.7
+        )
+    )
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEpisode):
+    """Fail-stop the router ``node`` at time ``at``."""
+
+    node: str = ""
+
+
+@dataclass(frozen=True)
+class NodeRestart(FaultEpisode):
+    """Restart the crashed router ``node`` at time ``at``."""
+
+    node: str = ""
+
+
+_KIND_NAMES = {
+    LinkDown: "link_down",
+    LinkUp: "link_up",
+    BandwidthSqueeze: "bandwidth_squeeze",
+    LossBurst: "loss_burst",
+    NodeCrash: "node_crash",
+    NodeRestart: "node_restart",
+}
+
+
+def link_outage(
+    src: str, dst: str, at: float, duration: float, bidirectional: bool = True
+) -> Tuple[FaultEpisode, ...]:
+    """Episode pair(s) for a link outage of ``duration`` starting at ``at``.
+
+    With ``bidirectional`` (the default) both directions of the link
+    fail together, which is how a physical cut behaves; pass False to
+    sever only the ``src -> dst`` data direction while the reverse
+    (control/credit) direction stays up.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    episodes: List[FaultEpisode] = [
+        LinkDown(at, src=src, dst=dst),
+        LinkUp(at + duration, src=src, dst=dst),
+    ]
+    if bidirectional:
+        episodes += [
+            LinkDown(at, src=dst, dst=src),
+            LinkUp(at + duration, src=dst, dst=src),
+        ]
+    return tuple(episodes)
+
+
+def node_outage(node: str, at: float, duration: float) -> Tuple[FaultEpisode, ...]:
+    """A crash/restart pair taking router ``node`` out for ``duration`` s."""
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    return (NodeCrash(at, node=node), NodeRestart(at + duration, node=node))
+
+
+class FaultPlan:
+    """An ordered, validated collection of fault episodes.
+
+    Plans are immutable once built and safe to share between runs.  An
+    empty plan is a valid no-op: installing it schedules no simulator
+    events, touches no counters and consumes no randomness, so a run
+    with ``FaultPlan()`` is bit-identical to a run with no plan at all.
+    """
+
+    def __init__(self, episodes: Iterable[FaultEpisode] = ()):
+        flat: List[FaultEpisode] = []
+        for episode in episodes:
+            if isinstance(episode, FaultEpisode):
+                flat.append(episode)
+            else:  # a tuple from link_outage()/node_outage()
+                flat.extend(episode)
+        for episode in flat:
+            if not isinstance(episode, FaultEpisode):
+                raise TypeError(f"not a fault episode: {episode!r}")
+        self._episodes: Tuple[FaultEpisode, ...] = tuple(
+            sorted(flat, key=lambda e: e.at)
+        )
+
+    def __iter__(self) -> Iterator[FaultEpisode]:
+        """Iterate episodes in start-time order."""
+        return iter(self._episodes)
+
+    def __len__(self) -> int:
+        """Number of episodes in the plan."""
+        return len(self._episodes)
+
+    def __bool__(self) -> bool:
+        """True when the plan has at least one episode."""
+        return bool(self._episodes)
+
+    @property
+    def episodes(self) -> Tuple[FaultEpisode, ...]:
+        """The episodes, sorted by start time."""
+        return self._episodes
+
+    @property
+    def horizon(self) -> float:
+        """Virtual time by which every episode has begun and ended."""
+        end = 0.0
+        for episode in self._episodes:
+            end = max(end, episode.at + getattr(episode, "duration", 0.0))
+        return end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Human-readable summary for debugging."""
+        return f"FaultPlan({len(self._episodes)} episodes, horizon={self.horizon:g}s)"
+
+
+@dataclass
+class ChaosPlan:
+    """Generator of randomized fault plans (chaos-testing mode).
+
+    Draws a Poisson-ish sequence of episodes over ``[warmup, horizon)``
+    from a caller-supplied RNG -- pass a named
+    :meth:`repro.sim.random.RandomStreams.stream` so the generated plan
+    is a pure function of the runtime seed.  Link targets are drawn
+    from ``links``; router crashes from ``routers`` (empty disables
+    crashes).
+    """
+
+    horizon: float
+    links: Sequence[Tuple[str, str]]
+    routers: Sequence[str] = ()
+    warmup: float = 0.5
+    episode_rate: float = 0.2
+    min_duration: float = 0.1
+    max_duration: float = 1.0
+    bidirectional_outages: bool = True
+
+    def __post_init__(self) -> None:
+        if self.horizon <= self.warmup:
+            raise ValueError("horizon must exceed warmup")
+        if not self.links:
+            raise ValueError("chaos needs at least one target link")
+        if self.episode_rate <= 0:
+            raise ValueError("episode_rate must be positive")
+        if not 0 < self.min_duration <= self.max_duration:
+            raise ValueError("need 0 < min_duration <= max_duration")
+
+    def materialise(self, rng: _random.Random) -> FaultPlan:
+        """Draw a concrete :class:`FaultPlan` from ``rng``.
+
+        Interarrival times are exponential with mean
+        ``1 / episode_rate``; each episode's kind, target and duration
+        are drawn uniformly.  Durations are clipped so every episode
+        ends by ``horizon``.
+        """
+        kinds = ["outage", "squeeze", "loss_burst"]
+        if self.routers:
+            kinds.append("crash")
+        episodes: List[FaultEpisode] = []
+        t = self.warmup + rng.expovariate(self.episode_rate)
+        while t < self.horizon:
+            duration = min(
+                rng.uniform(self.min_duration, self.max_duration),
+                self.horizon - t,
+            )
+            kind = rng.choice(kinds)
+            if kind == "crash":
+                node = rng.choice(list(self.routers))
+                episodes.extend(node_outage(node, t, duration))
+            else:
+                src, dst = rng.choice(list(self.links))
+                if kind == "outage":
+                    episodes.extend(
+                        link_outage(
+                            src, dst, t, duration,
+                            bidirectional=self.bidirectional_outages,
+                        )
+                    )
+                elif kind == "squeeze":
+                    episodes.append(
+                        BandwidthSqueeze(
+                            t, duration=duration, src=src, dst=dst,
+                            factor=rng.uniform(0.1, 0.6),
+                        )
+                    )
+                else:
+                    episodes.append(
+                        LossBurst(t, duration=duration, src=src, dst=dst)
+                    )
+            t += rng.expovariate(self.episode_rate)
+        return FaultPlan(episodes)

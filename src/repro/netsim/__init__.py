@@ -13,6 +13,9 @@ provides:
 - :class:`ReservationManager` -- ST-II-like per-hop resource
   reservation and admission control (paper section 3.3 and 7 assume
   such a protocol, citing ST-II [Topolcic,90] and SRP [Anderson,91]).
+- :mod:`repro.netsim.faults` -- fault mechanisms (link down/up, rate
+  squeeze, loss burst, router crash) driven by :mod:`repro.faults`
+  plans.
 """
 
 from repro.netsim.packet import Packet, Priority
@@ -28,6 +31,14 @@ from repro.netsim.link import (
 )
 from repro.netsim.node import Host, Node, Router
 from repro.netsim.topology import Network
+from repro.netsim.faults import (
+    begin_loss_burst,
+    begin_squeeze,
+    crash_node,
+    restart_node,
+    restore_link,
+    take_link_down,
+)
 from repro.netsim.reservation import (
     AdmissionError,
     Reservation,
@@ -52,4 +63,10 @@ __all__ = [
     "Router",
     "TruncatedGaussianJitter",
     "UniformJitter",
+    "begin_loss_burst",
+    "begin_squeeze",
+    "crash_node",
+    "restart_node",
+    "restore_link",
+    "take_link_down",
 ]

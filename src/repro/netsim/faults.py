@@ -1,0 +1,104 @@
+"""Netsim-level fault mechanisms: the operations fault plans apply.
+
+This module is the *mechanism* half of the fault-injection subsystem:
+small, state-capturing operations on a live :class:`~repro.netsim.topology.Network`
+-- take a link down, squeeze its rate, swap its loss model, crash a
+router.  The *policy* half (which fault happens when) lives in
+:mod:`repro.faults`, whose injector schedules these operations on the
+simulator.
+
+Every ``begin_*`` operation returns the state needed to undo it, so the
+injector can restore a link/router exactly -- including when several
+episodes overlap on the same target (last writer restores what it saw).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.link import Link, LossModel
+from repro.netsim.node import Router
+from repro.netsim.topology import Network
+
+
+def take_link_down(network: Network, src: str, dst: str) -> Link:
+    """Carrier loss on the directed link ``src -> dst``; returns the link."""
+    link = network.link_between(src, dst)
+    link.set_down()
+    return link
+
+
+def restore_link(network: Network, src: str, dst: str) -> Link:
+    """Restore carrier on the directed link ``src -> dst``; returns the link."""
+    link = network.link_between(src, dst)
+    link.set_up()
+    return link
+
+
+@dataclass
+class SqueezeState:
+    """Undo record for a bandwidth squeeze: the link and its prior rate."""
+
+    link: Link
+    original_bps: float
+
+    def restore(self) -> None:
+        """Put the link's serialisation rate back where it was."""
+        self.link.set_rate(self.original_bps)
+
+
+def begin_squeeze(network: Network, src: str, dst: str, factor: float) -> SqueezeState:
+    """Scale the rate of ``src -> dst`` by ``factor``; returns the undo record."""
+    link = network.link_between(src, dst)
+    original = link.scale_rate(factor)
+    return SqueezeState(link, original)
+
+
+@dataclass
+class LossBurstState:
+    """Undo record for a loss burst: the link and its prior loss model."""
+
+    link: Link
+    original_loss: LossModel
+
+    def restore(self) -> None:
+        """Reinstall the loss model that was active before the burst."""
+        self.link.loss = self.original_loss
+
+
+def begin_loss_burst(
+    network: Network, src: str, dst: str, loss: LossModel
+) -> LossBurstState:
+    """Swap a harsher loss model onto ``src -> dst``; returns the undo record."""
+    link = network.link_between(src, dst)
+    state = LossBurstState(link, link.loss)
+    link.loss = loss
+    return state
+
+
+def crash_node(network: Network, name: str) -> Router:
+    """Fail-stop the router ``name``; returns it.
+
+    Only routers crash in this model: a host crash would take its
+    protocol entities with it, which is an application-level scenario
+    (the paper's end-systems are assumed to stay up while the *network*
+    degrades).
+    """
+    node = network.nodes[name]
+    if not isinstance(node, Router):
+        raise TypeError(
+            f"node {name!r} is a {type(node).__name__}; only routers crash"
+        )
+    node.crash()
+    return node
+
+
+def restart_node(network: Network, name: str) -> Router:
+    """Restart the crashed router ``name``; returns it."""
+    node = network.nodes[name]
+    if not isinstance(node, Router):
+        raise TypeError(
+            f"node {name!r} is a {type(node).__name__}; only routers restart"
+        )
+    node.restart()
+    return node

@@ -11,23 +11,32 @@ queueing delay, which the transport monitor must detect and report
 Scheduling is strict priority with two bands: CONTROL/RESERVED above
 BEST_EFFORT, implementing the guaranteed out-of-band control channels
 of paper section 5.
+
+Links are also the primary target of the fault-injection subsystem
+(:mod:`repro.netsim.faults`): :meth:`Link.set_down` /
+:meth:`Link.set_up` model a carrier outage and :meth:`Link.set_rate` /
+:meth:`Link.scale_rate` a mid-session bandwidth change, with correct
+handling of the packet being serialised, packets in propagation, and
+the per-band no-reorder clamps.
 """
 
 from __future__ import annotations
 
+import itertools
 import random as _random
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, Dict, Optional
 
 from repro.netsim.packet import Packet, Priority
 from repro.obs.registry import MetricsRegistry
-from repro.sim.scheduler import Simulator
+from repro.sim.scheduler import Simulator, TimerHandle
 
 
 class LossModel:
     """Decides whether a packet is lost in transit."""
 
     def is_lost(self, rng: _random.Random) -> bool:
+        """Draw the fate of one packet from ``rng``."""
         raise NotImplementedError
 
     def expected_loss(self) -> float:
@@ -39,9 +48,11 @@ class NoLoss(LossModel):
     """Lossless link."""
 
     def is_lost(self, rng: _random.Random) -> bool:
+        """Never lose a packet."""
         return False
 
     def expected_loss(self) -> float:
+        """Zero, by construction."""
         return 0.0
 
 
@@ -54,9 +65,11 @@ class BernoulliLoss(LossModel):
         self.p = p
 
     def is_lost(self, rng: _random.Random) -> bool:
+        """Lose the packet with probability ``p``, independently."""
         return rng.random() < self.p
 
     def expected_loss(self) -> float:
+        """The Bernoulli parameter ``p`` itself."""
         return self.p
 
 
@@ -91,6 +104,12 @@ class GilbertElliottLoss(LossModel):
         self._bad = False
 
     def is_lost(self, rng: _random.Random) -> bool:
+        """Advance the two-state chain one packet, then draw the loss.
+
+        The state transition is evaluated *before* the loss draw, so a
+        packet that flips the channel into the BAD state is already
+        exposed to ``p_bad``.
+        """
         if self._bad:
             if rng.random() < self.p_bad_to_good:
                 self._bad = False
@@ -100,6 +119,12 @@ class GilbertElliottLoss(LossModel):
         return rng.random() < (self.p_bad if self._bad else self.p_good)
 
     def expected_loss(self) -> float:
+        """Stationary loss fraction of the two-state chain.
+
+        With both transition probabilities zero the chain never leaves
+        its current state, so the current state's loss probability is
+        returned instead of the (undefined) stationary mixture.
+        """
         denominator = self.p_good_to_bad + self.p_bad_to_good
         if denominator == 0.0:
             return self.p_bad if self._bad else self.p_good
@@ -111,6 +136,7 @@ class JitterModel:
     """Draws an extra per-packet delay (seconds, non-negative)."""
 
     def sample(self, rng: _random.Random) -> float:
+        """Draw one packet's extra delay from ``rng``."""
         raise NotImplementedError
 
     def bound(self) -> float:
@@ -119,10 +145,14 @@ class JitterModel:
 
 
 class NoJitter(JitterModel):
+    """Deterministic link: no extra per-packet delay."""
+
     def sample(self, rng: _random.Random) -> float:
+        """Always zero."""
         return 0.0
 
     def bound(self) -> float:
+        """Always zero."""
         return 0.0
 
 
@@ -135,9 +165,11 @@ class UniformJitter(JitterModel):
         self.max_jitter = max_jitter
 
     def sample(self, rng: _random.Random) -> float:
+        """Uniform draw in ``[0, max_jitter]``."""
         return rng.uniform(0.0, self.max_jitter)
 
     def bound(self) -> float:
+        """The configured ``max_jitter``."""
         return self.max_jitter
 
 
@@ -152,9 +184,11 @@ class TruncatedGaussianJitter(JitterModel):
         self.cap = cap if cap is not None else mean + 4 * sigma
 
     def sample(self, rng: _random.Random) -> float:
+        """Gaussian draw clipped into ``[0, cap]``."""
         return min(max(rng.gauss(self.mean, self.sigma), 0.0), self.cap)
 
     def bound(self) -> float:
+        """The truncation cap."""
         return self.cap
 
 
@@ -181,12 +215,14 @@ class LinkStats:
 
     @property
     def loss_fraction(self) -> float:
+        """Fraction of sent packets lost or dropped at the buffer."""
         if self.sent_packets == 0:
             return 0.0
         return (self.lost_packets + self.buffer_drops) / self.sent_packets
 
 
 def _stats_view(field: str):
+    """Build a property forwarding a LinkStats attribute to its counter."""
     def get(self: LinkStats) -> int:
         return getattr(self, "_" + field).value
 
@@ -258,6 +294,18 @@ class Link:
         self._low: Deque[tuple[Packet, float]] = deque()
         self._queued_bytes = 0.0
         self._transmitting = False
+        self._down = False
+        # The packet currently being serialised, its tx-start time and
+        # the timer that completes it -- kept so set_down() can abort the
+        # transmission and set_rate() can stretch/shrink its remainder.
+        self._tx_packet: Optional[Packet] = None
+        self._tx_started = 0.0
+        self._tx_handle: Optional[TimerHandle] = None
+        # Packets past serialisation, in propagation toward dst.  A
+        # carrier loss kills these too (they are on the failed medium),
+        # so their delivery timers must be cancellable.
+        self._flight_ids = itertools.count()
+        self._propagating: Dict[int, TimerHandle] = {}
         # No-reorder clamp per priority band: jitter must not reorder
         # deliveries *within a band*, but the CONTROL/RESERVED band must
         # never be held behind a BEST_EFFORT packet's jittered delivery
@@ -269,11 +317,116 @@ class Link:
 
     @property
     def queued_bytes(self) -> float:
+        """Bytes currently held in the transmit buffer."""
         return self._queued_bytes
+
+    @property
+    def up(self) -> bool:
+        """False while the link is administratively/fault down."""
+        return not self._down
 
     def tx_time(self, size_bits: int) -> float:
         """Serialisation time for a packet of ``size_bits``."""
         return size_bits / self.bandwidth_bps
+
+    # -- fault injection -------------------------------------------------
+
+    def set_down(self) -> None:
+        """Take the link down (carrier loss), losing everything on it.
+
+        The packet mid-serialisation, every queued packet and every
+        packet still in propagation are counted as lost: a severed
+        medium delivers nothing.  Cancelling the in-propagation delivery
+        timers is load-bearing for ordering correctness -- see
+        :meth:`set_up` for the matching clamp reset.  Idempotent.
+        """
+        if self._down:
+            return
+        self._down = True
+        lost = 0
+        if self._tx_handle is not None:
+            self._tx_handle.cancel()
+            self._tx_handle = None
+            if self._tx_packet is not None:
+                self._queued_bytes -= self._tx_packet.size_bytes
+                self._tx_packet = None
+                lost += 1
+        for queue in (self._high, self._low):
+            while queue:
+                packet, _enqueued_at = queue.popleft()
+                self._queued_bytes -= packet.size_bytes
+                lost += 1
+        for handle in self._propagating.values():
+            handle.cancel()
+            lost += 1
+        self._propagating.clear()
+        self._transmitting = False
+        self.stats.lost_packets += lost
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                "link.down", track=f"link:{self.src}->{self.dst}", cat="fault",
+                args={"lost_in_flight": lost},
+            )
+
+    def set_up(self) -> None:
+        """Restore a downed link.  Idempotent.
+
+        The per-band no-reorder clamps are reset here: they still hold
+        the jittered arrival times of pre-outage packets, but every one
+        of those deliveries was cancelled by :meth:`set_down`.  Left in
+        place, post-outage traffic would be held behind the ghost of
+        packets that never arrived; conversely, resetting the clamps
+        without having cancelled the pre-outage deliveries would let a
+        pre-outage packet arrive *after* a post-outage one.  The
+        cancel-then-reset pair keeps per-band FIFO delivery intact
+        across a down/up cycle.
+        """
+        if not self._down:
+            return
+        self._down = False
+        self._last_delivery_high = 0.0
+        self._last_delivery_low = 0.0
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                "link.up", track=f"link:{self.src}->{self.dst}", cat="fault",
+            )
+
+    def set_rate(self, bandwidth_bps: float) -> None:
+        """Change the serialisation rate mid-session.
+
+        The packet currently on the wire keeps the bits it has already
+        serialised: its completion timer is rescheduled so the
+        *remaining* serialisation proceeds at the new rate.  Queued
+        packets simply serialise at the new rate when their turn comes.
+        """
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        old = self.bandwidth_bps
+        if bandwidth_bps == old:
+            return
+        self.bandwidth_bps = bandwidth_bps
+        if self._tx_handle is not None and self._tx_handle.scheduled:
+            remaining = self._tx_handle.when - self.sim.now
+            if remaining > 0:
+                self._tx_handle.reschedule(
+                    self.sim.now + remaining * old / bandwidth_bps
+                )
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                "link.rate", track=f"link:{self.src}->{self.dst}", cat="fault",
+                args={"bandwidth_bps": bandwidth_bps, "was_bps": old},
+            )
+
+    def scale_rate(self, factor: float) -> float:
+        """Scale the serialisation rate by ``factor``; returns the old rate."""
+        if factor <= 0:
+            raise ValueError(f"rate factor must be positive, got {factor}")
+        old = self.bandwidth_bps
+        self.set_rate(old * factor)
+        return old
 
     # -- data path -------------------------------------------------------
 
@@ -281,6 +434,16 @@ class Link:
         """Enqueue ``packet`` for transmission."""
         self.stats.sent_packets += 1
         self.stats.sent_bits += packet.size_bits
+        if self._down:
+            # A downed interface: the packet goes nowhere.
+            self.stats.lost_packets += 1
+            trace = self.sim.trace
+            if trace.packets:
+                trace.instant(
+                    "drop:down", track=f"link:{self.src}->{self.dst}",
+                    cat="link", args={"flow": packet.flow_id},
+                )
+            return
         if self._queued_bytes + packet.size_bytes > self.buffer_bytes:
             self.stats.buffer_drops += 1
             trace = self.sim.trace
@@ -300,17 +463,25 @@ class Link:
             self._start_next()
 
     def _start_next(self) -> None:
+        """Begin serialising the next queued packet, if any."""
         queue = self._high if self._high else self._low
         if not queue:
             self._transmitting = False
+            self._tx_packet = None
+            self._tx_handle = None
             return
         self._transmitting = True
         packet, enqueued_at = queue.popleft()
         self.stats.total_queue_delay += self.sim.now - enqueued_at
         tx = self.tx_time(packet.size_bits)
-        self.sim.call_after(tx, lambda: self._tx_done(packet))
+        self._tx_packet = packet
+        self._tx_started = self.sim.now
+        self._tx_handle = self.sim.call_after(tx, lambda: self._tx_done(packet))
 
     def _tx_done(self, packet: Packet) -> None:
+        """Serialisation finished: launch the packet into propagation."""
+        self._tx_packet = None
+        self._tx_handle = None
         self._queued_bytes -= packet.size_bytes
         trace = self.sim.trace
         if trace.packets:
@@ -319,7 +490,7 @@ class Link:
             now = self.sim.now
             trace.complete(
                 packet.flow_id or type(packet.payload).__name__,
-                now - self.tx_time(packet.size_bits), now,
+                self._tx_started, now,
                 track=f"link:{self.src}->{self.dst}", cat="link",
                 args={"bits": packet.size_bits,
                       "priority": int(packet.priority)},
@@ -348,10 +519,16 @@ class Link:
             else:
                 arrival = max(arrival, self._last_delivery_low)
                 self._last_delivery_low = arrival
-            self.sim.call_at(arrival, lambda: self._deliver(packet))
+            token = next(self._flight_ids)
+            self._propagating[token] = self.sim.call_at(
+                arrival, lambda: self._deliver(packet, token)
+            )
         self._start_next()
 
-    def _deliver(self, packet: Packet) -> None:
+    def _deliver(self, packet: Packet, token: Optional[int] = None) -> None:
+        """Propagation finished: hand the packet to the receiving node."""
+        if token is not None:
+            self._propagating.pop(token, None)
         self.stats.delivered_packets += 1
         self.stats.delivered_bits += packet.size_bits
         packet.hops += 1
@@ -359,6 +536,7 @@ class Link:
             self.on_deliver(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Human-readable summary for debugging."""
         return (
             f"Link({self.src}->{self.dst}, {self.bandwidth_bps/1e6:.1f} Mbit/s, "
             f"{self.prop_delay*1e3:.2f} ms)"

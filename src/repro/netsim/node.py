@@ -29,6 +29,7 @@ class Node:
         self.links: Dict[str, Link] = {}  # neighbour name -> outgoing link
 
     def attach_link(self, link: Link) -> None:
+        """Adopt an outgoing link originating at this node."""
         if link.src != self.name:
             raise ValueError(
                 f"link {link!r} does not originate at node {self.name!r}"
@@ -37,15 +38,18 @@ class Node:
         link.on_deliver = None  # the Network wires delivery
 
     def link_to(self, neighbour: str) -> Link:
+        """The outgoing link toward ``neighbour``; KeyError if none."""
         try:
             return self.links[neighbour]
         except KeyError:
             raise KeyError(f"{self.name!r} has no link to {neighbour!r}") from None
 
     def receive(self, packet: Packet) -> None:
+        """Handle a packet delivered to this node (subclass hook)."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Human-readable summary for debugging."""
         return f"{type(self).__name__}({self.name!r})"
 
 
@@ -64,8 +68,41 @@ class Router(Node):
         self.forward: Callable[[str], str] = lambda dst: dst
         self.forwarded_packets = 0
         self.multicast_splits = 0
+        self.crashed = False
+        self.dropped_while_crashed = 0
+
+    def crash(self) -> None:
+        """Fail-stop the router: every packet it receives is dropped.
+
+        Links attached to the router keep delivering into it (the wire
+        is intact; the forwarding engine is not), which is exactly the
+        failure mode the transport monitor must surface as sustained
+        zero delivery.  Idempotent.
+        """
+        self.crashed = True
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                "node.crash", track=f"node:{self.name}", cat="fault",
+            )
+
+    def restart(self) -> None:
+        """Bring a crashed router back; forwarding state is stateless
+        (routes live in the Network), so recovery is immediate.  Idempotent.
+        """
+        self.crashed = False
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                "node.restart", track=f"node:{self.name}", cat="fault",
+                args={"dropped_while_crashed": self.dropped_while_crashed},
+            )
 
     def receive(self, packet: Packet) -> None:
+        """Forward ``packet`` toward its destination (or drop if crashed)."""
+        if self.crashed:
+            self.dropped_while_crashed += 1
+            return
         if packet.group_targets is not None:
             self._forward_multicast(packet)
             return
@@ -76,6 +113,7 @@ class Router(Node):
         self.link_to(next_hop).send(packet)
 
     def _forward_multicast(self, packet: Packet) -> None:
+        """Split a multicast packet: one copy per distinct next hop."""
         from dataclasses import replace as dc_replace
 
         branches: dict[str, list[str]] = {}
@@ -115,9 +153,11 @@ class Host(Node):
         self._handlers[key] = handler
 
     def unregister_handler(self, key: str) -> None:
+        """Detach the protocol entity registered under ``key``, if any."""
         self._handlers.pop(key, None)
 
     def receive(self, packet: Packet) -> None:
+        """Dispatch a delivered packet to the handler for its payload kind."""
         if packet.group_targets is not None and (
             self.name not in packet.group_targets
         ):

@@ -74,4 +74,5 @@ class Packet:
 
     @property
     def size_bytes(self) -> float:
+        """Packet size in bytes (``size_bits / 8``)."""
         return self.size_bits / 8.0

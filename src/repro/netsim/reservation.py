@@ -90,9 +90,11 @@ class ReservationManager:
     # -- queries -------------------------------------------------------
 
     def committed_bps(self, link: Link) -> float:
+        """Bandwidth currently committed to reservations on ``link``."""
         return self._committed_bps.get(link, 0.0)
 
     def available_bps(self, link: Link) -> float:
+        """Bandwidth still admittable on ``link`` under the reservable cap."""
         return (
             link.bandwidth_bps * self.reservable_fraction
             - self.committed_bps(link)

@@ -41,6 +41,7 @@ class Network:
         return host
 
     def add_router(self, name: str) -> Router:
+        """Create a store-and-forward router wired to this network's routes."""
         self._check_new(name)
         router = Router(self.sim, name)
         router.forward = lambda dst, _name=name: self.next_hop(_name, dst)
@@ -49,6 +50,7 @@ class Network:
         return router
 
     def _check_new(self, name: str) -> None:
+        """Reject duplicate node names."""
         if name in self.nodes:
             raise ValueError(f"node {name!r} already exists")
 
@@ -126,10 +128,22 @@ class Network:
         return self._routes[key]
 
     def next_hop(self, at: str, dst: str) -> str:
+        """The neighbour a packet at ``at`` should be forwarded to."""
         path = self.route(at, dst)
         if len(path) < 2:
             raise ValueError(f"no next hop from {at!r} toward {dst!r}")
         return path[1]
+
+    def link_between(self, src: str, dst: str) -> Link:
+        """The directed link ``src -> dst``; KeyError when absent.
+
+        Fault plans address links by endpoint names; this is the lookup
+        the injector uses to resolve an episode's target.
+        """
+        try:
+            return self.graph.edges[src, dst]["link"]
+        except KeyError:
+            raise KeyError(f"no link {src!r} -> {dst!r}") from None
 
     def links_on_route(self, src: str, dst: str) -> List[Link]:
         """The Link objects along the route (used for reservation)."""
@@ -139,6 +153,7 @@ class Network:
         ]
 
     def path_propagation_delay(self, src: str, dst: str) -> float:
+        """Sum of propagation delays along the route ``src -> dst``."""
         return sum(link.prop_delay for link in self.links_on_route(src, dst))
 
     # -- sending -----------------------------------------------------------
@@ -196,10 +211,12 @@ class Network:
         return links
 
     def host(self, name: str) -> Host:
+        """The Host called ``name``; TypeError if it is a router."""
         node = self.nodes[name]
         if not isinstance(node, Host):
             raise TypeError(f"node {name!r} is a {type(node).__name__}, not a Host")
         return node
 
     def hosts(self) -> Iterable[Host]:
+        """All Host nodes in the network."""
         return (n for n in self.nodes.values() if isinstance(n, Host))

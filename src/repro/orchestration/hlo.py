@@ -122,6 +122,16 @@ class OrchestrationSession:
     def reports(self):
         return self.agent.reports
 
+    @property
+    def outage_events(self):
+        """``(sim_time, vc_id)`` pairs for each declared stream outage."""
+        return self.agent.outage_events
+
+    @property
+    def recovery_events(self):
+        """``(sim_time, vc_id)`` pairs for each post-outage recovery."""
+        return self.agent.recovery_events
+
 
 class HighLevelOrchestrator:
     """Creates orchestration sessions over a set of LLO instances."""

@@ -91,6 +91,9 @@ class StreamIntervalStats:
     sink_app_block: float
     sink_proto_block: float
     sink_buffered: int
+    #: OSDUs newly delivered since the previous interval's report
+    #: (<= 0 means the stream made no progress at all).
+    delivered_delta: int = 0
 
     @property
     def media_time(self) -> float:
@@ -144,6 +147,7 @@ class HLOAgent:
         self._regulate_proc: Optional[Process] = None
         self._report_proc: Optional[Process] = None
         self._pending_reports: Dict[int, Dict[str, OrchRegulateIndication]] = {}
+        self._analyzed_up_to = 0
         self._prev_cumulative: Dict[str, Tuple[float, float, float, float, int]] = {}
         self._behind_streak: Dict[str, int] = {}
         # Per-stream base sequence: targets are expressed relative to
@@ -155,6 +159,15 @@ class HLOAgent:
         #: Installed by the HLO: called as ``on_renegotiate(vc_id,
         #: behind_seconds)`` when attribution blames protocol throughput.
         self.on_renegotiate: Optional[Callable[[str, float], None]] = None
+        #: Called as ``on_outage(vc_id)`` when a stream is declared in
+        #: outage (policy.outage_intervals stalled intervals).
+        self.on_outage: Optional[Callable[[str], None]] = None
+        # Outage tracking (see OrchestrationPolicy.outage_intervals).
+        self._stall_intervals: Dict[str, int] = {}
+        self._outage_vcs: set = set()
+        self.outage_events: List[Tuple[float, str]] = []
+        self.recovery_events: List[Tuple[float, str]] = []
+        self._reprime_proc: Optional[Process] = None
         #: Orch.Event callbacks: (vc_id, pattern) -> callable(indication).
         self._event_handlers: Dict[Tuple[str, int], Callable] = {}
         self.delayed_issued: List[Tuple[str, str]] = []
@@ -265,8 +278,10 @@ class HLOAgent:
         self.running = True
         self.config = RegulationConfig(started_at_master=self.clock.now())
         self._behind_streak = {vc: 0 for vc in self.streams}
+        self._stall_intervals = {vc: 0 for vc in self.streams}
         self._prev_cumulative.clear()
         self._pending_reports.clear()
+        self._analyzed_up_to = 0
         for vc_id in self.streams:
             local = self.llo.local_delivered_seq(vc_id)
             if local is not None:
@@ -344,10 +359,21 @@ class HLOAgent:
                 continue
             if indication.vc_id not in self.streams:
                 continue
+            if indication.interval_id <= self._analyzed_up_to:
+                # A straggler from an interval the agent has already
+                # moved past -- typically a report that sat blocked on a
+                # source-stats query across a network outage.  Its
+                # delivered/target snapshot is ancient; analysing it now
+                # would mis-rebase the timeline.
+                self._pending_reports.pop(indication.interval_id, None)
+                continue
             bucket = self._pending_reports.setdefault(indication.interval_id, {})
             bucket[indication.vc_id] = indication
             if len(bucket) == len(self.streams):
                 del self._pending_reports[indication.interval_id]
+                self._analyzed_up_to = max(
+                    self._analyzed_up_to, indication.interval_id
+                )
                 self._analyze(indication.interval_id, bucket)
 
     def _analyze(
@@ -373,9 +399,8 @@ class HLOAgent:
                 indication.dropped,
             )
             self._prev_cumulative[vc_id] = cumulative
-            self._last_delivered[vc_id] = max(
-                self._last_delivered.get(vc_id, -1), indication.osdu_seq
-            )
+            prev_delivered = self._last_delivered.get(vc_id, -1)
+            self._last_delivered[vc_id] = max(prev_delivered, indication.osdu_seq)
             dropped_delta = max(cumulative[4] - prev[4], 0)
             excess = indication.osdu_seq - target - dropped_delta
             if excess > 0:
@@ -397,6 +422,7 @@ class HLOAgent:
                 sink_app_block=max(cumulative[2] - prev[2], 0.0),
                 sink_proto_block=max(cumulative[3] - prev[3], 0.0),
                 sink_buffered=indication.sink_buffered,
+                delivered_delta=indication.osdu_seq - prev_delivered,
             )
             base = self._base_seq.get(vc_id, -1)
             digest._media_time = max(indication.osdu_seq - (base + 1), 0) / spec.osdu_rate
@@ -417,9 +443,41 @@ class HLOAgent:
         interval_length = self.policy.interval_length
         threshold_block = self.policy.block_fraction_threshold * interval_length
         worst_behind_seconds = 0.0
+        resync_seconds = 0.0
         for vc_id, digest in report.streams.items():
             spec = self.streams[vc_id]
             behind_seconds = digest.behind_osdus / spec.osdu_rate
+            stalled = (
+                digest.delivered_delta <= 0
+                and digest.behind_osdus > self.policy.delayed_threshold_osdus
+            )
+            if stalled:
+                streak = self._stall_intervals.get(vc_id, 0) + 1
+                self._stall_intervals[vc_id] = streak
+                if (
+                    streak >= self.policy.outage_intervals
+                    and vc_id not in self._outage_vcs
+                ):
+                    self._declare_outage(vc_id, digest)
+                if vc_id in self._outage_vcs:
+                    # An outaged stream is exempt from blocking-time
+                    # escalation: while nothing arrives, neither side's
+                    # blocking profile is attributable.  Nudge the
+                    # source every interval so its send window re-opens
+                    # the moment the path heals (fire-and-forget, so a
+                    # nudge lost to the fault is retried next interval).
+                    self.llo.nudge_request(self.session_id, vc_id)
+                    self._behind_streak[vc_id] = 0
+                    report.actions.append((vc_id, CompensationAction.OUTAGE))
+                    continue
+            else:
+                self._stall_intervals[vc_id] = 0
+                if vc_id in self._outage_vcs and digest.delivered_delta > 0:
+                    self._record_recovery(vc_id, digest)
+                    if self.policy.resync_after_outage:
+                        resync_seconds = max(resync_seconds, behind_seconds)
+                    self._behind_streak[vc_id] = 0
+                    continue
             if digest.behind_osdus <= self.policy.delayed_threshold_osdus:
                 self._behind_streak[vc_id] = 0
                 continue
@@ -432,6 +490,19 @@ class HLOAgent:
             report.actions.append((vc_id, action))
             self._escalate(vc_id, action, behind_seconds, interval_length, digest)
             self._behind_streak[vc_id] = 0
+        if resync_seconds > self.policy.strictness:
+            # Shift the shared timeline past the outage gap: the
+            # recovered stream resumes at the nominal rate and the
+            # survivors re-align to it, instead of the timeline
+            # demanding an unbounded catch-up burst.
+            self.config.timeline_offset += resync_seconds
+            report.actions.append(("*", CompensationAction.OUTAGE_RESYNC))
+            if self.policy.reprime_after_outage and self.established:
+                if self._reprime_proc is None or not self._reprime_proc.alive:
+                    self._reprime_proc = self.sim.spawn(
+                        self._reprime(),
+                        name=f"hlo-reprime:{self.session_id}",
+                    )
         if (
             self.policy.rebase_to_slowest
             and worst_behind_seconds > self.policy.strictness
@@ -440,6 +511,51 @@ class HLOAgent:
             # streams stay synchronised at a reduced effective rate.
             self.config.timeline_offset += worst_behind_seconds
             report.actions.append(("*", CompensationAction.REBASE))
+
+    def _declare_outage(self, vc_id: str, digest: StreamIntervalStats) -> None:
+        """Mark a stream as in outage and notify the application.
+
+        The ``on_outage`` hook is the Orch.Event-style escalation path:
+        the HLO (or application) learns that continuous synchronisation
+        on this VC has stopped entirely, as opposed to merely degraded.
+        """
+        self._outage_vcs.add(vc_id)
+        self.outage_events.append((self.sim.now, vc_id))
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                "orch.outage",
+                track=f"session:{self.session_id}",
+                cat="fault",
+                args={"vc": vc_id, "behind_osdus": digest.behind_osdus},
+            )
+        if self.on_outage is not None:
+            self.on_outage(vc_id)
+
+    def _record_recovery(self, vc_id: str, digest: StreamIntervalStats) -> None:
+        """First interval with fresh deliveries after an outage."""
+        self._outage_vcs.discard(vc_id)
+        self.recovery_events.append((self.sim.now, vc_id))
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                "orch.outage.end",
+                track=f"session:{self.session_id}",
+                cat="fault",
+                args={"vc": vc_id, "behind_osdus": digest.behind_osdus},
+            )
+
+    def _reprime(self):
+        """Coroutine: stop / prime / start after an outage recovery.
+
+        Refills the sink pipelines before regulation resumes
+        (``policy.reprime_after_outage``); restarting regulation also
+        re-captures base sequences and zeroes the timeline offset, so
+        the group restarts cleanly from the recovered position.
+        """
+        yield from self.stop()
+        yield from self.prime()
+        yield from self.start()
 
     def _attribute(
         self, digest: StreamIntervalStats, threshold: float

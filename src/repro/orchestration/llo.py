@@ -41,6 +41,7 @@ from repro.orchestration.opdu import (
     EventNotifyOPDU,
     EventRegisterOPDU,
     GroupCmdOPDU,
+    NudgeCmdOPDU,
     OPDU_WIRE_BYTES,
     RegulateCmdOPDU,
     RegulateReportOPDU,
@@ -347,6 +348,33 @@ class LLOInstance:
         else:
             self._send_opdu(sink, opdu)
 
+    def nudge_request(self, session_id: str, vc_id: str) -> None:
+        """Ask the source of an outaged VC to re-open its send window.
+
+        Fire-and-forget, sent at CONTROL priority each interval the HLO
+        agent observes the stream in outage; losing one is harmless
+        because the next interval resends and the probe is idempotent.
+        """
+        session = self.sessions.get(session_id)
+        if session is None or vc_id not in session.vcs:
+            return
+        src = session.vcs[vc_id][0]
+        opdu = NudgeCmdOPDU(
+            session_id=session_id,
+            request_id=next(self._req_ids),
+            origin=self.node_name,
+            vc_id=vc_id,
+        )
+        if src == self.node_name:
+            self._handle_nudge_cmd(opdu)
+        else:
+            self._send_opdu(src, opdu)
+
+    def _handle_nudge_cmd(self, opdu: NudgeCmdOPDU) -> None:
+        """Source-side nudge: start the transport credit probe."""
+        if opdu.vc_id in self.entity.send_vcs:
+            self.entity.begin_outage_probe(opdu.vc_id)
+
     def delayed_request(
         self,
         session_id: str,
@@ -478,6 +506,7 @@ class LLOInstance:
             RegulateCmdOPDU: self._handle_regulate_cmd,
             RegulateReportOPDU: self._handle_regulate_report,
             DropRequestOPDU: self._handle_drop_request,
+            NudgeCmdOPDU: self._handle_nudge_cmd,
             StatsQueryOPDU: self._handle_stats_query,
             StatsReplyOPDU: self._handle_stats_reply,
             DelayedCmdOPDU: self._handle_delayed_cmd,

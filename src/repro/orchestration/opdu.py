@@ -127,6 +127,20 @@ class DelayedCmdOPDU(ControlOPDU):
 
 
 @dataclass
+class NudgeCmdOPDU(ControlOPDU):
+    """Agent LLO -> source LLO: re-open the send window after an outage.
+
+    A network fault can strand a rate-based VC with zero send credits
+    (every in-flight TPDU lost, every refund waiting on an arrival that
+    cannot happen).  The source entity breaks the deadlock by probing
+    one credit per interval until grants resume
+    (:meth:`~repro.transport.entity.TransportEntity.begin_outage_probe`).
+    """
+
+    vc_id: str = ""
+
+
+@dataclass
 class EventRegisterOPDU(ControlOPDU):
     """Orch.Event.request relayed to the sink LLO of one VC."""
 

@@ -24,6 +24,8 @@ class CompensationAction(enum.Enum):
     DELAYED_SINK = "delayed-sink"      # Orch.Delayed to the sink app
     RENEGOTIATE = "renegotiate"        # T-Renegotiate the VC's QoS
     REBASE = "rebase"              # slow the whole group to the laggard
+    OUTAGE = "outage"              # stream stopped delivering entirely
+    OUTAGE_RESYNC = "outage-resync"    # timeline shifted past an outage gap
 
 
 @dataclass
@@ -51,6 +53,18 @@ class OrchestrationPolicy:
         escalate_renegotiate: allow the agent to request QoS
             renegotiation (via its ``on_renegotiate`` hook) when
             attribution blames protocol throughput.
+        outage_intervals: consecutive regulation intervals with zero
+            new deliveries (while behind target) before the agent
+            declares the stream in outage.  An outaged stream is
+            exempt from blocking-time escalation until data flows
+            again -- nothing it reports is attributable.
+        resync_after_outage: when a stream recovers from an outage,
+            shift the group timeline past the gap (like ``REBASE``) so
+            the survivors stay synchronised with the recovered stream
+            instead of demanding an unbounded catch-up burst.
+        reprime_after_outage: additionally run a full
+            stop / prime / start cycle on recovery to refill the sink
+            pipelines before regulation resumes.
     """
 
     interval_length: float = 0.2
@@ -60,6 +74,9 @@ class OrchestrationPolicy:
     block_fraction_threshold: float = 0.5
     rebase_to_slowest: bool = False
     escalate_renegotiate: bool = True
+    outage_intervals: int = 2
+    resync_after_outage: bool = True
+    reprime_after_outage: bool = False
 
     def __post_init__(self) -> None:
         if self.interval_length <= 0:
@@ -68,3 +85,5 @@ class OrchestrationPolicy:
             raise ValueError("strictness must be positive")
         if self.patience_intervals < 1:
             raise ValueError("patience_intervals must be at least 1")
+        if self.outage_intervals < 1:
+            raise ValueError("outage_intervals must be at least 1")

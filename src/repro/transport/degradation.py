@@ -1,0 +1,88 @@
+"""Graceful degradation: outage detection and the renegotiation ladder.
+
+The paper's QoS maintenance story (sections 4.1.2-4.1.3, Tables 2-3)
+assumes violations are *measurable*: packets arrive late, lossy or
+slow, and the monitor compares them against the contract.  A network
+fault is harsher -- nothing arrives at all, so every per-period
+observation is None and the contract comparison has nothing to check.
+This module supplies the two reaction pieces the fault-injection
+subsystem needs:
+
+- **Outage detection** (sink side): consecutive zero-delivery sample
+  periods on a VC that *has* carried traffic, while its delivery gate
+  is not deliberately closed, are declared an outage.  The entity then
+  synthesises a throughput violation (observed 0) so a standard
+  ``T-QoS.indication`` reaches the initiating user, exactly as Table 2
+  prescribes for ordinary degradation.
+- **The downgrade ladder** (initiator side): on a throughput
+  violation, the entity steps the contract down by ``ladder_factor``
+  toward ``floor_bps`` via a protocol-initiated ``T-Renegotiate``
+  ("may be initiated by a transport user *or by the protocol
+  itself*", Table 3).  If the outage outlasts ``grace`` seconds the
+  sink releases the VC with reason ``qos-outage`` instead.
+
+Everything here is strictly opt-in via
+:meth:`~repro.transport.entity.TransportEntity.enable_degradation`;
+entities that never enable it schedule no extra events and behave
+bit-identically to builds without this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DegradationConfig:
+    """Tuning knobs for outage reaction on one entity.
+
+    ``outage_periods`` consecutive empty sample periods declare an
+    outage; ``grace`` seconds after declaration without recovery
+    release the VC.  The ladder multiplies contracted throughput by
+    ``ladder_factor`` per degradation indication, never below
+    ``floor_bps``.
+    """
+
+    #: Seconds between outage declaration and provider-initiated release.
+    grace: float = 5.0
+    #: Per-indication contract throughput multiplier (0 < factor < 1).
+    ladder_factor: float = 0.5
+    #: The ladder never renegotiates below this rate.
+    floor_bps: float = 0.0
+    #: Consecutive zero-delivery sample periods that declare an outage.
+    outage_periods: int = 2
+
+    def __post_init__(self) -> None:
+        if self.grace <= 0:
+            raise ValueError(f"grace must be positive, got {self.grace}")
+        if not 0 < self.ladder_factor < 1:
+            raise ValueError(
+                f"ladder_factor must be in (0, 1), got {self.ladder_factor}"
+            )
+        if self.floor_bps < 0:
+            raise ValueError(f"floor_bps must be >= 0, got {self.floor_bps}")
+        if self.outage_periods < 1:
+            raise ValueError(
+                f"outage_periods must be >= 1, got {self.outage_periods}"
+            )
+
+
+@dataclass
+class OutageState:
+    """Sink-side per-VC outage tracking (only exists once traffic flowed)."""
+
+    #: True once the VC has delivered at least one OSDU.
+    had_traffic: bool = False
+    #: Consecutive sample periods with zero deliveries.
+    zero_periods: int = 0
+    #: Virtual time the outage was declared; None while healthy.
+    outage_since: Optional[float] = None
+    #: Times each outage was declared / recovered (for tests and bench).
+    declared_at: list = field(default_factory=list)
+    recovered_at: list = field(default_factory=list)
+
+    @property
+    def in_outage(self) -> bool:
+        """True between outage declaration and first post-outage delivery."""
+        return self.outage_since is not None

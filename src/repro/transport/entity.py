@@ -35,11 +35,13 @@ from repro.netsim.topology import Network
 from repro.sim.scheduler import Simulator
 from repro.sim.sync import Queue
 from repro.transport.addresses import TransportAddress
+from repro.transport.degradation import DegradationConfig, OutageState
 from repro.transport.monitor import QoSMonitor
 from repro.transport.osdu import OSDU
 from repro.transport.primitives import (
     REASON_NO_SUCH_TSAP,
     REASON_NO_SUCH_VC,
+    REASON_OUTAGE,
     REASON_QOS_UNACCEPTABLE,
     REASON_REJECTED_BY_DESTINATION,
     REASON_REJECTED_BY_NETWORK,
@@ -60,7 +62,13 @@ from repro.transport.primitives import (
     TransportPrimitive,
 )
 from repro.transport.profiles import ClassOfService, Guarantee
-from repro.transport.qos import QoSContract, QoSMeasurement, QoSOffer, QoSSpec
+from repro.transport.qos import (
+    QoSContract,
+    QoSMeasurement,
+    QoSOffer,
+    QoSSpec,
+    QoSViolation,
+)
 from repro.transport.tpdu import (
     AckTPDU,
     CONTROL_TPDU_BYTES,
@@ -235,8 +243,15 @@ class TransportEntity:
         self._reneg_src_accept: Dict[str, TRenegotiateRequest] = {}
         self._reneg_dst_pending: Dict[str, Tuple[TRenegotiateRequest, QoSOffer]] = {}
         self._reneg_remote_pending: Dict[str, TRenegotiateRequest] = {}
+        # Outstanding source-side renegotiation offers, kept so a lost
+        # RenegotiateRequestTPDU can be retransmitted verbatim.
+        self._reneg_offers: Dict[str, QoSOffer] = {}
         # Source-side VC records (for release/renegotiation/relay).
         self._vc_records: Dict[str, _VCRecord] = {}
+        # Graceful degradation (opt-in; see repro.transport.degradation).
+        self._degradation: Optional[DegradationConfig] = None
+        self._outage_states: Dict[str, OutageState] = {}
+        self._outage_probes: set = set()
 
     # ------------------------------------------------------------------
     # User interface
@@ -257,6 +272,20 @@ class TransportEntity:
 
     def new_vc_id(self) -> str:
         return f"{self.node_name}-vc{next(_vc_counter)}"
+
+    def enable_degradation(
+        self, config: Optional[DegradationConfig] = None
+    ) -> DegradationConfig:
+        """Turn on outage detection and the downgrade ladder.
+
+        Off by default: an entity that never calls this schedules no
+        extra events and generates no extra primitives, so fault-free
+        runs are unaffected.  Enable it at *both* ends of a monitored
+        VC -- the sink detects outages, the initiator drives the
+        ladder.  Returns the active config.
+        """
+        self._degradation = config or DegradationConfig()
+        return self._degradation
 
     def request(self, primitive: TransportPrimitive) -> None:
         """Issue a request or response primitive at this entity."""
@@ -736,6 +765,9 @@ class TransportEntity:
         if vc is None:
             return
         vc.close()
+        self._outage_states.pop(vc_id, None)
+        self._reneg_src_pending.pop(vc_id, None)
+        self._reneg_offers.pop(vc_id, None)
         record = self._vc_records.pop(vc_id, None)
         if record is not None and record.reservation is not None:
             self.reservations.release(record.reservation)
@@ -839,6 +871,7 @@ class TransportEntity:
             bit_error_rate=base[3],
         )
         self._reneg_src_pending[request.vc_id] = request
+        self._reneg_offers[request.vc_id] = offer
         if remote_initiator:
             self._reneg_remote_pending[request.vc_id] = request
         self._send_control(
@@ -892,6 +925,10 @@ class TransportEntity:
 
     def _on_renegotiate_request(self, tpdu: RenegotiateRequestTPDU) -> None:
         request = tpdu.request
+        if request.vc_id in self._reneg_dst_pending:
+            # Duplicate RR (source-side retransmission): the indication
+            # is already with the application.
+            return
         recv_vc = self.recv_vcs.get(request.vc_id)
         if recv_vc is None:
             self._send_control(
@@ -948,6 +985,7 @@ class TransportEntity:
 
     def _on_renegotiate_confirm(self, tpdu: RenegotiateConfirmTPDU) -> None:
         request = self._reneg_src_pending.pop(tpdu.vc_id, None)
+        self._reneg_offers.pop(tpdu.vc_id, None)
         if request is None:
             return
         send_vc = self.send_vcs.get(tpdu.vc_id)
@@ -979,6 +1017,7 @@ class TransportEntity:
 
     def _on_renegotiate_reject(self, tpdu: RenegotiateRejectTPDU) -> None:
         request = self._reneg_src_pending.pop(tpdu.vc_id, None)
+        self._reneg_offers.pop(tpdu.vc_id, None)
         if request is None:
             return
         remote = self._reneg_remote_pending.pop(tpdu.vc_id, None)
@@ -1022,6 +1061,11 @@ class TransportEntity:
     ) -> None:
         current_contract = recv_vc.contract
         violations = current_contract.violations(measurement)
+        if self._degradation is not None:
+            outage = self._track_outage(request, current_contract,
+                                        measurement, recv_vc)
+            if outage is not None:
+                violations = list(violations) + [outage]
         if not violations:
             return
         trace = self.sim.trace
@@ -1046,6 +1090,7 @@ class TransportEntity:
             binding = self.bindings.get(request.initiator.tsap)
             if binding is not None:
                 binding.deliver(indication)
+            self._maybe_degrade(indication)
         else:
             self._send_control(
                 request.initiator.node,
@@ -1054,9 +1099,206 @@ class TransportEntity:
 
     def _on_qos_report(self, tpdu: QoSReportTPDU) -> None:
         indication = tpdu.indication
+        if indication.initiator.node != self.node_name:
+            return
         binding = self.bindings.get(indication.initiator.tsap)
-        if binding is not None and indication.initiator.node == self.node_name:
+        if binding is not None:
             binding.deliver(indication)
+        self._maybe_degrade(indication)
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (opt-in; repro.transport.degradation)
+    # ------------------------------------------------------------------
+
+    def _track_outage(
+        self,
+        request: TConnectRequest,
+        contract: QoSContract,
+        measurement: QoSMeasurement,
+        recv_vc: RecvVC,
+    ) -> Optional[QoSViolation]:
+        """Sink-side outage bookkeeping for one sample period.
+
+        Returns a synthetic throughput violation (observed 0) for every
+        period spent in a declared outage, so the standard Table 2
+        indication path carries the fault to the initiator.  When the
+        outage outlives the grace period the VC is released with reason
+        ``qos-outage`` instead.
+        """
+        cfg = self._degradation
+        state = self._outage_states.get(request.vc_id)
+        if state is None:
+            state = self._outage_states[request.vc_id] = OutageState()
+        if measurement.osdus_delivered > 0:
+            state.had_traffic = True
+            state.zero_periods = 0
+            if state.in_outage:
+                state.recovered_at.append(self.sim.now)
+                state.outage_since = None
+                trace = self.sim.trace
+                if trace.enabled:
+                    trace.instant(
+                        "qos.outage.end", track=f"vc:{request.vc_id}",
+                        cat="fault",
+                    )
+            return None
+        # An idle-by-design VC is not in outage: before any traffic, or
+        # while orchestration holds the delivery gate closed.
+        if not state.had_traffic or recv_vc.buffer.gate_state == "closed":
+            return None
+        state.zero_periods += 1
+        if state.zero_periods < cfg.outage_periods and not state.in_outage:
+            return None
+        if not state.in_outage:
+            state.outage_since = self.sim.now
+            state.declared_at.append(self.sim.now)
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.instant(
+                    "qos.outage", track=f"vc:{request.vc_id}", cat="fault",
+                    args={"zero_periods": state.zero_periods},
+                )
+        elif self.sim.now - state.outage_since >= cfg.grace:
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.instant(
+                    "qos.outage.disconnect", track=f"vc:{request.vc_id}",
+                    cat="fault",
+                    args={"outage_s": self.sim.now - state.outage_since},
+                )
+            binding = self.bindings.get(request.dst.tsap)
+            self._release_local_vc(request.vc_id, request.dst, REASON_OUTAGE,
+                                   notify_peer=True)
+            if binding is not None:
+                binding.deliver(
+                    TDisconnectIndication(
+                        initiator=request.dst,
+                        vc_id=request.vc_id,
+                        reason=REASON_OUTAGE,
+                    )
+                )
+            return None
+        return QoSViolation("throughput", contract.throughput_bps, 0.0)
+
+    def _maybe_degrade(self, indication: TQoSIndication) -> None:
+        """Initiator-side ladder: step the contract down one rung.
+
+        Only runs where the source VC record lives (conventional
+        connects: initiator == source) and only one renegotiation is in
+        flight per VC; repeated indications during an outage are
+        absorbed by the pending check while the retry loop delivers the
+        request.
+        """
+        cfg = self._degradation
+        if cfg is None:
+            return
+        vc_id = indication.vc_id
+        outage_flavored = any(
+            v.parameter == "throughput" and v.observed == 0.0
+            for v in indication.violations
+        )
+        if outage_flavored and vc_id in self.send_vcs:
+            self.begin_outage_probe(vc_id)
+        if vc_id in self._reneg_src_pending:
+            return
+        record = self._vc_records.get(vc_id)
+        if record is None:
+            return
+        if not any(v.parameter == "throughput" for v in indication.violations):
+            return
+        current = record.contract.throughput_bps
+        target = max(cfg.floor_bps, current * cfg.ladder_factor)
+        if target >= current:
+            return  # already at the floor; nothing left to concede
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.instant(
+                "qos.degrade", track=f"vc:{vc_id}", cat="fault",
+                args={"from_bps": current, "to_bps": target},
+            )
+        self.request(
+            TRenegotiateRequest(
+                initiator=indication.initiator,
+                src=record.request.src,
+                dst=record.request.dst,
+                new_qos=record.request.qos.with_throughput(target, cfg.floor_bps),
+                vc_id=vc_id,
+            )
+        )
+        # The RR TPDU may be crossing the very fault that triggered the
+        # ladder: retransmit until the exchange concludes.
+        if vc_id in self._reneg_src_pending:
+            self.sim.spawn(
+                self._reneg_retry_loop(vc_id), name=f"rr-retry:{vc_id}"
+            )
+
+    def begin_outage_probe(self, vc_id: str) -> None:
+        """Start (at most one) credit-probe loop for an outaged send VC.
+
+        Idempotent while a probe is running.  Called from the
+        degradation ladder when an outage-flavored T-QoS.indication
+        arrives, and by the LLO when the HLO agent declares an
+        orchestrated stream in outage (NudgeCmdOPDU).
+        """
+        if vc_id in self._outage_probes or vc_id not in self.send_vcs:
+            return
+        self._outage_probes.add(vc_id)
+        self.sim.spawn(
+            self._outage_probe_loop(vc_id), name=f"outage-probe:{vc_id}"
+        )
+
+    #: Outage credit-probe schedule (see SendVC.probe_credit).
+    OUTAGE_PROBE_INTERVAL = 0.5
+    OUTAGE_PROBE_LIMIT = 120
+
+    def _outage_probe_loop(self, vc_id: str):
+        """Release one probe credit per interval until credits flow again."""
+        from repro.sim.scheduler import Timeout
+
+        try:
+            for _attempt in range(self.OUTAGE_PROBE_LIMIT):
+                send_vc = self.send_vcs.get(vc_id)
+                if send_vc is None:
+                    return
+                seen = send_vc.credits_seen
+                send_vc.probe_credit()
+                trace = self.sim.trace
+                if trace.enabled:
+                    trace.instant(
+                        "outage.probe", track=f"vc:{vc_id}", cat="fault",
+                    )
+                yield Timeout(self.sim, self.OUTAGE_PROBE_INTERVAL)
+                send_vc = self.send_vcs.get(vc_id)
+                if send_vc is None or send_vc.credits_seen > seen:
+                    return  # credit grants resumed: the path recovered
+        finally:
+            self._outage_probes.discard(vc_id)
+
+    #: Renegotiate-request retransmission schedule (degradation only).
+    RENEG_RETRY_INTERVAL = 0.5
+    RENEG_RETRY_LIMIT = 8
+
+    def _reneg_retry_loop(self, vc_id: str):
+        """Retransmit a pending RR until confirmed, rejected or exhausted."""
+        from repro.sim.scheduler import Timeout
+
+        for _attempt in range(self.RENEG_RETRY_LIMIT):
+            yield Timeout(self.sim, self.RENEG_RETRY_INTERVAL)
+            request = self._reneg_src_pending.get(vc_id)
+            offer = self._reneg_offers.get(vc_id)
+            if request is None or offer is None:
+                return  # concluded (confirm or reject arrived)
+            self._send_control(
+                request.dst.node,
+                RenegotiateRequestTPDU(request=request, offer=offer),
+            )
+        request = self._reneg_src_pending.pop(vc_id, None)
+        self._reneg_offers.pop(vc_id, None)
+        if request is not None:
+            # Section 4.1.3: a failed renegotiation never tears down
+            # the existing VC; the user just learns the new level is
+            # unsupported.
+            self._renegotiate_failed(request, False, REASON_REJECTED_BY_NETWORK)
 
     # ------------------------------------------------------------------
     # Packet dispatch

@@ -284,6 +284,37 @@ class SendVC:
             )
             self._send(retransmission, cached.osdu.size_bytes)
 
+    # -- outage recovery (source side) ------------------------------------------
+
+    @property
+    def credits_seen(self) -> int:
+        """Cumulative credit total acknowledged from the sink.
+
+        Monotonic while the credit loop is alive; the degradation
+        machinery uses *progress* of this value as its path-recovered
+        signal (0 for non-credit profiles).
+        """
+        if self._credits is None:
+            return 0
+        return self._credits_seen
+
+    def probe_credit(self) -> None:
+        """Release one out-of-band send credit (outage probing).
+
+        A network outage can park the whole credit window: every
+        in-flight unit is lost, its credit is only refunded once a
+        *later* arrival exposes the gap at the sink, and the sender has
+        no credit left to send that exposing unit -- a tail-loss
+        deadlock.  The entity breaks it by releasing one probe credit
+        per probe interval; the first unit through after recovery
+        exposes the gap and the parked credits flow back.  Each probe
+        inflates the window by at most one credit; the sink's
+        overflow rule (failed deposits do not refund) bounds and
+        re-absorbs the excess.
+        """
+        if self._credits is not None:
+            self._credits.release()
+
     # -- orchestration hooks (source side) --------------------------------------
 
     def drop_oldest_unsent(self) -> Optional[int]:

@@ -1,0 +1,225 @@
+"""Tests for fault plans, chaos generation and the injector."""
+
+import random
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BandwidthSqueeze,
+    ChaosPlan,
+    FaultPlan,
+    LinkDown,
+    LinkUp,
+    LossBurst,
+    NodeCrash,
+    NodeRestart,
+    link_outage,
+    node_outage,
+)
+from repro.netsim.link import BernoulliLoss
+from repro.netsim.topology import Network
+from repro.obs.trace import Tracer
+from repro.sim.random import RandomStreams
+
+
+class TestEpisodeValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            LinkDown(-1.0, src="a", dst="b")
+
+    def test_bad_squeeze_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthSqueeze(1.0, duration=0.0, src="a", dst="b")
+        with pytest.raises(ValueError):
+            BandwidthSqueeze(1.0, duration=1.0, src="a", dst="b", factor=0.0)
+
+    def test_bad_burst_rejected(self):
+        with pytest.raises(ValueError):
+            LossBurst(1.0, duration=-2.0, src="a", dst="b")
+
+    def test_helper_durations_validated(self):
+        with pytest.raises(ValueError):
+            link_outage("a", "b", at=1.0, duration=0.0)
+        with pytest.raises(ValueError):
+            node_outage("r", at=1.0, duration=-1.0)
+
+    def test_non_episode_rejected(self):
+        with pytest.raises(TypeError):
+            FaultPlan(["not an episode"])
+
+
+class TestFaultPlan:
+    def test_flattens_helper_tuples_and_sorts(self):
+        plan = FaultPlan(
+            [
+                link_outage("a", "b", at=5.0, duration=1.0, bidirectional=False),
+                NodeCrash(1.0, node="r"),
+            ]
+        )
+        assert [type(e) for e in plan] == [NodeCrash, LinkDown, LinkUp]
+        assert [e.at for e in plan] == [1.0, 5.0, 6.0]
+
+    def test_bidirectional_outage_pairs_both_directions(self):
+        episodes = link_outage("a", "b", at=2.0, duration=1.0)
+        downs = [e for e in episodes if isinstance(e, LinkDown)]
+        assert {(e.src, e.dst) for e in downs} == {("a", "b"), ("b", "a")}
+        ups = [e for e in episodes if isinstance(e, LinkUp)]
+        assert all(e.at == 3.0 for e in ups)
+
+    def test_node_outage_pair(self):
+        crash, restart = node_outage("r", at=1.0, duration=2.5)
+        assert isinstance(crash, NodeCrash) and crash.at == 1.0
+        assert isinstance(restart, NodeRestart) and restart.at == 3.5
+
+    def test_horizon_covers_durations(self):
+        plan = FaultPlan(
+            [
+                BandwidthSqueeze(1.0, duration=4.0, src="a", dst="b"),
+                LinkDown(3.0, src="a", dst="b"),
+            ]
+        )
+        assert plan.horizon == 5.0
+
+    def test_empty_plan_is_falsy(self):
+        plan = FaultPlan()
+        assert not plan
+        assert len(plan) == 0
+        assert plan.horizon == 0.0
+
+
+class TestChaosPlan:
+    @staticmethod
+    def _shape(plan):
+        # LossBurst default loss models are distinct objects, so compare
+        # the structural fields rather than the episodes themselves.
+        return [
+            (type(e).__name__, e.at, getattr(e, "duration", None),
+             getattr(e, "src", None), getattr(e, "dst", None),
+             getattr(e, "node", None))
+            for e in plan
+        ]
+
+    def test_same_seed_same_plan(self):
+        chaos = ChaosPlan(
+            horizon=30.0, links=[("a", "r"), ("r", "b")], routers=["r"]
+        )
+        first = self._shape(chaos.materialise(random.Random(42)))
+        second = self._shape(chaos.materialise(random.Random(42)))
+        assert first == second
+        assert first != self._shape(chaos.materialise(random.Random(43)))
+
+    def test_episodes_respect_warmup_and_horizon(self):
+        chaos = ChaosPlan(
+            horizon=20.0, links=[("a", "b")], warmup=2.0, episode_rate=1.0
+        )
+        plan = chaos.materialise(random.Random(7))
+        assert plan
+        assert all(e.at >= 2.0 for e in plan)
+        assert plan.horizon <= 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosPlan(horizon=0.1, links=[("a", "b")])       # < warmup
+        with pytest.raises(ValueError):
+            ChaosPlan(horizon=10.0, links=[])
+        with pytest.raises(ValueError):
+            ChaosPlan(horizon=10.0, links=[("a", "b")], episode_rate=0.0)
+        with pytest.raises(ValueError):
+            ChaosPlan(
+                horizon=10.0, links=[("a", "b")],
+                min_duration=2.0, max_duration=1.0,
+            )
+
+
+def star_network(sim):
+    net = Network(sim, RandomStreams(3))
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("r")
+    net.add_link("a", "r", 10e6, prop_delay=0.002)
+    net.add_link("b", "r", 10e6, prop_delay=0.002)
+    return net
+
+
+class TestFaultInjector:
+    def test_applies_episodes_in_order_with_counters(self, sim):
+        net = star_network(sim)
+        plan = FaultPlan(
+            [
+                link_outage("a", "r", at=1.0, duration=0.5, bidirectional=False),
+                BandwidthSqueeze(2.0, duration=1.0, src="r", dst="b", factor=0.5),
+                node_outage("r", at=4.0, duration=0.5),
+            ]
+        )
+        injector = FaultInjector(sim, net, plan).arm()
+        sim.run(until=10.0)
+        assert [(r.at, r.kind, r.target) for r in injector.applied] == [
+            (1.0, "link_down", "a->r"),
+            (1.5, "link_up", "a->r"),
+            (2.0, "bandwidth_squeeze", "r->b"),
+            (4.0, "node_crash", "r"),
+            (4.5, "node_restart", "r"),
+        ]
+        assert sim.metrics.counter("faults.episodes").value == 5
+        assert sim.metrics.counter("faults.link_down").value == 1
+        assert sim.metrics.counter("faults.node_crash").value == 1
+        # Interval episodes were undone.
+        assert net.link_between("a", "r").up
+        assert net.link_between("r", "b").bandwidth_bps == pytest.approx(10e6)
+        assert not net.nodes["r"].crashed
+
+    def test_loss_burst_restores_model_at_end(self, sim):
+        net = star_network(sim)
+        link = net.link_between("a", "r")
+        original = link.loss
+        plan = FaultPlan(
+            [LossBurst(1.0, duration=1.0, src="a", dst="r",
+                       loss=BernoulliLoss(0.9))]
+        )
+        FaultInjector(sim, net, plan).arm()
+        sim.run(until=1.5)
+        assert isinstance(link.loss, BernoulliLoss)
+        sim.run(until=3.0)
+        assert link.loss is original
+
+    def test_trace_spans_cover_episode_intervals(self, sim):
+        net = star_network(sim)
+        sim.trace = Tracer(lambda: sim.now)
+        plan = FaultPlan(
+            link_outage("a", "r", at=1.0, duration=2.0, bidirectional=False)
+        )
+        FaultInjector(sim, net, plan).arm()
+        sim.run(until=5.0)
+        spans = [
+            e for e in sim.trace.events
+            if e.get("cat") == "fault" and e.get("ph") == "X"
+        ]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span["name"] == "fault:outage:a->r"
+        assert span["ts"] == pytest.approx(1.0e6)
+        assert span["dur"] == pytest.approx(2.0e6)
+
+    def test_empty_plan_schedules_nothing(self, sim):
+        net = star_network(sim)
+        injector = FaultInjector(sim, net, FaultPlan()).arm()
+        sim.run(until=1.0)
+        assert injector.applied == []
+        assert "faults.episodes" not in sim.metrics.as_dict()
+
+    def test_double_arm_rejected(self, sim):
+        net = star_network(sim)
+        injector = FaultInjector(sim, net, FaultPlan()).arm()
+        with pytest.raises(RuntimeError):
+            injector.arm()
+
+    def test_cancel_retracts_pending_episodes(self, sim):
+        net = star_network(sim)
+        plan = FaultPlan([LinkDown(2.0, src="a", dst="r")])
+        injector = FaultInjector(sim, net, plan).arm()
+        sim.run(until=1.0)
+        injector.cancel()
+        sim.run(until=5.0)
+        assert injector.applied == []
+        assert net.link_between("a", "r").up

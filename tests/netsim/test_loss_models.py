@@ -1,0 +1,114 @@
+"""Tests for the pluggable loss models (Gilbert-Elliott in particular)."""
+
+import random
+
+import pytest
+
+from repro.netsim.link import BernoulliLoss, GilbertElliottLoss, NoLoss
+
+
+class ScriptedRandom(random.Random):
+    """random() returns pre-scripted draws, then 1.0 (never trigger)."""
+
+    def __init__(self, draws):
+        super().__init__(0)
+        self.draws = list(draws)
+
+    def random(self):
+        return self.draws.pop(0) if self.draws else 1.0
+
+
+class TestExpectedLoss:
+    def test_stationary_mixture(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.1, p_bad_to_good=0.3, p_good=0.01, p_bad=0.5
+        )
+        # Stationary P(bad) = 0.1 / (0.1 + 0.3) = 0.25.
+        assert model.expected_loss() == pytest.approx(0.25 * 0.5 + 0.75 * 0.01)
+
+    def test_absorbing_chain_reports_current_state(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.0, p_bad_to_good=0.0, p_good=0.02, p_bad=0.7
+        )
+        assert model.expected_loss() == pytest.approx(0.02)
+        model._bad = True
+        assert model.expected_loss() == pytest.approx(0.7)
+
+    def test_matches_empirical_rate(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.05, p_bad_to_good=0.2, p_good=0.0, p_bad=0.5
+        )
+        rng = random.Random(123)
+        n = 200_000
+        losses = sum(model.is_lost(rng) for _ in range(n))
+        assert losses / n == pytest.approx(model.expected_loss(), rel=0.05)
+
+
+class TestStateMachine:
+    def test_transition_applies_before_loss_draw(self):
+        """A packet that flips the channel into BAD is already exposed
+        to p_bad."""
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.5, p_bad_to_good=0.0, p_good=0.0, p_bad=1.0
+        )
+        # First draw 0.4 < 0.5 flips GOOD->BAD; second draw is the loss
+        # draw against p_bad=1.0.
+        rng = ScriptedRandom([0.4, 0.99])
+        assert model.is_lost(rng) is True
+        assert model._bad is True
+
+    def test_stays_good_without_transition(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.5, p_bad_to_good=0.0, p_good=0.0, p_bad=1.0
+        )
+        rng = ScriptedRandom([0.9, 0.0])   # no flip; loss draw vs p_good=0
+        assert model.is_lost(rng) is False
+        assert model._bad is False
+
+    def test_bad_recovers_to_good(self):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.0, p_bad_to_good=0.5, p_good=0.0, p_bad=1.0
+        )
+        model._bad = True
+        # 0.3 < 0.5 flips BAD->GOOD; loss draw then against p_good=0.
+        rng = ScriptedRandom([0.3, 0.0])
+        assert model.is_lost(rng) is False
+        assert model._bad is False
+
+    def test_burstiness(self):
+        """Sticky BAD state produces longer loss runs than a Bernoulli
+        model of the same long-run rate."""
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.01, p_bad_to_good=0.1, p_good=0.0, p_bad=0.9
+        )
+        rate = model.expected_loss()
+        bernoulli = BernoulliLoss(rate)
+
+        def longest_run(m, seed, n=50_000):
+            rng = random.Random(seed)
+            longest = current = 0
+            for _ in range(n):
+                if m.is_lost(rng):
+                    current += 1
+                    longest = max(longest, current)
+                else:
+                    current = 0
+            return longest
+
+        assert longest_run(model, 7) > longest_run(bernoulli, 7)
+
+
+class TestValidation:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_to_bad=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_bad=-0.1)
+        with pytest.raises(ValueError):
+            BernoulliLoss(2.0)
+
+    def test_no_loss_is_never_lost(self):
+        rng = random.Random(0)
+        model = NoLoss()
+        assert not any(model.is_lost(rng) for _ in range(100))
+        assert model.expected_loss() == 0.0

@@ -1,0 +1,172 @@
+"""Tests for opt-in graceful degradation (outage -> indication -> ladder)."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, link_outage
+from repro.netsim.reservation import ReservationManager
+from repro.netsim.topology import Network
+from repro.sim.random import RandomStreams
+from repro.transport.addresses import TransportAddress
+from repro.transport.degradation import DegradationConfig
+from repro.transport.osdu import OSDU
+from repro.transport.primitives import (
+    REASON_OUTAGE,
+    TDisconnectIndication,
+    TQoSIndication,
+    TRenegotiateConfirm,
+)
+from repro.transport.qos import QoSSpec
+from repro.transport.service import build_transport, connect_pair
+
+SAMPLE_PERIOD = 0.25
+
+
+class FaultStack:
+    """a -- r -- b with a streaming VC and a scripted forward outage."""
+
+    def __init__(self, sim, degradation=None, outage=None, fault_after=2.0):
+        self.sim = sim
+        self.net = Network(sim, RandomStreams(11))
+        self.net.add_host("a")
+        self.net.add_host("b")
+        self.net.add_router("r")
+        self.net.add_link("a", "r", 10e6, prop_delay=0.003)
+        self.net.add_link("b", "r", 10e6, prop_delay=0.003)
+        self.entities = build_transport(
+            sim, self.net, ReservationManager(self.net),
+            sample_period=SAMPLE_PERIOD,
+        )
+        qos = QoSSpec.simple(2e6, max_osdu_bytes=1000)
+        self.send, self.recv = connect_pair(
+            sim, self.entities,
+            TransportAddress("a", 1), TransportAddress("b", 1), qos,
+        )
+        if degradation is not None:
+            self.entities["a"].enable_degradation(degradation)
+            self.entities["b"].enable_degradation(degradation)
+
+        binding = next(iter(self.entities["a"].bindings.values()))
+        self.events = []
+
+        def watcher():
+            while True:
+                primitive = yield binding.next_primitive()
+                self.events.append((sim.now, primitive))
+
+        self.deliveries = []
+
+        def producer():
+            i = 0
+            while True:
+                yield from self.send.write(OSDU(size_bytes=1000, payload=i))
+                i += 1
+
+        def consumer():
+            while True:
+                yield from self.recv.read()
+                self.deliveries.append(sim.now)
+
+        sim.spawn(watcher())
+        sim.spawn(producer())
+        sim.spawn(consumer())
+
+        self.fault_at = sim.now + fault_after
+        if outage is not None:
+            self.heal_at = self.fault_at + outage
+            plan = FaultPlan(
+                link_outage("r", "b", at=self.fault_at, duration=outage,
+                            bidirectional=False)
+            )
+            FaultInjector(sim, self.net, plan).arm()
+
+    def outage_indications(self):
+        return [
+            (t, p) for t, p in self.events
+            if isinstance(p, TQoSIndication) and t >= self.fault_at
+            and any(v.parameter == "throughput" and v.observed == 0.0
+                    for v in p.violations)
+        ]
+
+
+class TestConfigValidation:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            DegradationConfig(grace=0.0)
+        with pytest.raises(ValueError):
+            DegradationConfig(ladder_factor=1.0)
+        with pytest.raises(ValueError):
+            DegradationConfig(floor_bps=-1.0)
+        with pytest.raises(ValueError):
+            DegradationConfig(outage_periods=0)
+
+
+class TestOutageReaction:
+    def test_short_outage_renegotiates_and_recovers(self, sim):
+        stack = FaultStack(
+            sim,
+            degradation=DegradationConfig(
+                grace=3.0, ladder_factor=0.5, floor_bps=2e5, outage_periods=2
+            ),
+            outage=0.75,
+        )
+        sim.run(until=stack.heal_at + 4.0)
+
+        # The outage surfaced as a synthetic throughput violation within
+        # a few sample periods.
+        indications = stack.outage_indications()
+        assert indications
+        assert indications[0][0] - stack.fault_at <= 4 * SAMPLE_PERIOD + 0.1
+
+        # The initiator's ladder completed a protocol-initiated
+        # T-Renegotiate that halved the contract.
+        confirms = [
+            p for t, p in stack.events
+            if isinstance(p, TRenegotiateConfirm) and t >= stack.fault_at
+        ]
+        assert confirms
+        contract = stack.entities["a"].send_vcs[stack.send.vc_id].contract
+        assert contract.throughput_bps == pytest.approx(1e6)
+
+        # Delivery resumed after the link healed and the VC survived.
+        assert any(t >= stack.heal_at for t in stack.deliveries)
+        assert not any(
+            isinstance(p, TDisconnectIndication) for _t, p in stack.events
+        )
+
+        # Sink-side bookkeeping recorded the full declare/recover cycle.
+        state = stack.entities["b"]._outage_states[stack.recv.vc_id]
+        assert len(state.declared_at) == 1
+        assert len(state.recovered_at) == 1
+        assert state.declared_at[0] >= stack.fault_at
+        assert state.recovered_at[0] >= stack.heal_at
+        assert not state.in_outage
+
+    def test_outage_beyond_grace_disconnects_with_reason(self, sim):
+        stack = FaultStack(
+            sim,
+            degradation=DegradationConfig(
+                grace=1.0, ladder_factor=0.5, floor_bps=2e5, outage_periods=2
+            ),
+            outage=4.0,
+        )
+        sim.run(until=stack.heal_at + 2.0)
+        disconnects = [
+            p for t, p in stack.events
+            if isinstance(p, TDisconnectIndication) and t >= stack.fault_at
+        ]
+        assert disconnects
+        assert disconnects[0].reason == REASON_OUTAGE
+        assert stack.send.vc_id not in stack.entities["a"].send_vcs
+
+    def test_no_reaction_without_enable(self, sim):
+        stack = FaultStack(sim, degradation=None, outage=0.75)
+        sim.run(until=stack.heal_at + 4.0)
+        assert stack.outage_indications() == []
+        assert stack.entities["b"]._outage_states == {}
+        # The VC itself survives; only the credit window stays wedged or
+        # recovers on its own -- no degradation machinery ran.
+        assert not any(
+            isinstance(p, (TRenegotiateConfirm, TDisconnectIndication))
+            for _t, p in stack.events
+        )
