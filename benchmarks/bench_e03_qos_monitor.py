@@ -23,7 +23,7 @@ from repro.transport.primitives import TQoSIndication
 from repro.transport.qos import QoSSpec
 from repro.transport.service import TransportService
 
-from benchmarks.common import emit, once
+from benchmarks.common import collect_metrics, emit, emit_json, once
 
 CONTRACT_PER = 0.02
 
@@ -35,6 +35,7 @@ def run_case(loss_p: float, sample_period: float):
     bed.link("src", "dst", 10e6, prop_delay=0.003,
              loss=BernoulliLoss(loss_p))
     bed.up()
+    auditor = bed.enable_audit()
     service = TransportService(bed.entities["src"])
     TransportService(bed.entities["dst"]).listen(1)
     binding = service.bind(1)
@@ -76,19 +77,28 @@ def run_case(loss_p: float, sample_period: float):
 
     bed.spawn(driver())
     bed.run(12.0)
+    collect_metrics(
+        f"e03_qos_monitor[loss={loss_p},period={sample_period}]",
+        bed.sim.metrics,
+    )
+    out["audit"] = auditor.snapshot()
     return out
 
 
 def run_experiment():
+    from repro.obs.audit import merge_snapshots
+
     table = Table(
         ["induced loss", "sample period (s)", "PER indications / 10 s",
          "detection latency (s)", "mean reported PER"],
         title=f"E3: T-QoS.indication under induced loss "
               f"(contracted PER {CONTRACT_PER})",
     )
+    audits = []
     for loss_p in (0.0, 0.005, 0.05, 0.15):
         for period in (0.5, 1.0):
             out = run_case(loss_p, period)
+            audits.append(out["audit"])
             indications = out["indications"]
             if indications:
                 latency = indications[0][0] - out["t_start"]
@@ -97,13 +107,16 @@ def run_experiment():
                 latency = float("nan")
                 mean_per = float("nan")
             table.add(loss_p, period, len(indications), latency, mean_per)
-    return [table]
+    return [table], merge_snapshots(audits)
 
 
 @pytest.mark.benchmark(group="e03")
 def test_e03_qos_monitor(benchmark):
-    tables = once(benchmark, run_experiment)
+    tables, audit = once(benchmark, run_experiment)
     emit("e03_qos_monitor", tables)
+    emit_json("e03_audit", audit)
+    # Above-tolerance cases must file violated periods on the timeline.
+    assert audit["summary"]["counts"]["violated"] >= 1
     rows = tables[0].rows
     # Below-tolerance loss (0 and 1%) never triggers; above always does.
     for row in rows:

@@ -26,7 +26,7 @@ from repro.transport.primitives import (
 from repro.transport.qos import QoSSpec
 from repro.transport.service import TransportService
 
-from benchmarks.common import emit, once
+from benchmarks.common import collect_metrics, emit, emit_json, once
 
 
 def build():
@@ -35,6 +35,7 @@ def build():
     bed.host("dst")
     bed.link("src", "dst", 20e6, prop_delay=0.005)
     bed.up()
+    bed.enable_audit()
     service = TransportService(bed.entities["src"])
     TransportService(bed.entities["dst"]).listen(1)
     binding = service.bind(1)
@@ -85,6 +86,8 @@ def run_renegotiation():
 
     bed.spawn(driver())
     bed.run(10.0)
+    collect_metrics("e04_renegotiation[reneg]", bed.sim.metrics)
+    out["audit"] = bed.sim.auditor.snapshot()
     return _gap_stats(deliveries, out["change_at"]), out
 
 
@@ -142,6 +145,8 @@ def run_teardown_reconnect():
 
     bed.spawn(driver())
     bed.run(10.0)
+    collect_metrics("e04_renegotiation[teardown]", bed.sim.metrics)
+    out["audit"] = bed.sim.auditor.snapshot()
     return _gap_stats(deliveries, out["change_at"]), out
 
 
@@ -169,8 +174,11 @@ def _gap_stats(deliveries, change_at):
 
 
 def run_experiment():
-    reneg_stats, _ = run_renegotiation()
-    naive_stats, _ = run_teardown_reconnect()
+    from repro.obs.audit import merge_snapshots
+
+    reneg_stats, reneg_out = run_renegotiation()
+    naive_stats, naive_out = run_teardown_reconnect()
+    audit = merge_snapshots([reneg_out["audit"], naive_out["audit"]])
     table = Table(
         ["strategy", "data-flow gap (ms)", "units lost at switch",
          "units repeated"],
@@ -183,13 +191,16 @@ def run_experiment():
     table.add("disconnect + reconnect",
               naive_stats["resume_gap"] * 1e3,
               naive_stats["skipped_units"], naive_stats["repeated_units"])
-    return [table], reneg_stats, naive_stats
+    return [table], reneg_stats, naive_stats, audit
 
 
 @pytest.mark.benchmark(group="e04")
 def test_e04_renegotiation(benchmark):
-    tables, reneg, naive = once(benchmark, run_experiment)
+    tables, reneg, naive, audit = once(benchmark, run_experiment)
     emit("e04_renegotiation", tables)
+    emit_json("e04_audit", audit)
+    # The audit ledger records the upgrade's outcome.
+    assert audit["summary"]["renegotiations"].get("confirmed", 0) >= 1
     # Renegotiation must not interrupt or lose data; the naive path
     # loses the in-flight pipeline.
     assert reneg["skipped_units"] == 0

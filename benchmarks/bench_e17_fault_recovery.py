@@ -30,6 +30,7 @@ from repro.faults.plan import FaultPlan, link_outage
 from repro.metrics.table import Table
 from repro.netsim.reservation import ReservationManager
 from repro.netsim.topology import Network
+from repro.obs.audit import install_audit, merge_snapshots
 from repro.sim.random import RandomStreams
 from repro.sim.scheduler import Simulator
 from repro.transport.addresses import TransportAddress
@@ -44,7 +45,7 @@ from repro.transport.primitives import (
 from repro.transport.qos import QoSSpec
 from repro.transport.service import build_transport, connect_pair
 
-from benchmarks.common import emit, once
+from benchmarks.common import collect_metrics, emit, emit_json, once
 from benchmarks.scenarios import FilmScenario, film_testbed
 
 #: Sink sample period: outage detection granularity (Part 1).
@@ -67,6 +68,9 @@ SETTLE = 0.5
 def transport_trial(outage: float):
     """One Part-1 run; returns the reaction timeline."""
     sim = Simulator()
+    # Conformance audit + flight recorder: the exported report must
+    # show the fault-induced violations and their causal packet chain.
+    auditor = install_audit(sim)
     net = Network(sim, RandomStreams(11))
     net.add_host("a")
     net.add_host("b")
@@ -131,6 +135,8 @@ def transport_trial(outage: float):
         if isinstance(p, TDisconnectIndication) and t >= fault_at
     ]
     resumed = [t for t in deliveries if t >= heal_at]
+    collect_metrics(f"e17_fault_recovery[transport,outage={outage}]",
+                    sim.metrics)
     return {
         "fault_at": fault_at,
         "heal_at": heal_at,
@@ -144,12 +150,14 @@ def transport_trial(outage: float):
             entities["a"].send_vcs[send.vc_id].contract.throughput_bps
             if send.vc_id in entities["a"].send_vcs else None
         ),
+        "audit": auditor.snapshot(),
     }
 
 
 def orchestration_trial(outage: float):
     """One Part-2 run; returns outage/recovery timing and skew."""
     bed = film_testbed(seed=1, drift_ppm=200.0)
+    auditor = bed.enable_audit()
     scenario = FilmScenario(bed, orchestrated=True, drift_ppm=200.0)
     scenario.connect(duration=PLAY_SECONDS + 60.0)
     fault_at = bed.sim.now + 6.0
@@ -167,6 +175,8 @@ def orchestration_trial(outage: float):
         [s for t, s in agent.skew_series if t >= max(recovered) + SETTLE]
         if recovered else []
     )
+    collect_metrics(f"e17_fault_recovery[orch,outage={outage}]",
+                    bed.sim.metrics)
     return {
         "fault_at": fault_at,
         "time_to_declare": min(declared) - fault_at if declared else None,
@@ -179,6 +189,7 @@ def orchestration_trial(outage: float):
         ),
         "post_recovery_skew": max(settled) if settled else None,
         "strictness": agent.policy.strictness,
+        "audit": auditor.snapshot(),
     }
 
 
@@ -225,18 +236,36 @@ def run_experiment():
             if r["post_recovery_skew"] is not None else "-",
             r["strictness"] * 1e3,
         )
-    return [transport_table, orch_table], transport_results, orch_results
+    audit = merge_snapshots(
+        [r["audit"] for r in transport_results.values()]
+        + [r["audit"] for r in orch_results.values()]
+    )
+    return [transport_table, orch_table], transport_results, orch_results, audit
 
 
 @pytest.mark.benchmark(group="e17")
 def test_e17_fault_recovery(benchmark):
-    tables, transport_results, orch_results = once(benchmark, run_experiment)
+    tables, transport_results, orch_results, audit = once(
+        benchmark, run_experiment
+    )
     emit(
         "e17_fault_recovery", tables,
         notes="Graceful degradation under injected faults: Table 2/3 "
               "reactions at the transport layer, outage declaration and "
               "timeline resync at the orchestration layer.",
     )
+    audit_path = emit_json("e17_audit", audit)
+    print(f"audit snapshot written to {audit_path} "
+          "(render with: python -m repro.obs.report run)")
+    # The merged audit carries the fault-induced violations, at least
+    # one causal packet drill-down, and the ladder's renegotiations.
+    assert audit["summary"]["counts"]["violated"] >= 1
+    assert any(
+        drill["lost"] or drill["faults"]
+        for conn in audit["connections"] for drill in conn["drilldowns"]
+    )
+    assert audit["summary"]["renegotiations"].get("confirmed", 0) >= 1
+    assert audit["groups"], "orchestration trials must register a group"
     grace_window = (
         DEGRADATION.outage_periods * SAMPLE_PERIOD + DEGRADATION.grace
     )

@@ -9,17 +9,32 @@ leaves inspectable artefacts even with output capture on.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.metrics.table import Table
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: MetricsRegistry snapshots collected this session, keyed by benchmark
+#: name.  ``--metrics out.json`` (benchmarks/conftest.py) or the
+#: ``REPRO_METRICS`` environment variable flushes them at session end.
+_metrics_snapshots: Dict[str, dict] = {}
 
-def emit(name: str, tables: Iterable[Table], notes: str = "") -> str:
-    """Print and persist one benchmark's result tables."""
+
+def emit(name: str, tables: Iterable[Table], notes: str = "",
+         metrics=None) -> str:
+    """Print and persist one benchmark's result tables.
+
+    Pass ``metrics=<MetricsRegistry>`` (e.g. ``bed.sim.metrics``) to
+    collect its snapshot for the session-wide ``--metrics`` dump --
+    snapshotted eagerly, since the simulator rarely outlives the
+    benchmark function.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
+    if metrics is not None:
+        collect_metrics(name, metrics)
     blocks: List[str] = []
     if notes:
         blocks.append(notes.strip())
@@ -32,6 +47,37 @@ def emit(name: str, tables: Iterable[Table], notes: str = "") -> str:
     print(f"\n=== {name} ===")
     print(text)
     return text
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Persist a JSON artefact (audit snapshot, ...); returns its path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    return path
+
+
+def collect_metrics(name: str, registry) -> None:
+    """Snapshot ``registry`` now under ``name`` for the session dump."""
+    _metrics_snapshots[name] = registry.snapshot()
+
+
+def collected_metrics() -> Dict[str, dict]:
+    """All registry snapshots collected so far this session."""
+    return dict(_metrics_snapshots)
+
+
+def flush_metrics(path: Optional[str]) -> Optional[str]:
+    """Write the collected snapshots as one JSON document, if any."""
+    if not path or not _metrics_snapshots:
+        return None
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(_metrics_snapshots, handle, indent=2, sort_keys=True)
+    return path
 
 
 def once(benchmark, fn):

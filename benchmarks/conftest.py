@@ -1,0 +1,36 @@
+"""Benchmark-harness pytest hooks.
+
+Benchmarks are always invoked by explicit path (``pytest benchmarks/``
+or a single file), so this conftest is an *initial* conftest and may
+register command-line options:
+
+``--metrics out.json``
+    At session end, write every :class:`MetricsRegistry` snapshot the
+    benchmarks collected via ``common.emit(..., metrics=...)`` to one
+    JSON document.  The ``REPRO_METRICS`` environment variable is the
+    fallback for harnesses that cannot pass options (CI smoke jobs).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks import common
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--metrics", default=None, metavar="PATH",
+        help="write collected MetricsRegistry snapshots to this JSON file",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    try:
+        path = session.config.getoption("--metrics")
+    except ValueError:
+        path = None
+    path = path or os.environ.get("REPRO_METRICS")
+    written = common.flush_metrics(path)
+    if written:
+        print(f"\nmetrics snapshots written to {written}")

@@ -152,6 +152,35 @@ class Runtime:
             "tracing is not enabled; call enable_tracing() before export"
         )
 
+    def enable_audit(self, flight_capacity: int = 4096,
+                     max_drilldowns: int = 8):
+        """Install a QoS conformance auditor; returns the auditor.
+
+        Registers every subsequent T-Connect's negotiated contract and
+        files per-sample-period conformance verdicts, renegotiation
+        outcomes and orchestration skew (see :mod:`repro.obs.audit`).
+        When tracing is off, a bounded flight-recorder ring is
+        installed so violated periods can still be drilled down to
+        their causal packets; an already-enabled tracer is reused.
+        Like tracing, the audit only records in memory: it never
+        schedules simulator events or perturbs a run.
+        """
+        from repro.obs.audit import install_audit
+
+        return install_audit(
+            self.sim, flight_capacity=flight_capacity,
+            max_drilldowns=max_drilldowns,
+        )
+
+    def export_audit(self, path: str) -> str:
+        """Write the audit snapshot as JSON (``repro.obs.report run``)."""
+        auditor = self.sim.auditor
+        if auditor is None:
+            raise RuntimeError(
+                "auditing is not enabled; call enable_audit() before export"
+            )
+        return auditor.export(path)
+
     # -- fault injection ---------------------------------------------------
 
     def with_fault_plan(self, plan, network=None) -> "Runtime":

@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 import random as _random
 from collections import deque
-from typing import Callable, Deque, Dict, Optional
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.netsim.packet import Packet, Priority
 from repro.obs.registry import MetricsRegistry
@@ -305,7 +305,10 @@ class Link:
         # carrier loss kills these too (they are on the failed medium),
         # so their delivery timers must be cancellable.
         self._flight_ids = itertools.count()
-        self._propagating: Dict[int, TimerHandle] = {}
+        #: In-propagation deliveries: token -> (timer, packet).  The
+        #: packet rides along so an outage can report *which* packets
+        #: the severed medium swallowed, not just how many.
+        self._propagating: Dict[int, Tuple[TimerHandle, Packet]] = {}
         # No-reorder clamp per priority band: jitter must not reorder
         # deliveries *within a band*, but the CONTROL/RESERVED band must
         # never be held behind a BEST_EFFORT packet's jittered delivery
@@ -343,30 +346,45 @@ class Link:
         if self._down:
             return
         self._down = True
+        trace = self.sim.trace
         lost = 0
+        lost_ids: list = []
         if self._tx_handle is not None:
             self._tx_handle.cancel()
             self._tx_handle = None
             if self._tx_packet is not None:
                 self._queued_bytes -= self._tx_packet.size_bytes
+                if trace.packets:
+                    lost_ids.append(self._tx_packet.packet_id)
                 self._tx_packet = None
                 lost += 1
         for queue in (self._high, self._low):
             while queue:
                 packet, _enqueued_at = queue.popleft()
                 self._queued_bytes -= packet.size_bytes
+                if trace.packets:
+                    lost_ids.append(packet.packet_id)
                 lost += 1
-        for handle in self._propagating.values():
+        for handle, packet in self._propagating.values():
             handle.cancel()
+            if trace.packets:
+                lost_ids.append(packet.packet_id)
             lost += 1
         self._propagating.clear()
         self._transmitting = False
         self.stats.lost_packets += lost
-        trace = self.sim.trace
         if trace.enabled:
+            args: Dict[str, object] = {
+                "lost_in_flight": lost,
+                "link": f"{self.src}->{self.dst}",
+            }
+            if lost_ids:
+                # Bounded: enough ids for a causal post-mortem without
+                # letting a deep queue bloat the event.
+                args["lost_packet_ids"] = lost_ids[:64]
             trace.instant(
                 "link.down", track=f"link:{self.src}->{self.dst}", cat="fault",
-                args={"lost_in_flight": lost},
+                args=args,
             )
 
     def set_up(self) -> None:
@@ -441,7 +459,10 @@ class Link:
             if trace.packets:
                 trace.instant(
                     "drop:down", track=f"link:{self.src}->{self.dst}",
-                    cat="link", args={"flow": packet.flow_id},
+                    cat="link",
+                    args={"flow": packet.flow_id,
+                          "packet_id": packet.packet_id,
+                          "link": f"{self.src}->{self.dst}"},
                 )
             return
         if self._queued_bytes + packet.size_bytes > self.buffer_bytes:
@@ -450,7 +471,10 @@ class Link:
             if trace.packets:
                 trace.instant(
                     "drop:buffer", track=f"link:{self.src}->{self.dst}",
-                    cat="link", args={"flow": packet.flow_id},
+                    cat="link",
+                    args={"flow": packet.flow_id,
+                          "packet_id": packet.packet_id,
+                          "link": f"{self.src}->{self.dst}"},
                 )
             return
         self._queued_bytes += packet.size_bytes
@@ -493,7 +517,8 @@ class Link:
                 self._tx_started, now,
                 track=f"link:{self.src}->{self.dst}", cat="link",
                 args={"bits": packet.size_bits,
-                      "priority": int(packet.priority)},
+                      "priority": int(packet.priority),
+                      "packet_id": packet.packet_id},
             )
         lost = self.loss.is_lost(self.rng)
         if lost:
@@ -501,7 +526,9 @@ class Link:
             if trace.packets:
                 trace.instant(
                     "loss", track=f"link:{self.src}->{self.dst}", cat="link",
-                    args={"flow": packet.flow_id},
+                    args={"flow": packet.flow_id,
+                          "packet_id": packet.packet_id,
+                          "link": f"{self.src}->{self.dst}"},
                 )
         else:
             if self.ber > 0.0:
@@ -520,9 +547,10 @@ class Link:
                 arrival = max(arrival, self._last_delivery_low)
                 self._last_delivery_low = arrival
             token = next(self._flight_ids)
-            self._propagating[token] = self.sim.call_at(
+            handle = self.sim.call_at(
                 arrival, lambda: self._deliver(packet, token)
             )
+            self._propagating[token] = (handle, packet)
         self._start_next()
 
     def _deliver(self, packet: Packet, token: Optional[int] = None) -> None:

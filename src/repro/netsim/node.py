@@ -170,7 +170,8 @@ class Host(Node):
         if trace.packets:
             trace.instant(
                 f"rx:{key}", track=f"node:{self.name}", cat="host",
-                args={"src": packet.src, "flow": packet.flow_id},
+                args={"src": packet.src, "flow": packet.flow_id,
+                      "packet_id": packet.packet_id},
             )
         handler = self._handlers.get(key)
         if handler is None:

@@ -1,9 +1,10 @@
-"""Observability layer: metrics registry + sim-time tracing.
+"""Observability layer: metrics, tracing, auditing and run reports.
 
 The paper's whole evaluation (Table 2 degradation reports, the
 blocking-time fault attribution of section 6.3.1.2) rests on measuring
 the running system over *sample periods*.  This package provides the
-two primitives that measurement is built from:
+primitives that measurement is built from, and the contract-aware
+layer that turns them into the system's evaluation instrument:
 
 ``repro.obs.registry``
     :class:`MetricsRegistry` -- named :class:`Counter`/:class:`Gauge`
@@ -11,7 +12,8 @@ two primitives that measurement is built from:
     that reset *atomically* at each period boundary (the abstraction
     whose absence caused the QoS monitor's stale-window bug), and
     :class:`SpanAccumulator` for blocked/occupied-time accounting with
-    window re-basing.
+    window re-basing.  ``snapshot()`` renders the whole registry as a
+    plain dict.
 
 ``repro.obs.trace``
     A sim-time :class:`Tracer` emitting spans and instant events in
@@ -19,15 +21,47 @@ two primitives that measurement is built from:
     installed on every :class:`~repro.sim.scheduler.Simulator` by
     default.  Enable with :meth:`repro.core.runtime.Runtime.enable_tracing`.
 
+``repro.obs.audit``
+    :class:`QoSAuditor` -- registers every T-Connect's negotiated
+    contract and files per-sample-period conformance verdicts
+    (met/degraded/violated), per-connection timelines, renegotiation
+    outcomes and orchestration skew-vs-bound; :class:`FlightRecorder`
+    -- a bounded ring-buffer tracer for post-mortems without full
+    tracing overhead.  Enable with
+    :meth:`repro.core.runtime.Runtime.enable_audit`.
+
+``repro.obs.causality``
+    :class:`ChainIndex` -- joins trace events on netsim packet ids so
+    a violated period drills down to the packets it lost and the fault
+    episodes that caused it.
+
+``repro.obs.export``
+    :class:`FixedBucketHistogram` (HDR-style p50/p95/p99/p999),
+    Prometheus text exposition and JSON snapshots for the registry.
+
 ``repro.obs.report``
     ``python -m repro.obs.report trace.json`` summarises an exported
-    trace (span durations, event counts, per-category breakdown).
+    trace; ``python -m repro.obs.report run audit.json`` renders a
+    paper-style conformance report from an audit snapshot.
 
-Both submodules are dependency-free leaves (they take a ``clock``
-callable instead of importing the simulator), so the kernel can depend
-on them without a cycle.
+The registry, tracer, causality and export submodules are
+dependency-free leaves (they take a ``clock`` callable instead of
+importing the simulator), so the kernel can depend on them without a
+cycle; the auditor only reads ``sim.now``.
 """
 
+from repro.obs.audit import (
+    FlightRecorder,
+    QoSAuditor,
+    install_audit,
+    merge_snapshots,
+)
+from repro.obs.causality import ChainIndex
+from repro.obs.export import (
+    FixedBucketHistogram,
+    prometheus_text,
+    write_json_snapshot,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -46,9 +80,13 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "ChainIndex",
     "Counter",
+    "FixedBucketHistogram",
+    "FlightRecorder",
     "Gauge",
     "MetricsRegistry",
+    "QoSAuditor",
     "SpanAccumulator",
     "WindowSnapshot",
     "WindowedSeries",
@@ -58,4 +96,8 @@ __all__ = [
     "Span",
     "TraceLevel",
     "Tracer",
+    "install_audit",
+    "merge_snapshots",
+    "prometheus_text",
+    "write_json_snapshot",
 ]

@@ -322,3 +322,40 @@ class MetricsRegistry:
         for name, gauge in sorted(self._gauges.items()):
             values[name] = gauge.value
         return values
+
+    def snapshot(self) -> Dict[str, object]:
+        """Full JSON-serialisable snapshot of every instrument.
+
+        Counters and gauges report their values; windowed stats report
+        their *open* window (count/total/extrema, with infinities
+        mapped to None so the dict survives ``json.dumps``); series
+        report sample counts.  Reading the snapshot never mutates any
+        window.
+        """
+        windows: Dict[str, Dict[str, object]] = {}
+        for name, window in sorted(self._windows.items()):
+            snap = window.snapshot()
+            windows[name] = {
+                "start": snap.start,
+                "end": snap.end,
+                "count": snap.count,
+                "total": snap.total,
+                "min": None if snap.count == 0 else snap.minimum,
+                "max": None if snap.count == 0 else snap.maximum,
+            }
+        return {
+            "now": self._clock(),
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "windows": windows,
+            "series": {
+                name: len(series)
+                for name, series in sorted(self._series.items())
+            },
+        }

@@ -1,13 +1,23 @@
-"""Summarise an exported Chrome-trace JSON file.
+"""Summarise an exported Chrome-trace JSON or audit snapshot.
 
 Usage::
 
     python -m repro.obs.report trace.json [--category CAT] [--top N]
+    python -m repro.obs.report run audit.json
 
-Prints the trace's time range, the event counts per category, and a
-duration summary per span name -- the quick look before (or instead of)
-opening the file in Perfetto.  Exits non-zero when the file is missing
-or is not a valid Chrome-trace JSON object.
+The first form prints a trace's time range, the event counts per
+category, and a duration summary per span name -- the quick look
+before (or instead of) opening the file in Perfetto.
+
+The ``run`` form renders a :class:`~repro.obs.audit.QoSAuditor`
+snapshot (``Runtime.export_audit``) as a paper-style run report: a
+per-VC conformance table with Table-2 columns, the causal drill-down
+of each violated period (lost packets and overlapping fault episodes),
+renegotiation outcomes, and a per-group orchestration section
+comparing the skew histogram against the HLO tightness bound.
+
+Both forms exit non-zero with a one-line message when the file is
+missing, truncated, or not valid JSON of the expected shape.
 """
 
 from __future__ import annotations
@@ -100,7 +110,276 @@ def render(path: str, category: Optional[str] = None, top: int = 20) -> str:
     return "\n\n".join(blocks)
 
 
+# ---------------------------------------------------------------------------
+# Audit reports (``run`` mode)
+# ---------------------------------------------------------------------------
+
+#: Table-2 parameter names, in paper order.
+_DIMENSIONS = (
+    "throughput", "delay", "jitter", "packet_error_rate", "bit_error_rate",
+)
+
+
+def load_audit(path: str) -> Dict[str, Any]:
+    """Read and validate a QoSAuditor snapshot; returns the document."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or not isinstance(
+        data.get("connections"), list
+    ):
+        raise ValueError(
+            f"{path!r} is not an audit snapshot "
+            "(expected an object with a connections array; "
+            "produce one with Runtime.export_audit)"
+        )
+    return data
+
+
+def _fmt(value: Any, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def _reneg_cell(renegotiations: List[Dict[str, Any]]) -> str:
+    if not renegotiations:
+        return "-"
+    counts: Dict[str, int] = defaultdict(int)
+    for item in renegotiations:
+        counts[item.get("outcome", "?")] += 1
+    return ", ".join(f"{n} {outcome}" for outcome, n in sorted(counts.items()))
+
+
+def _conformance_table(connections: List[Dict[str, Any]]) -> str:
+    table = Table(
+        ["vc", "periods", "met", "degr", "viol", "idle", "conform",
+         "ttfv (s)", *(_DIM_HEADERS), "reneg", "release"],
+        title="Per-VC conformance (Table-2 dimensions; counts are "
+              "violated periods naming the dimension)",
+    )
+    for conn in connections:
+        counts = conn.get("counts", {})
+        by_dim: Dict[str, int] = defaultdict(int)
+        for entry in conn.get("timeline", ()):
+            for violation in entry.get("violations", ()):
+                by_dim[violation.get("parameter", "?")] += 1
+        released = conn.get("released")
+        table.add(
+            conn.get("vc", "?"),
+            sum(counts.values()),
+            counts.get("met", 0),
+            counts.get("degraded", 0),
+            counts.get("violated", 0),
+            counts.get("idle", 0),
+            _fmt(conn.get("conformance"), 3),
+            _fmt(conn.get("time_to_first_violation"), 3),
+            *(by_dim.get(dim, 0) for dim in _DIMENSIONS),
+            _reneg_cell(conn.get("renegotiations", ())),
+            released.get("reason", "?") if released else "-",
+        )
+    return table.render()
+
+
+_DIM_HEADERS = ("thr", "delay", "jitter", "per", "ber")
+
+
+def _drilldown_lines(conn: Dict[str, Any]) -> List[str]:
+    lines: List[str] = []
+    for drill in conn.get("drilldowns", ()):
+        violations = drill.get("violations", ())
+        what = "; ".join(
+            f"{v.get('parameter', '?')} (contracted "
+            f"{_fmt(v.get('contracted'))}, observed "
+            f"{_fmt(v.get('observed'))})"
+            for v in violations
+        ) or "?"
+        lines.append(
+            f"  vc {conn.get('vc', '?')} period "
+            f"[{_fmt(drill.get('t0'), 6)} .. {_fmt(drill.get('t1'), 6)}] "
+            f"violated {what}"
+        )
+        sent = drill.get("sent", 0)
+        delivered = drill.get("delivered", 0)
+        lost = drill.get("lost", ())
+        causes: Dict[str, List[str]] = defaultdict(list)
+        for fate in lost:
+            where = fate.get("where") or "?"
+            causes[f"{fate.get('cause', '?')} on {where}"].append(
+                str(fate.get("packet_id"))
+            )
+        lost_text = "; ".join(
+            f"{len(ids)} by {cause} (packet ids {', '.join(ids[:8])})"
+            for cause, ids in sorted(causes.items())
+        )
+        lines.append(
+            f"    packets: {sent} sent, {delivered} delivered, "
+            f"{len(lost)} lost" + (f" -- {lost_text}" if lost_text else "")
+        )
+        faults = drill.get("faults", ())
+        if faults:
+            fault_text = "; ".join(
+                f"{f.get('name', '?')} "
+                f"[{_fmt(f.get('start'), 6)} .. {_fmt(f.get('end'), 6)}]"
+                for f in faults
+            )
+            lines.append(f"    faults: {fault_text}")
+    suppressed = conn.get("drilldowns_suppressed", 0)
+    if suppressed:
+        lines.append(
+            f"    (+{suppressed} further violated periods not drilled down)"
+        )
+    if not lines:
+        # No violated periods: renegotiation/release outcomes are already
+        # on the conformance table; a contextless detail line only confuses.
+        return lines
+    for item in conn.get("renegotiations", ()):
+        outcome = item.get("outcome", "?")
+        if outcome == "confirmed":
+            detail = (
+                f"{_fmt(item.get('from_bps'))} -> "
+                f"{_fmt(item.get('to_bps'))} bps"
+            )
+        else:
+            detail = item.get("reason") or "?"
+        lines.append(
+            f"    renegotiation {outcome} @{_fmt(item.get('at'), 6)} "
+            f"({detail})"
+        )
+    released = conn.get("released")
+    if released:
+        lines.append(
+            f"    released @{_fmt(released.get('at'), 6)} "
+            f"({released.get('reason', '?')})"
+        )
+    return lines
+
+
+def _hist_row(name: str, hist: Dict[str, Any]) -> List[Any]:
+    return [
+        name, hist.get("count", 0), _fmt(hist.get("p50")),
+        _fmt(hist.get("p95")), _fmt(hist.get("p99")), _fmt(hist.get("p999")),
+        _fmt(hist.get("max")),
+    ]
+
+
+def _orchestration_section(groups: List[Dict[str, Any]]) -> List[str]:
+    blocks: List[str] = []
+    table = Table(
+        ["session", "streams", "intervals", "bound (s)", "p50", "p95",
+         "p99", "p999", "max", "over", "outages", "recoveries", "drops"],
+        title="Orchestration: per-group skew vs. HLO tightness bound (s)",
+    )
+    for group in groups:
+        skew = group.get("skew", {})
+        table.add(
+            group.get("session", "?"),
+            len(group.get("streams", ())),
+            group.get("intervals", 0),
+            _fmt(group.get("bound"), 3),
+            _fmt(skew.get("p50")), _fmt(skew.get("p95")),
+            _fmt(skew.get("p99")), _fmt(skew.get("p999")),
+            _fmt(skew.get("max")),
+            group.get("over_bound", 0),
+            len(group.get("outages", ())),
+            len(group.get("recoveries", ())),
+            sum(group.get("regulation_drops", {}).values()),
+        )
+    blocks.append(table.render())
+    for group in groups:
+        events = [
+            (e.get("at", 0.0), "outage", e.get("vc", "?"))
+            for e in group.get("outages", ())
+        ] + [
+            (e.get("at", 0.0), "recovery", e.get("vc", "?"))
+            for e in group.get("recoveries", ())
+        ]
+        if events:
+            timeline = "; ".join(
+                f"{kind} {vc} @{_fmt(at, 6)}"
+                for at, kind, vc in sorted(events)
+            )
+            blocks.append(f"  {group.get('session', '?')}: {timeline}")
+    return blocks
+
+
+def render_run(path: str) -> str:
+    """Build the run report for one audit snapshot."""
+    data = load_audit(path)
+    connections = data["connections"]
+    groups = data.get("groups", [])
+    summary = data.get("summary", {})
+    blocks: List[str] = []
+    counts = summary.get("counts", {})
+    blocks.append(
+        f"{path}: audit of {len(connections)} connection(s), "
+        f"{summary.get('periods', 0)} sample periods "
+        f"(met {counts.get('met', 0)}, degraded {counts.get('degraded', 0)}, "
+        f"violated {counts.get('violated', 0)}, idle {counts.get('idle', 0)}); "
+        f"conformance {_fmt(summary.get('conformance'), 3)}, "
+        f"mean time-to-first-violation "
+        f"{_fmt(summary.get('mean_time_to_first_violation'), 3)} s"
+    )
+    if connections:
+        blocks.append(_conformance_table(connections))
+        drill_blocks: List[str] = []
+        for conn in connections:
+            lines = _drilldown_lines(conn)
+            if lines:
+                drill_blocks.extend(lines)
+        if drill_blocks:
+            blocks.append(
+                "Violated periods, drilled down to causal packets and "
+                "faults:\n" + "\n".join(drill_blocks)
+            )
+    if groups:
+        blocks.extend(_orchestration_section(groups))
+    histograms = data.get("histograms", {})
+    if histograms:
+        hist_table = Table(
+            ["metric", "samples", "p50", "p95", "p99", "p999", "max"],
+            title="Fleet latency histograms (s)",
+        )
+        for name, hist in sorted(histograms.items()):
+            hist_table.add(*_hist_row(name, hist))
+        blocks.append(hist_table.render())
+    return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _main_run(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report run",
+        description="Render a QoS conformance run report from an audit "
+                    "snapshot (Runtime.export_audit).",
+    )
+    parser.add_argument("audit", help="path to an exported audit JSON")
+    args = parser.parse_args(argv)
+    try:
+        text = render_run(args.audit)
+    except OSError as exc:
+        print(f"cannot read {args.audit!r}: {exc}", file=sys.stderr)
+        return 1
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        print(f"invalid audit snapshot: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(text)
+    except BrokenPipeError:
+        # Reader (e.g. ``| head``) closed the pipe early; not an error.
+        sys.stderr.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "run":
+        return _main_run(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description=__doc__.splitlines()[0],
@@ -111,13 +390,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="span names to list (by event count)")
     args = parser.parse_args(argv)
     try:
-        print(render(args.trace, category=args.category, top=args.top))
-    except FileNotFoundError:
-        print(f"no trace file at {args.trace!r}", file=sys.stderr)
+        text = render(args.trace, category=args.category, top=args.top)
+    except OSError as exc:
+        print(f"cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
         return 1
-    except (ValueError, json.JSONDecodeError) as exc:
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        # Truncated download, wrong file, hand-edited JSON: report and
+        # exit non-zero instead of surfacing a traceback.
         print(f"invalid trace: {exc}", file=sys.stderr)
         return 1
+    try:
+        print(text)
     except BrokenPipeError:
         # Reader (e.g. ``| head``) closed the pipe early; not an error.
         sys.stderr.close()

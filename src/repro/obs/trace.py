@@ -211,7 +211,8 @@ class Tracer:
     def to_dict(self) -> Dict[str, Any]:
         """The full trace as a Chrome-trace JSON object."""
         return {
-            "traceEvents": self._metadata() + self._events,
+            # list() so ring-buffer subclasses (deque storage) export too.
+            "traceEvents": self._metadata() + list(self._events),
             "displayTimeUnit": "ms",
         }
 

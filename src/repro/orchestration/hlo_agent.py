@@ -276,6 +276,13 @@ class HLOAgent:
         if self.running:
             return
         self.running = True
+        auditor = self.sim.auditor
+        if auditor is not None:
+            auditor.register_group(
+                self.session_id, bound=self.policy.strictness,
+                streams=sorted(self.streams),
+                interval_length=self.policy.interval_length,
+            )
         self.config = RegulationConfig(started_at_master=self.clock.now())
         self._behind_streak = {vc: 0 for vc in self.streams}
         self._stall_intervals = {vc: 0 for vc in self.streams}
@@ -436,6 +443,9 @@ class HLOAgent:
             skew=skew,
         )
         self.skew_series.append((self.sim.now, skew))
+        auditor = self.sim.auditor
+        if auditor is not None:
+            auditor.record_skew(self.session_id, skew)
         self._apply_policy(report)
         self.reports.append(report)
 
@@ -521,6 +531,9 @@ class HLOAgent:
         """
         self._outage_vcs.add(vc_id)
         self.outage_events.append((self.sim.now, vc_id))
+        auditor = self.sim.auditor
+        if auditor is not None:
+            auditor.record_group_outage(self.session_id, vc_id)
         trace = self.sim.trace
         if trace.enabled:
             trace.instant(
@@ -536,6 +549,9 @@ class HLOAgent:
         """First interval with fresh deliveries after an outage."""
         self._outage_vcs.discard(vc_id)
         self.recovery_events.append((self.sim.now, vc_id))
+        auditor = self.sim.auditor
+        if auditor is not None:
+            auditor.record_group_recovery(self.session_id, vc_id)
         trace = self.sim.trace
         if trace.enabled:
             trace.instant(

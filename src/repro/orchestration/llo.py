@@ -844,6 +844,9 @@ class LLOInstance:
                 "drop.request", track=f"regulate:{vc_id}", cat="orch",
                 args={"source": source_node},
             )
+        auditor = self.sim.auditor
+        if auditor is not None:
+            auditor.record_regulation_drop(session_id, vc_id)
         opdu = DropRequestOPDU(
             session_id=session_id,
             request_id=next(self._req_ids),

@@ -145,6 +145,11 @@ class Simulator:
         #: live (counters are plain attribute adds).
         self.trace = NULL_TRACER
         self.metrics = MetricsRegistry(self._clock)
+        #: QoS conformance auditor; None until a runtime installs one
+        #: (see ``Runtime.enable_audit``).  Call sites guard with
+        #: ``if sim.auditor is not None:`` -- the auditor, like the
+        #: tracer, only records in memory and never schedules events.
+        self.auditor = None
 
     def _clock(self) -> float:
         return self._now

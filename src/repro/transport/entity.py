@@ -659,6 +659,13 @@ class TransportEntity:
         recv_vc_holder["vc"] = recv_vc
         if monitor is not None:
             monitor.start()
+        auditor = self.sim.auditor
+        if auditor is not None:
+            auditor.register_connection(
+                request.vc_id, contract,
+                src=str(request.src), dst=str(request.dst),
+                sample_period=self.sample_period,
+            )
         return recv_vc
 
     def _handle_connect_response(self, response: TConnectResponse) -> None:
@@ -764,6 +771,13 @@ class TransportEntity:
         vc = self.send_vcs.pop(vc_id, None) or self.recv_vcs.pop(vc_id, None)
         if vc is None:
             return
+        auditor = self.sim.auditor
+        if auditor is not None and isinstance(vc, RecvVC):
+            # Record at the sink, where the connection was registered.
+            auditor.record_release(
+                vc_id, reason,
+                initiator=str(initiator) if initiator is not None else None,
+            )
         vc.close()
         self._outage_states.pop(vc_id, None)
         self._reneg_src_pending.pop(vc_id, None)
@@ -905,6 +919,9 @@ class TransportEntity:
         # "The existing VC is not torn down; the T-Disconnect.indication
         # simply indicates that the new service level requested can not
         # be supported" (section 4.1.3).
+        auditor = self.sim.auditor
+        if auditor is not None:
+            auditor.record_renegotiation(request.vc_id, "failed", reason=reason)
         binding = self.bindings.get(request.src.tsap)
         if binding is not None:
             binding.deliver(
@@ -993,6 +1010,13 @@ class TransportEntity:
         if send_vc is None or record is None:
             return
         contract = tpdu.contract
+        auditor = self.sim.auditor
+        if auditor is not None:
+            auditor.record_renegotiation(
+                tpdu.vc_id, "confirmed",
+                from_bps=record.contract.throughput_bps,
+                to_bps=contract.throughput_bps,
+            )
         if record.reservation is not None:
             self.reservations.modify(record.reservation, contract.throughput_bps)
         send_vc.contract = contract
@@ -1066,6 +1090,13 @@ class TransportEntity:
                                         measurement, recv_vc)
             if outage is not None:
                 violations = list(violations) + [outage]
+        auditor = self.sim.auditor
+        if auditor is not None:
+            # Before the early return: met/degraded/idle periods belong
+            # on the conformance timeline too.
+            auditor.record_period(
+                request.vc_id, current_contract, measurement, violations
+            )
         if not violations:
             return
         trace = self.sim.trace
@@ -1348,15 +1379,26 @@ class TransportEntity:
             handler(payload)
 
     def _send_control(self, dst_node: str, tpdu) -> None:
-        self.network.send(
-            Packet(
-                src=self.node_name,
-                dst=dst_node,
-                payload=tpdu,
-                size_bits=CONTROL_TPDU_BYTES * 8,
-                priority=Priority.CONTROL,
-            )
+        packet = Packet(
+            src=self.node_name,
+            dst=dst_node,
+            payload=tpdu,
+            size_bits=CONTROL_TPDU_BYTES * 8,
+            priority=Priority.CONTROL,
         )
+        trace = self.sim.trace
+        if trace.packets:
+            # Causal parent: service primitive/TPDU -> netsim packet id.
+            trace.instant(
+                "tpdu.tx", track=f"node:{self.node_name}", cat="causal",
+                args={
+                    "packet_id": packet.packet_id,
+                    "vc": getattr(tpdu, "vc_id", None),
+                    "kind": type(tpdu).__name__,
+                    "dst": dst_node,
+                },
+            )
+        self.network.send(packet)
 
     # ------------------------------------------------------------------
     # Orchestration coupling

@@ -195,16 +195,28 @@ class SendVC:
 
     def _send(self, tpdu: DataTPDU, payload_bytes: int) -> None:
         size_bits = int((payload_bytes + DATA_HEADER_BYTES + OPDU.WIRE_BYTES) * 8)
-        self._send_packet(
-            Packet(
-                src=self.local.node,
-                dst=self.remote.node,
-                payload=tpdu,
-                size_bits=size_bits,
-                priority=_data_priority(self.cos.guarantee),
-                flow_id=self.vc_id,
-            )
+        packet = Packet(
+            src=self.local.node,
+            dst=self.remote.node,
+            payload=tpdu,
+            size_bits=size_bits,
+            priority=_data_priority(self.cos.guarantee),
+            flow_id=self.vc_id,
         )
+        trace = self.sim.trace
+        if trace.packets:
+            # Causal parent: TPDU -> netsim packet id (the auditor's
+            # drill-down joins on packet_id end to end).
+            trace.instant(
+                "tpdu.tx", track=f"vc:{self.vc_id}", cat="causal",
+                args={
+                    "packet_id": packet.packet_id,
+                    "vc": self.vc_id,
+                    "seq": tpdu.seq,
+                    "kind": "data",
+                },
+            )
+        self._send_packet(packet)
 
     # -- feedback from the receiver -------------------------------------------
 
@@ -592,16 +604,25 @@ class RecvVC:
             self._send_control(NackTPDU(vc_id=self.vc_id, missing=relevant))
 
     def _send_control(self, tpdu) -> None:
-        self._send_packet(
-            Packet(
-                src=self.local.node,
-                dst=self.remote.node,
-                payload=tpdu,
-                size_bits=CONTROL_TPDU_BYTES * 8,
-                priority=Priority.CONTROL,
-                flow_id=self.vc_id,
-            )
+        packet = Packet(
+            src=self.local.node,
+            dst=self.remote.node,
+            payload=tpdu,
+            size_bits=CONTROL_TPDU_BYTES * 8,
+            priority=Priority.CONTROL,
+            flow_id=self.vc_id,
         )
+        trace = self.sim.trace
+        if trace.packets:
+            trace.instant(
+                "tpdu.tx", track=f"vc:{self.vc_id}", cat="causal",
+                args={
+                    "packet_id": packet.packet_id,
+                    "vc": self.vc_id,
+                    "kind": type(tpdu).__name__,
+                },
+            )
+        self._send_packet(packet)
 
     # -- orchestration hooks (sink side) -----------------------------------------------
 

@@ -1,0 +1,326 @@
+"""Tests for the QoS conformance auditor and flight recorder."""
+
+import json
+
+import pytest
+
+from repro.ansa.stream import AudioQoS
+from repro.core.runtime import Stack
+from repro.obs.audit import (
+    FlightRecorder,
+    QoSAuditor,
+    install_audit,
+    merge_snapshots,
+)
+from repro.obs.trace import TraceLevel
+from repro.sim.scheduler import Simulator
+from repro.transport.addresses import TransportAddress
+from repro.transport.qos import QoSContract, QoSMeasurement
+
+_US = 1e6
+
+CONTRACT = QoSContract(
+    throughput_bps=1e6, delay_s=0.1, jitter_s=0.01,
+    packet_error_rate=0.01, bit_error_rate=1e-6, max_osdu_bytes=1000,
+)
+
+
+def _measurement(t0=0.0, t1=1.0, **kwargs):
+    return QoSMeasurement(period_start=t0, period_end=t1, **kwargs)
+
+
+def _met():
+    return _measurement(
+        osdus_delivered=100, throughput_bps=1e6, mean_delay_s=0.05,
+        jitter_s=0.001, packet_error_rate=0.0, bit_error_rate=0.0,
+    )
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(lambda: 0.0, capacity=4)
+        for k in range(10):
+            recorder.instant(f"e{k}", track="sim")
+        events = recorder.snapshot()
+        assert len(events) == 4
+        # Oldest events fell off the ring; the latest survive in order.
+        assert [e["name"] for e in events] == ["e6", "e7", "e8", "e9"]
+
+    def test_records_at_packet_level_by_default(self):
+        recorder = FlightRecorder(lambda: 0.0)
+        assert recorder.enabled and recorder.packets
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(lambda: 0.0, capacity=0)
+
+    def test_export_works_from_the_ring(self, tmp_path):
+        recorder = FlightRecorder(lambda: 0.0, capacity=8)
+        recorder.instant("x", track="sim")
+        path = recorder.export(str(tmp_path / "ring.json"))
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert any(e.get("name") == "x" for e in doc["traceEvents"])
+
+
+class TestVerdicts:
+    def _auditor(self):
+        sim = Simulator()
+        return QoSAuditor(sim)
+
+    def test_met_period(self):
+        auditor = self._auditor()
+        auditor.register_connection("v1", CONTRACT)
+        auditor.record_period("v1", CONTRACT, _met(), [])
+        snap = auditor.snapshot()
+        conn = snap["connections"][0]
+        assert conn["counts"] == {
+            "met": 1, "degraded": 0, "violated": 0, "idle": 0,
+        }
+        assert conn["conformance"] == 1.0
+        assert conn["timeline"][0]["verdict"] == "met"
+
+    def test_idle_period_is_excluded_from_conformance(self):
+        auditor = self._auditor()
+        auditor.record_period("v1", CONTRACT, _measurement(), [])
+        conn = auditor.snapshot()["connections"][0]
+        assert conn["counts"]["idle"] == 1
+        assert conn["conformance"] is None
+
+    def test_degraded_within_monitor_margin(self):
+        # Delay 3% over contract: inside the monitor's 5% tolerance so
+        # no QoSViolation fires, but the auditor still files "degraded".
+        measurement = _measurement(
+            osdus_delivered=100, throughput_bps=1e6, mean_delay_s=0.103,
+        )
+        assert CONTRACT.violations(measurement) == []
+        auditor = self._auditor()
+        auditor.record_period(
+            "v1", CONTRACT, measurement, CONTRACT.violations(measurement)
+        )
+        conn = auditor.snapshot()["connections"][0]
+        assert conn["counts"]["degraded"] == 1
+        entry = conn["timeline"][0]
+        assert entry["degraded"][0]["parameter"] == "delay"
+        assert entry["degraded"][0]["observed"] == 0.103
+
+    def test_violated_period_with_dimension_and_magnitude(self):
+        measurement = _measurement(
+            t0=2.0, t1=3.0, osdus_delivered=40, throughput_bps=4e5,
+        )
+        violations = CONTRACT.violations(measurement)
+        assert violations
+        auditor = self._auditor()
+        auditor.record_period("v1", CONTRACT, measurement, violations)
+        conn = auditor.snapshot()["connections"][0]
+        assert conn["counts"]["violated"] == 1
+        recorded = conn["timeline"][0]["violations"][0]
+        assert recorded["parameter"] == "throughput"
+        assert recorded["contracted"] == 1e6
+        assert recorded["observed"] == 4e5
+        assert recorded["ratio"] == pytest.approx(0.4)
+        # First violation timestamped at the period's end.
+        assert conn["time_to_first_violation"] == 3.0
+
+    def test_conformance_fraction_over_mixed_timeline(self):
+        auditor = self._auditor()
+        auditor.register_connection("v1", CONTRACT)
+        auditor.record_period("v1", CONTRACT, _met(), [])
+        auditor.record_period("v1", CONTRACT, _met(), [])
+        bad = _measurement(osdus_delivered=1, throughput_bps=1e3)
+        auditor.record_period("v1", CONTRACT, bad, CONTRACT.violations(bad))
+        auditor.record_period("v1", CONTRACT, _measurement(), [])  # idle
+        conn = auditor.snapshot()["connections"][0]
+        assert conn["conformance"] == pytest.approx(2 / 3)
+
+    def test_renegotiations_and_release_roll_into_summary(self):
+        auditor = self._auditor()
+        auditor.register_connection("v1", CONTRACT)
+        auditor.record_renegotiation("v1", "confirmed", from_bps=1e6,
+                                     to_bps=5e5)
+        auditor.record_renegotiation("v1", "failed", reason="peer-reject")
+        auditor.record_release("v1", "qos-outage", initiator="provider")
+        summary = auditor.snapshot()["summary"]
+        assert summary["renegotiations"] == {"confirmed": 1, "failed": 1}
+        assert summary["releases"] == {"qos-outage": 1}
+
+    def test_unregistered_vc_gets_a_bare_record(self):
+        auditor = self._auditor()
+        auditor.record_period("v9", CONTRACT, _met(), [])
+        conn = auditor.snapshot()["connections"][0]
+        assert conn["vc"] == "v9"
+        assert conn["counts"]["met"] == 1
+
+
+class TestDrilldown:
+    def _sim_with_ring(self):
+        sim = Simulator()
+        auditor = install_audit(sim, max_drilldowns=2)
+        return sim, auditor
+
+    def test_violated_period_drills_to_lost_packets_and_faults(self):
+        sim, auditor = self._sim_with_ring()
+        tracer = sim.trace
+        # Hand-feed the ring the causal chain of a starved period.
+        tracer._events.extend([
+            {"ph": "i", "name": "tpdu.tx", "ts": 2.1 * _US, "cat": "causal",
+             "args": {"packet_id": 7, "vc": "v1", "seq": 3, "kind": "data"}},
+            {"ph": "i", "name": "drop:down", "ts": 2.15 * _US,
+             "args": {"packet_id": 7, "link": "r->b", "flow": "v1"}},
+            {"ph": "X", "name": "fault:outage:r->b", "ts": 2.0 * _US,
+             "dur": 0.5 * _US, "cat": "fault", "args": {"link": "r->b"}},
+        ])
+        measurement = _measurement(t0=2.0, t1=3.0, osdus_delivered=0,
+                                   throughput_bps=0.0)
+        violations = CONTRACT.violations(measurement)
+        auditor.record_period("v1", CONTRACT, measurement, violations)
+        conn = auditor.snapshot()["connections"][0]
+        drill = conn["drilldowns"][0]
+        assert drill["sent"] == 1
+        assert drill["lost"][0]["packet_id"] == 7
+        assert drill["lost"][0]["cause"] == "link-down"
+        assert any(
+            f["name"] == "fault:outage:r->b" for f in drill["faults"]
+        )
+        assert drill["violations"][0]["parameter"] == "throughput"
+
+    def test_drilldowns_are_bounded(self):
+        sim, auditor = self._sim_with_ring()
+        bad = _measurement(osdus_delivered=0, throughput_bps=0.0)
+        violations = CONTRACT.violations(bad)
+        for _ in range(5):
+            auditor.record_period("v1", CONTRACT, bad, violations)
+        conn = auditor.snapshot()["connections"][0]
+        assert len(conn["drilldowns"]) == 2
+        assert conn["drilldowns_suppressed"] == 3
+
+
+class TestGroups:
+    def test_skew_conformance_against_bound(self):
+        auditor = QoSAuditor(Simulator())
+        auditor.register_group("orch-1", bound=0.08, streams=["v1", "v2"],
+                               interval_length=0.2)
+        for skew in (0.01, 0.05, 0.2):
+            auditor.record_skew("orch-1", skew)
+        auditor.record_group_outage("orch-1", "v1")
+        auditor.record_group_recovery("orch-1", "v1")
+        auditor.record_regulation_drop("orch-1", "v1", count=3)
+        group = auditor.snapshot()["groups"][0]
+        assert group["bound"] == 0.08
+        assert group["intervals"] == 3
+        assert group["over_bound"] == 1
+        assert len(group["outages"]) == len(group["recoveries"]) == 1
+        assert group["regulation_drops"] == {"v1": 3}
+
+
+class TestMergeSnapshots:
+    def _snapshot_with(self, counts_met, counts_violated):
+        auditor = QoSAuditor(Simulator())
+        for _ in range(counts_met):
+            auditor.record_period("v1", CONTRACT, _met(), [])
+        bad = _measurement(osdus_delivered=0, throughput_bps=0.0)
+        for _ in range(counts_violated):
+            auditor.record_period(
+                "v1", CONTRACT, bad, CONTRACT.violations(bad)
+            )
+        return auditor.snapshot()
+
+    def test_counts_and_histograms_add(self):
+        merged = merge_snapshots(
+            [self._snapshot_with(2, 1), self._snapshot_with(3, 0)]
+        )
+        assert merged["summary"]["connections"] == 2
+        assert merged["summary"]["counts"]["met"] == 5
+        assert merged["summary"]["counts"]["violated"] == 1
+        # Both inputs recorded one delay sample per met/violated period
+        # with a mean_delay_s; only met periods here carry delays.
+        assert merged["histograms"]["delay_s"]["count"] == 5
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_snapshots([])
+        assert merged["summary"]["connections"] == 0
+        assert merged["connections"] == []
+
+
+def _one_vc_stack():
+    stack = Stack(seed=3)
+    stack.host("src")
+    stack.host("snk").link("src", bandwidth_bps=10e6, prop_delay=0.002)
+    stack.up()
+    return stack
+
+
+def _open_vc(stack):
+    holder = {}
+
+    def connector():
+        holder["stream"] = yield from stack.factory.create(
+            TransportAddress("src", 1), TransportAddress("snk", 1),
+            AudioQoS.telephone(),
+        )
+
+    stack.spawn(connector())
+    stack.run(2.0)
+    return holder["stream"]
+
+
+def _scheduled_events(stack):
+    """Total events ever pushed on the heap (consumes one seq number)."""
+    return next(stack.sim._seq)
+
+
+class TestAuditIsFree:
+    def test_disabled_audit_is_the_default(self):
+        stack = _one_vc_stack()
+        assert stack.sim.auditor is None
+
+    def test_enabled_audit_schedules_no_extra_events(self):
+        """The auditor only appends to in-memory structures inside
+        calls the layers were already making: an audited run must be
+        event-for-event identical to an unaudited one."""
+        baseline = _one_vc_stack()
+        _open_vc(baseline)
+        baseline.run(2.0)
+
+        audited = _one_vc_stack()
+        auditor = audited.enable_audit()
+        _open_vc(audited)
+        audited.run(2.0)
+
+        # The auditor saw the connection and filed verdicts...
+        snap = auditor.snapshot()
+        assert snap["summary"]["connections"] >= 1
+        assert snap["summary"]["periods"] >= 1
+        # ...without perturbing the simulation.
+        assert _scheduled_events(baseline) == _scheduled_events(audited)
+        assert baseline.sim.now == audited.sim.now
+
+    def test_install_is_idempotent_and_reuses_live_tracer(self):
+        stack = _one_vc_stack()
+        tracer = stack.enable_tracing(TraceLevel.PACKET)
+        auditor = install_audit(stack.sim)
+        assert stack.sim.trace is tracer  # not replaced by a ring
+        assert install_audit(stack.sim) is auditor
+
+    def test_install_provides_flight_recorder_when_untraced(self):
+        stack = _one_vc_stack()
+        stack.enable_audit(flight_capacity=128)
+        assert isinstance(stack.sim.trace, FlightRecorder)
+        assert stack.sim.trace.capacity == 128
+
+
+class TestRuntimeExport:
+    def test_export_audit_round_trip(self, tmp_path):
+        stack = _one_vc_stack()
+        stack.enable_audit()
+        _open_vc(stack)
+        path = stack.export_audit(str(tmp_path / "audit.json"))
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["kind"] == "repro-audit"
+        assert doc["summary"]["connections"] >= 1
+
+    def test_export_without_audit_raises(self):
+        stack = _one_vc_stack()
+        with pytest.raises(RuntimeError):
+            stack.export_audit("/tmp/never.json")

@@ -1,0 +1,100 @@
+"""Tests for the packet-id causal chain index."""
+
+from repro.obs.causality import ChainIndex
+
+_US = 1e6
+
+
+def _ev(name, ts_s, cat=None, dur_s=0.0, **args):
+    event = {"ph": "i", "name": name, "ts": ts_s * _US, "args": args}
+    if cat:
+        event["cat"] = cat
+    if dur_s:
+        event["ph"] = "X"
+        event["dur"] = dur_s * _US
+    return event
+
+
+def _sample_events():
+    return [
+        # Packet 1: sent on vc v1, delivered.
+        _ev("tpdu.tx", 1.0, cat="causal", packet_id=1, vc="v1", seq=0,
+            kind="data"),
+        _ev("rx:v1#0", 1.01, packet_id=1),
+        # Packet 2: sent, dropped at the link while it was down.
+        _ev("tpdu.tx", 1.1, cat="causal", packet_id=2, vc="v1", seq=1,
+            kind="data"),
+        _ev("drop:down", 1.102, packet_id=2, link="r->b", flow="v1"),
+        # Packet 3: in flight when the link went down.
+        _ev("tpdu.tx", 1.2, cat="causal", packet_id=3, vc="v1", seq=2,
+            kind="data"),
+        _ev("link.down", 1.201, cat="fault", link="r->b",
+            lost_in_flight=1, lost_packet_ids=[3]),
+        # Packet 4: another VC entirely.
+        _ev("tpdu.tx", 1.3, cat="causal", packet_id=4, vc="v2", seq=0,
+            kind="data"),
+        # A fault episode spanning [1.15, 1.45].
+        _ev("fault:outage:r->b", 1.15, cat="fault", dur_s=0.3, link="r->b"),
+        # Metadata events must be ignored.
+        {"ph": "M", "name": "process_name", "args": {"name": "vc:v1"}},
+    ]
+
+
+class TestPacketFate:
+    def test_delivered(self):
+        chain = ChainIndex(_sample_events())
+        fate = chain.packet_fate(1)
+        assert fate["status"] == "delivered"
+        assert fate["sent_at"] == 1.0
+        assert fate["resolved_at"] == 1.01
+        assert fate["vc"] == "v1" and fate["seq"] == 0
+
+    def test_lost_at_down_link(self):
+        fate = ChainIndex(_sample_events()).packet_fate(2)
+        assert fate["status"] == "lost"
+        assert fate["cause"] == "link-down"
+        assert fate["where"] == "r->b"
+
+    def test_lost_in_flight_via_lost_packet_ids(self):
+        # Packet 3 never has its own loss event; it is named only in
+        # the link.down event's bounded id list.
+        fate = ChainIndex(_sample_events()).packet_fate(3)
+        assert fate["status"] == "lost"
+        assert fate["cause"] == "lost-in-flight"
+
+    def test_unknown_packet_is_in_flight(self):
+        fate = ChainIndex([]).packet_fate(99)
+        assert fate["status"] == "in-flight"
+        assert fate["sent_at"] is None
+
+
+class TestPerVCQueries:
+    def test_window_filters_by_send_time(self):
+        chain = ChainIndex(_sample_events())
+        assert len(chain.packets_for_vc("v1")) == 3
+        assert len(chain.packets_for_vc("v1", 1.05, 1.25)) == 2
+        assert len(chain.packets_for_vc("v2")) == 1
+        assert chain.packets_for_vc("nope") == []
+
+    def test_lost_packets(self):
+        chain = ChainIndex(_sample_events())
+        lost = chain.lost_packets("v1")
+        assert sorted(f["packet_id"] for f in lost) == [2, 3]
+
+    def test_fault_episodes_overlap(self):
+        chain = ChainIndex(_sample_events())
+        names = [e["name"] for e in chain.fault_episodes(1.4, 2.0)]
+        assert "fault:outage:r->b" in names  # spans into the window
+        assert chain.fault_episodes(5.0, 6.0) == []
+
+    def test_explain_period(self):
+        chain = ChainIndex(_sample_events())
+        explanation = chain.explain_period("v1", 1.05, 1.25)
+        assert explanation["sent"] == 2
+        assert explanation["delivered"] == 0
+        assert [f["packet_id"] for f in explanation["lost"]] == [2, 3]
+        # The default lookback (two period lengths) catches the fault
+        # episode that started before the period.
+        assert any(
+            f["name"] == "fault:outage:r->b" for f in explanation["faults"]
+        )

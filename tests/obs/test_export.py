@@ -1,0 +1,151 @@
+"""Tests for the exporters: histogram quantiles, Prometheus, JSON."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.export import (
+    FixedBucketHistogram,
+    prometheus_text,
+    write_json_snapshot,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestFixedBucketHistogram:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            FixedBucketHistogram(lo=1.0, hi=1.0)
+        with pytest.raises(ValueError):
+            FixedBucketHistogram(lo=-1.0, hi=1.0)
+        with pytest.raises(ValueError):
+            FixedBucketHistogram(buckets=0)
+
+    def test_empty_quantiles_are_nan(self):
+        hist = FixedBucketHistogram()
+        assert math.isnan(hist.p50)
+        assert math.isnan(hist.p999)
+        assert math.isnan(hist.mean)
+        assert len(hist) == 0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_single_sample_reports_itself_exactly(self):
+        hist = FixedBucketHistogram(lo=1e-3, hi=10.0)
+        hist.record(0.125)
+        # Every quantile of a one-sample distribution is that sample;
+        # the clamp into [min, max] must defeat bucket rounding.
+        for q in (0.0, 0.5, 0.95, 0.999, 1.0):
+            assert hist.quantile(q) == 0.125
+        assert hist.mean == 0.125
+
+    def test_saturated_top_bucket_reports_observed_max(self):
+        hist = FixedBucketHistogram(lo=1e-3, hi=1.0, buckets=8)
+        # All mass beyond hi: quantiles must answer the true maximum,
+        # not the histogram's upper bound.
+        for value in (3.0, 5.0, 42.0):
+            hist.record(value)
+        assert hist.overflow == 3
+        assert hist.p50 == 42.0
+        assert hist.p999 == 42.0
+
+    def test_underflow_clamps_to_observed_min(self):
+        hist = FixedBucketHistogram(lo=1e-3, hi=1.0)
+        hist.record(1e-6)
+        hist.record(1e-5)
+        assert hist.underflow == 2
+        # All mass below lo: the underflow bucket's bound (lo) clamps
+        # down to the observed maximum.
+        assert hist.p50 == 1e-5
+        assert hist.p999 == 1e-5
+
+    def test_quantiles_track_the_distribution(self):
+        hist = FixedBucketHistogram(lo=1e-4, hi=10.0, buckets=256)
+        values = [0.001 * (i + 1) for i in range(1000)]  # 1 ms .. 1 s
+        for value in values:
+            hist.record(value)
+        assert hist.count == 1000
+        # Geometric buckets give ~ (hi/lo)^(1/256) ~ 4.6% resolution.
+        assert hist.p50 == pytest.approx(0.5, rel=0.06)
+        assert hist.p99 == pytest.approx(0.99, rel=0.06)
+        assert hist.maximum == pytest.approx(1.0)
+
+    def test_nan_observations_are_ignored(self):
+        hist = FixedBucketHistogram()
+        hist.record(float("nan"))
+        assert len(hist) == 0
+
+    def test_round_trip_through_dict(self):
+        hist = FixedBucketHistogram(lo=1e-3, hi=1.0, buckets=16)
+        for value in (1e-6, 0.01, 0.2, 5.0):
+            hist.record(value)
+        clone = FixedBucketHistogram.from_dict(
+            json.loads(json.dumps(hist.to_dict()))
+        )
+        assert clone.count == hist.count
+        assert clone.counts == hist.counts
+        assert clone.underflow == hist.underflow
+        assert clone.overflow == hist.overflow
+        assert clone.p50 == hist.p50
+        assert clone.p999 == hist.p999
+
+    def test_to_dict_reports_none_for_empty(self):
+        doc = FixedBucketHistogram().to_dict()
+        assert doc["count"] == 0
+        assert doc["min"] is None and doc["max"] is None
+        assert doc["p50"] is None and doc["p999"] is None
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock)
+        registry.counter("vc.v1.osdus").inc(3)
+        registry.gauge("vc.v1.rate").set(2e6)
+        registry.window("vc.v1.delay").add(0.01)
+        clock.t = 1.0
+        snap = registry.snapshot()
+        assert snap["now"] == 1.0
+        assert snap["counters"]["vc.v1.osdus"] == 3
+        assert snap["gauges"]["vc.v1.rate"] == 2e6
+        window = snap["windows"]["vc.v1.delay"]
+        assert window["count"] == 1
+        assert window["min"] == window["max"] == 0.01
+
+    def test_snapshot_does_not_reset_windows(self):
+        registry = MetricsRegistry(FakeClock())
+        registry.window("s").add(1.0)
+        registry.snapshot()
+        assert registry.snapshot()["windows"]["s"]["count"] == 1
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges_with_sanitised_names(self):
+        registry = MetricsRegistry(FakeClock())
+        registry.counter("vc.v1.arrived_bits").inc(8000)
+        registry.gauge("link.a->b.rate").set(1e6)
+        text = prometheus_text(registry)
+        assert "# TYPE vc_v1_arrived_bits counter" in text
+        assert "vc_v1_arrived_bits 8000" in text
+        assert "# TYPE link_a__b_rate gauge" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry(FakeClock())) == ""
+
+    def test_json_snapshot_file(self, tmp_path):
+        registry = MetricsRegistry(FakeClock())
+        registry.counter("c").inc()
+        path = write_json_snapshot(registry, str(tmp_path / "m.json"))
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["counters"]["c"] == 1

@@ -1,0 +1,160 @@
+"""Tests for ``python -m repro.obs.report`` (trace and run modes)."""
+
+import json
+
+from repro.obs.report import main as report_main
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def _trace_file(tmp_path):
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    span = tracer.span("connect:v1", track="vc:v1", cat="transport")
+    clock.t = 0.1
+    span.end()
+    tracer.instant("nack", track="vc:v1", cat="recovery")
+    clock.t = 0.2
+    tracer.instant("resync", track="orch", cat="orch")
+    return tracer.export(str(tmp_path / "trace.json"))
+
+
+def _audit_doc():
+    """A hand-built audit snapshot with one violated, drilled-down VC."""
+    return {
+        "kind": "repro-audit",
+        "now": 10.0,
+        "summary": {
+            "connections": 1, "periods": 3,
+            "counts": {"met": 1, "degraded": 1, "violated": 1, "idle": 0},
+            "conformance": 1 / 3, "mean_time_to_first_violation": 2.0,
+            "renegotiations": {"confirmed": 1}, "releases": {},
+        },
+        "connections": [{
+            "vc": "v1", "src": "a", "dst": "b", "registered_at": 0.0,
+            "sample_period": 1.0,
+            "contract": {"throughput_bps": 1e6},
+            "counts": {"met": 1, "degraded": 1, "violated": 1, "idle": 0},
+            "conformance": 1 / 3, "time_to_first_violation": 2.0,
+            "timeline": [
+                {"t0": 0.0, "t1": 1.0, "verdict": "met", "osdus": 10,
+                 "observed": {}},
+                {"t0": 1.0, "t1": 2.0, "verdict": "violated", "osdus": 0,
+                 "observed": {},
+                 "violations": [{"parameter": "throughput",
+                                 "contracted": 1e6, "observed": 0.0,
+                                 "delta": -1e6, "ratio": 0.0}]},
+                {"t0": 2.0, "t1": 3.0, "verdict": "degraded", "osdus": 5,
+                 "observed": {}},
+            ],
+            "renegotiations": [{"at": 2.5, "outcome": "confirmed",
+                                "from_bps": 1e6, "to_bps": 5e5,
+                                "reason": None}],
+            "released": None,
+            "drilldowns": [{
+                "vc": "v1", "t0": 1.0, "t1": 2.0, "sent": 3, "delivered": 1,
+                "lost": [{"packet_id": 42, "status": "lost",
+                          "cause": "link-down", "where": "r->b",
+                          "sent_at": 1.2, "resolved_at": 1.21}],
+                "faults": [{"name": "fault:outage:r->b", "start": 0.9,
+                            "end": 1.9, "args": {}}],
+                "violations": [{"parameter": "throughput",
+                                "contracted": 1e6, "observed": 0.0}],
+            }],
+            "drilldowns_suppressed": 4,
+        }],
+        "groups": [{
+            "session": "orch-1", "registered_at": 0.0, "bound": 0.08,
+            "streams": ["v1", "v2"], "interval_length": 0.2,
+            "skew": {"count": 10, "p50": 0.01, "p95": 0.05, "p99": 0.09,
+                     "p999": 0.09, "max": 0.09},
+            "intervals": 10, "over_bound": 2,
+            "outages": [{"at": 5.0, "vc": "v1"}],
+            "recoveries": [{"at": 6.0, "vc": "v1"}],
+            "regulation_drops": {"v1": 7},
+        }],
+        "histograms": {},
+    }
+
+
+class TestTraceMode:
+    def test_span_summary(self, tmp_path, capsys):
+        path = _trace_file(tmp_path)
+        assert report_main([path]) == 0
+        out = capsys.readouterr().out
+        assert "connect:v1" in out
+
+    def test_category_breakdown(self, tmp_path, capsys):
+        path = _trace_file(tmp_path)
+        assert report_main([path, "--category", "recovery"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery  1" in out
+        assert "orch" not in out  # other categories filtered out
+
+    def test_missing_file_fails_with_message(self, tmp_path, capsys):
+        assert report_main([str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_json_fails_with_message(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [')  # truncated
+        assert report_main([str(bad)]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+
+class TestRunMode:
+    def test_renders_conformance_table_and_drilldown(self, tmp_path, capsys):
+        path = tmp_path / "audit.json"
+        path.write_text(json.dumps(_audit_doc()))
+        assert report_main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        # Header summary and per-VC Table-2 conformance table.
+        assert "conformance" in out
+        assert "v1" in out
+        # The violated period's causal drill-down.
+        assert "violated throughput" in out
+        assert "packet ids 42" in out
+        assert "link-down" in out
+        assert "fault:outage:r->b" in out
+        assert "+4 further violated periods" in out
+        assert "renegotiation confirmed" in out
+        # Orchestration skew-vs-bound section.
+        assert "orch-1" in out
+        assert "0.08" in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert report_main(["run", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_truncated_json_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"connections": [')
+        assert report_main(["run", str(bad)]) == 1
+        assert "invalid audit snapshot" in capsys.readouterr().err
+
+    def test_wrong_document_shape_fails(self, tmp_path, capsys):
+        bad = tmp_path / "trace-not-audit.json"
+        bad.write_text('{"traceEvents": []}')
+        assert report_main(["run", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "not an audit snapshot" in err
+
+    def test_empty_audit_renders(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({
+            "kind": "repro-audit", "now": 0.0,
+            "summary": {"connections": 0, "periods": 0,
+                        "counts": {}, "conformance": None,
+                        "mean_time_to_first_violation": None,
+                        "renegotiations": {}, "releases": {}},
+            "connections": [], "groups": [], "histograms": {},
+        }))
+        assert report_main(["run", str(path)]) == 0
+        assert "0 connection(s)" in capsys.readouterr().out
