@@ -16,9 +16,17 @@ pending events so the numbers include realistic heap depth:
 - ``churn``: WindowBasedFlowControl's arm/ack/disarm pattern -- every
   armed timer is cancelled and re-armed before it can fire, so
   throughput depends on O(1) cancel and lazy heap compaction.
+- ``packet/link``: the representative workload -- a self-clocked
+  pipeline of packets through a real :class:`repro.netsim.link.Link`
+  (serialisation timer, propagation timer, stats, delivery callback per
+  packet), which is the event shape continuous-media transport actually
+  generates.  This is the profile the checked-in ``BENCH_k01.json``
+  trajectory and the CI perf-smoke gate track.
 
 Acceptance target for the PR introducing the handle-based core:
 ``periodic/timer`` >= 2x the seed kernel's ``periodic/process``.
+Acceptance target for the timer-wheel core: ``packet/link`` >= 5x the
+pre-wheel baseline recorded in ``BENCH_k01.json``.
 """
 
 from __future__ import annotations
@@ -29,6 +37,8 @@ import pytest
 
 import repro.sim.scheduler as sched
 from repro.metrics.table import Table
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
 from repro.sim.scheduler import Simulator, Timeout
 
 from benchmarks.common import emit, once
@@ -41,6 +51,13 @@ PERIODIC_TICKS = 1_000
 #: Churn workload size: rounds of cancel+re-arm over the armed set.
 CHURN_TIMERS = 1_000
 CHURN_ROUNDS = 100
+#: Packet workload: packets pumped through one link.  The pipeline is
+#: kept below prop_delay/tx_time (1 ms / 80 us = 12.5) so the flow is
+#: paced rather than saturating -- the operating point of a
+#: flow-controlled continuous-media stream.
+PACKET_COUNT = 50_000
+PACKET_PIPELINE = 8
+PACKET_BITS = 8_000
 #: Each cell reports the best of this many runs (standard microbenchmark
 #: practice: the minimum-interference run is the honest one).
 BEST_OF = 3
@@ -149,11 +166,96 @@ def churn(ballast: int) -> float:
     return operations / elapsed
 
 
+def packet_heavy(n_packets: int, ballast: int) -> float:
+    """Packets/sec through a real Link with a self-clocked pipeline.
+
+    The pipeline is paced below link rate (depth < prop_delay/tx_time),
+    the shape of a flow-controlled continuous-media stream -- the
+    dominant workload in the transport experiments: each delivery
+    refills the window, so per-packet cost is the link's serialisation
+    accounting, its propagation timer and the delivery callback.  Uses
+    the pooled packet path when the kernel provides one
+    (``Packet.acquire``/``release``), the plain constructor otherwise,
+    so pre- and post-refactor kernels are measured as the stack would
+    actually use them.
+    """
+    sim = Simulator()
+    _ballast(sim, ballast)
+    link = Link(sim, "a", "b", bandwidth_bps=100e6, prop_delay=0.001)
+    acquire = getattr(Packet, "acquire", None)
+    release = getattr(Packet, "release", None)
+    sent = 0
+    delivered = 0
+
+    send = link.send
+
+    if acquire is not None:
+
+        def pump() -> None:
+            nonlocal sent
+            if sent < n_packets:
+                sent += 1
+                send(acquire("a", "b", None, PACKET_BITS))
+
+        def on_deliver(packet: Packet) -> None:
+            nonlocal delivered, sent
+            delivered += 1
+            release(packet)
+            if sent < n_packets:
+                sent += 1
+                send(acquire("a", "b", None, PACKET_BITS))
+
+    else:  # pre-pool kernel: plain constructor, nothing to release
+
+        def pump() -> None:
+            nonlocal sent
+            if sent < n_packets:
+                sent += 1
+                send(Packet(
+                    src="a", dst="b", payload=None, size_bits=PACKET_BITS,
+                ))
+
+        def on_deliver(packet: Packet) -> None:
+            nonlocal delivered, sent
+            delivered += 1
+            if sent < n_packets:
+                sent += 1
+                send(Packet(
+                    src="a", dst="b", payload=None, size_bits=PACKET_BITS,
+                ))
+
+    link.on_deliver = on_deliver
+    start = time.perf_counter()
+    for _ in range(PACKET_PIPELINE):
+        pump()
+    sim.run(until=1e8)
+    elapsed = time.perf_counter() - start
+    assert delivered == n_packets
+    return n_packets / elapsed
+
+
+def calibration_spin() -> float:
+    """Machine-speed reference: iterations/sec of a fixed pure-Python loop.
+
+    Stored alongside the benchmark rows so the CI perf-smoke gate can
+    scale the checked-in numbers to the hardware it runs on instead of
+    comparing absolute rates across machines.
+    """
+    n = 2_000_000
+    start = time.perf_counter()
+    x = 0
+    for i in range(n):
+        x += i & 7
+    elapsed = time.perf_counter() - start
+    assert x >= 0
+    return n / elapsed
+
+
 def _best(fn, *args) -> float:
     return max(fn(*args) for _ in range(BEST_OF))
 
 
-def run_experiment():
+def run_experiment(packet_only: bool = False):
     table = Table(
         ["workload", "pending events", "events/sec"],
         title="K1: scheduler throughput by workload and heap depth "
@@ -161,34 +263,62 @@ def run_experiment():
     )
     results = {}
     for ballast in BALLAST:
-        rows = [
-            ("one-shot", _best(one_shot, 100_000, ballast)),
-            ("periodic/process", _best(periodic_process, ballast)),
-            ("periodic/timer", _best(periodic_timer, ballast)),
-            ("churn (cancel+rearm)", _best(churn, ballast)),
-        ]
+        rows = [("packet/link", _best(packet_heavy, PACKET_COUNT, ballast))]
+        if not packet_only:
+            rows += [
+                ("one-shot", _best(one_shot, 100_000, ballast)),
+                ("periodic/process", _best(periodic_process, ballast)),
+                ("periodic/timer", _best(periodic_timer, ballast)),
+                ("churn (cancel+rearm)", _best(churn, ballast)),
+            ]
         for name, rate in rows:
             table.add(name, ballast, f"{rate:,.0f}" if rate else "n/a")
             results[(name, ballast)] = rate
     return [table], results
 
 
+def json_rows(results) -> dict:
+    """Flatten ``{(workload, ballast): rate}`` into JSON-friendly rows."""
+    rows = {
+        f"{name}@{ballast}": rate for (name, ballast), rate in results.items()
+    }
+    rows["calibration/spin"] = calibration_spin()
+    return rows
+
+
 @pytest.mark.benchmark(group="k01")
 def test_k01_scheduler(benchmark):
-    tables, _results = once(benchmark, run_experiment)
+    tables, results = once(benchmark, run_experiment)
     emit(
         "k01_scheduler", tables,
         notes="Kernel hot-path guard: events/sec for one-shot, periodic "
-              "and cancel/re-arm timer workloads at growing heap depth.  "
+              "and cancel/re-arm timer workloads at growing heap depth, "
+              "plus packets/sec through a real link (packet/link) -- the "
+              "profile the BENCH_k01.json trajectory tracks.  "
               "Seed-kernel reference (same host, best of 3) for the "
               "periodic workload -- periodic/process at 10^4/10^5/10^6 "
               "pending: 334,774 / 432,820 / 467,019 events/sec; the "
               "handle-based PeriodicTimer replaced it at 2-4x that "
               "rate.  Full before/after tables in EXPERIMENTS.md (K1).",
+        results=json_rows(results),
     )
 
 
 if __name__ == "__main__":
-    tables, _ = run_experiment()
+    import argparse
+    import json as _json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write result rows to this JSON file")
+    parser.add_argument("--packet-only", action="store_true",
+                        help="run only the packet/link profile")
+    cli = parser.parse_args()
+    tables, results = run_experiment(packet_only=cli.packet_only)
     for t in tables:
         print(t.render())
+    if cli.json:
+        with open(cli.json, "w") as fh:
+            _json.dump(json_rows(results), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"rows written to {cli.json}")

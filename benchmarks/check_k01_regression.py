@@ -1,0 +1,79 @@
+"""CI perf-smoke gate for the scheduler hot path.
+
+Runs the k01 ``packet/link`` profile on the current tree and compares
+it against the ``head`` rows checked into ``BENCH_k01.json``.  Raw
+events/sec are not comparable across machines, so both sides are
+normalised by the pure-Python calibration spin recorded next to the
+rows: the gate compares *events per spin-iteration*, i.e. how many
+scheduler events fit into a fixed amount of this machine's Python
+work.
+
+Exit status is non-zero when any packet/link row regresses by more
+than ``--threshold`` (default 30%) after normalisation.
+
+Usage::
+
+    PYTHONPATH=.:src python benchmarks/check_k01_regression.py
+    PYTHONPATH=.:src python benchmarks/check_k01_regression.py \
+        --baseline BENCH_k01.json --threshold 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_BASELINE = os.path.join(HERE, os.pardir, "BENCH_k01.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="path to BENCH_k01.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max allowed fractional regression (0.30 = 30%%)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="extra outer repeats (best-of) to damp noise")
+    cli = parser.parse_args(argv)
+
+    with open(cli.baseline) as fh:
+        baseline = json.load(fh)
+    head = baseline["k01_scheduler"]["head"]["rows"]
+    base_spin = head["calibration/spin"]
+
+    from benchmarks.bench_k01_scheduler import (
+        BALLAST, PACKET_COUNT, calibration_spin, packet_heavy,
+    )
+
+    spin = max(calibration_spin() for _ in range(cli.repeats))
+    scale = spin / base_spin
+    print(f"calibration spin: {spin:,.0f}/s here vs {base_spin:,.0f}/s "
+          f"recorded (scale {scale:.2f}x)")
+
+    failures = []
+    for ballast in BALLAST:
+        key = f"packet/link@{ballast}"
+        expected = head[key] * scale
+        measured = max(
+            packet_heavy(PACKET_COUNT, ballast) for _ in range(cli.repeats)
+        )
+        ratio = measured / expected
+        status = "ok" if ratio >= 1.0 - cli.threshold else "REGRESSION"
+        print(f"{key}: {measured:,.0f}/s vs {expected:,.0f}/s expected "
+              f"({ratio:.2f}x) {status}")
+        if ratio < 1.0 - cli.threshold:
+            failures.append(key)
+
+    if failures:
+        print(f"FAIL: >{cli.threshold:.0%} regression on: "
+              f"{', '.join(failures)}")
+        return 1
+    print("perf-smoke: packet/link within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

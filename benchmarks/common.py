@@ -22,19 +22,29 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 #: ``REPRO_METRICS`` environment variable flushes them at session end.
 _metrics_snapshots: Dict[str, dict] = {}
 
+#: Structured result rows collected this session, keyed by benchmark
+#: name.  ``--json out.json`` (benchmarks/conftest.py) or the
+#: ``REPRO_BENCH_JSON`` environment variable flushes them at session
+#: end; the checked-in ``BENCH_*.json`` perf trajectory and the CI
+#: perf-smoke gate are built from these rows.
+_result_rows: Dict[str, Dict[str, float]] = {}
+
 
 def emit(name: str, tables: Iterable[Table], notes: str = "",
-         metrics=None) -> str:
+         metrics=None, results: Optional[Dict[str, float]] = None) -> str:
     """Print and persist one benchmark's result tables.
 
     Pass ``metrics=<MetricsRegistry>`` (e.g. ``bed.sim.metrics``) to
     collect its snapshot for the session-wide ``--metrics`` dump --
     snapshotted eagerly, since the simulator rarely outlives the
-    benchmark function.
+    benchmark function.  Pass ``results={row: value}`` to collect
+    machine-readable numbers for the session-wide ``--json`` dump.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     if metrics is not None:
         collect_metrics(name, metrics)
+    if results is not None:
+        collect_results(name, results)
     blocks: List[str] = []
     if notes:
         blocks.append(notes.strip())
@@ -55,6 +65,29 @@ def emit_json(name: str, payload: dict) -> str:
     path = os.path.join(RESULTS_DIR, f"{name}.json")
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
+    return path
+
+
+def collect_results(name: str, rows: Dict[str, float]) -> None:
+    """Record machine-readable result rows for the ``--json`` dump."""
+    _result_rows.setdefault(name, {}).update(rows)
+
+
+def collected_results() -> Dict[str, Dict[str, float]]:
+    """All structured result rows collected so far this session."""
+    return {name: dict(rows) for name, rows in _result_rows.items()}
+
+
+def flush_results(path: Optional[str]) -> Optional[str]:
+    """Write the collected result rows as one JSON document, if any."""
+    if not path or not _result_rows:
+        return None
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(_result_rows, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path
 
 

@@ -9,6 +9,12 @@ register command-line options:
     benchmarks collected via ``common.emit(..., metrics=...)`` to one
     JSON document.  The ``REPRO_METRICS`` environment variable is the
     fallback for harnesses that cannot pass options (CI smoke jobs).
+
+``--json out.json``
+    At session end, write every structured result row the benchmarks
+    collected via ``common.emit(..., results=...)`` to one JSON
+    document -- the raw material for the checked-in ``BENCH_*.json``
+    perf trajectory.  ``REPRO_BENCH_JSON`` is the environment fallback.
 """
 
 from __future__ import annotations
@@ -23,6 +29,10 @@ def pytest_addoption(parser):
         "--metrics", default=None, metavar="PATH",
         help="write collected MetricsRegistry snapshots to this JSON file",
     )
+    parser.addoption(
+        "--json", default=None, metavar="PATH", dest="bench_json",
+        help="write collected benchmark result rows to this JSON file",
+    )
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -34,3 +44,11 @@ def pytest_sessionfinish(session, exitstatus):
     written = common.flush_metrics(path)
     if written:
         print(f"\nmetrics snapshots written to {written}")
+    try:
+        json_path = session.config.getoption("bench_json")
+    except ValueError:
+        json_path = None
+    json_path = json_path or os.environ.get("REPRO_BENCH_JSON")
+    written = common.flush_results(json_path)
+    if written:
+        print(f"benchmark result rows written to {written}")

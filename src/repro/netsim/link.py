@@ -22,10 +22,10 @@ the per-band no-reorder clamps.
 
 from __future__ import annotations
 
-import itertools
 import random as _random
+import sys
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set
 
 from repro.netsim.packet import Packet, Priority
 from repro.obs.registry import MetricsRegistry
@@ -237,6 +237,49 @@ for _field in LinkStats._FIELDS + ("total_queue_delay",):
 del _field
 
 
+# Shared default impairment models: a link built without loss/jitter gets
+# these singletons, letting the serialisation path skip two virtual calls
+# per packet (neither consumes rng draws, so the fast path is
+# draw-for-draw identical to calling them).
+_NO_LOSS = NoLoss()
+_NO_JITTER = NoJitter()
+_RESERVED = Priority.RESERVED
+
+
+class _Flight:
+    """One packet in propagation: a reusable delivery timer + its packet.
+
+    Replaces the per-packet ``call_at(..., lambda: deliver(...))``
+    idiom: the handle and the flight object itself are recycled through
+    the owning link's freelist, so a steady-state flow allocates
+    nothing per delivery.
+    """
+
+    __slots__ = ("link", "handle", "packet")
+
+    def __init__(self, link: "Link"):
+        self.link = link
+        self.handle = TimerHandle(link.sim, self._fire)
+        self.packet: Optional[Packet] = None
+
+    def _fire(self) -> None:
+        # Delivery inlined from Link._deliver: this runs once per packet
+        # on the hot path, and the extra frame is measurable.
+        link = self.link
+        packet = self.packet
+        link._propagating.discard(self)
+        self.packet = None
+        free = link._flight_pool
+        if len(free) < 256:
+            free.append(self)
+        link._c_delivered.value += 1
+        link._c_delivered_bits.value += packet.size_bits
+        packet.hops += 1
+        on_deliver = link.on_deliver
+        if on_deliver is not None:
+            on_deliver(packet)
+
+
 class Link:
     """A simplex link between two nodes.
 
@@ -283,8 +326,8 @@ class Link:
         self.dst = dst
         self.bandwidth_bps = bandwidth_bps
         self.prop_delay = prop_delay
-        self.jitter = jitter or NoJitter()
-        self.loss = loss or NoLoss()
+        self.jitter = jitter or _NO_JITTER
+        self.loss = loss or _NO_LOSS
         self.ber = ber
         self.buffer_bytes = buffer_bytes
         self.rng = rng or _random.Random(0)
@@ -295,20 +338,50 @@ class Link:
         self._queued_bytes = 0.0
         self._transmitting = False
         self._down = False
+        # Counters bound once: the LinkStats attribute API is a property
+        # view over registry counters, far too indirect for a path that
+        # touches five counters per packet.
+        stats = self.stats
+        self._c_sent = stats._sent_packets
+        self._c_sent_bits = stats._sent_bits
+        self._c_delivered = stats._delivered_packets
+        self._c_delivered_bits = stats._delivered_bits
+        self._c_lost = stats._lost_packets
+        self._c_buffer_drops = stats._buffer_drops
+        self._c_corrupted = stats._corrupted_packets
+        self._g_queue_delay = stats._total_queue_delay
+        #: Interned tracer track, built once instead of per event.
+        self._track = sys.intern(f"link:{src}->{dst}")
+        self._name = f"{src}->{dst}"
         # The packet currently being serialised, its tx-start time and
         # the timer that completes it -- kept so set_down() can abort the
         # transmission and set_rate() can stretch/shrink its remainder.
+        # The completion timer is one persistent handle re-armed per
+        # packet (the link serialises one packet at a time).
         self._tx_packet: Optional[Packet] = None
         self._tx_started = 0.0
+        self._tx_timer = TimerHandle(sim, self._tx_done)
         self._tx_handle: Optional[TimerHandle] = None
         # Packets past serialisation, in propagation toward dst.  A
         # carrier loss kills these too (they are on the failed medium),
         # so their delivery timers must be cancellable.
-        self._flight_ids = itertools.count()
-        #: In-propagation deliveries: token -> (timer, packet).  The
-        #: packet rides along so an outage can report *which* packets
-        #: the severed medium swallowed, not just how many.
-        self._propagating: Dict[int, Tuple[TimerHandle, Packet]] = {}
+        #: In-propagation deliveries: the set of live flights (each a
+        #: reusable delivery timer + packet).  The packet rides along so
+        #: an outage can
+        #: report *which* packets the severed medium swallowed, not
+        #: just how many.
+        self._propagating: Set[_Flight] = set()
+        self._flight_pool: List[_Flight] = []
+        # Idle-wire fast commit (see send()): when a packet arrives on a
+        # pristine, untraced, idle link its whole fate -- serialisation
+        # span and delivery time -- is already determined, so send()
+        # arms the delivery flight directly and skips the per-packet
+        # tx-completion event.  ``_free_at`` is the time the serialiser
+        # finishes its committed work; ``_wire`` is the one
+        # fast-committed packet still on the wire (completion time,
+        # buffer bytes, flight), or None.
+        self._free_at = 0.0
+        self._wire: Optional[tuple] = None
         # No-reorder clamp per priority band: jitter must not reorder
         # deliveries *within a band*, but the CONTROL/RESERVED band must
         # never be held behind a BEST_EFFORT packet's jittered delivery
@@ -318,10 +391,27 @@ class Link:
 
     # -- capacity accounting used by the reservation manager ------------
 
+    def _wire_bytes(self) -> float:
+        """Buffer contribution of the fast-committed on-wire packet.
+
+        The fast path never touches ``_queued_bytes`` (there is no
+        completion event to subtract at), so occupancy readers add this
+        lazily-settled term instead: once the wire packet's completion
+        time has passed, its contribution is zero and the entry is
+        dropped.
+        """
+        wire = self._wire
+        if wire is None:
+            return 0.0
+        if wire[0] <= self.sim._now:
+            self._wire = None
+            return 0.0
+        return wire[1]
+
     @property
     def queued_bytes(self) -> float:
         """Bytes currently held in the transmit buffer."""
-        return self._queued_bytes
+        return self._queued_bytes + self._wire_bytes()
 
     @property
     def up(self) -> bool:
@@ -365,25 +455,32 @@ class Link:
                 if trace.packets:
                     lost_ids.append(packet.packet_id)
                 lost += 1
-        for handle, packet in self._propagating.values():
-            handle.cancel()
+        for flight in self._propagating:
+            flight.handle.cancel()
             if trace.packets:
-                lost_ids.append(packet.packet_id)
+                lost_ids.append(flight.packet.packet_id)
+            flight.packet = None
+            if len(self._flight_pool) < 256:
+                self._flight_pool.append(flight)
             lost += 1
         self._propagating.clear()
         self._transmitting = False
-        self.stats.lost_packets += lost
+        # A fast-committed wire packet is counted by the flights loop
+        # above (its delivery was already armed); just forget the wire.
+        self._wire = None
+        self._free_at = 0.0
+        self._c_lost.value += lost
         if trace.enabled:
             args: Dict[str, object] = {
                 "lost_in_flight": lost,
-                "link": f"{self.src}->{self.dst}",
+                "link": self._name,
             }
             if lost_ids:
                 # Bounded: enough ids for a causal post-mortem without
                 # letting a deep queue bloat the event.
                 args["lost_packet_ids"] = lost_ids[:64]
             trace.instant(
-                "link.down", track=f"link:{self.src}->{self.dst}", cat="fault",
+                "link.down", track=self._track, cat="fault",
                 args=args,
             )
 
@@ -407,9 +504,7 @@ class Link:
         self._last_delivery_low = 0.0
         trace = self.sim.trace
         if trace.enabled:
-            trace.instant(
-                "link.up", track=f"link:{self.src}->{self.dst}", cat="fault",
-            )
+            trace.instant("link.up", track=self._track, cat="fault")
 
     def set_rate(self, bandwidth_bps: float) -> None:
         """Change the serialisation rate mid-session.
@@ -425,16 +520,40 @@ class Link:
         if bandwidth_bps == old:
             return
         self.bandwidth_bps = bandwidth_bps
+        now = self.sim.now
         if self._tx_handle is not None and self._tx_handle.scheduled:
-            remaining = self._tx_handle.when - self.sim.now
+            remaining = self._tx_handle.when - now
             if remaining > 0:
-                self._tx_handle.reschedule(
-                    self.sim.now + remaining * old / bandwidth_bps
-                )
+                new_when = now + remaining * old / bandwidth_bps
+                self._tx_handle.reschedule(new_when)
+                if self._tx_packet is None:
+                    # The handle is the wire-idle wakeup for a
+                    # fast-committed packet; fall through to stretch
+                    # that packet's delivery too.
+                    self._free_at = new_when
+        wire = self._wire
+        if wire is not None and wire[0] > now:
+            # Stretch/shrink the fast-committed packet's remaining
+            # serialisation at the new rate, shifting its delivery.
+            complete, wire_bytes, flight = wire
+            new_complete = now + (complete - now) * old / bandwidth_bps
+            shift = new_complete - complete
+            old_arrival = flight.handle.when
+            new_arrival = old_arrival + shift
+            flight.handle.reschedule(new_arrival)
+            # Keep the no-reorder clamps honest: if this delivery was
+            # the band's latest, track its move.
+            if self._last_delivery_high == old_arrival:
+                self._last_delivery_high = new_arrival
+            if self._last_delivery_low == old_arrival:
+                self._last_delivery_low = new_arrival
+            self._wire = (new_complete, wire_bytes, flight)
+            if not self._transmitting:
+                self._free_at = new_complete
         trace = self.sim.trace
         if trace.enabled:
             trace.instant(
-                "link.rate", track=f"link:{self.src}->{self.dst}", cat="fault",
+                "link.rate", track=self._track, cat="fault",
                 args={"bandwidth_bps": bandwidth_bps, "was_bps": old},
             )
 
@@ -449,46 +568,108 @@ class Link:
     # -- data path -------------------------------------------------------
 
     def send(self, packet: Packet) -> None:
-        """Enqueue ``packet`` for transmission."""
-        self.stats.sent_packets += 1
-        self.stats.sent_bits += packet.size_bits
+        """Enqueue ``packet`` for transmission.
+
+        Fast path: on a pristine (no loss model, no BER, no jitter)
+        idle link the packet's serialisation span and delivery time are
+        fully determined right here, so the delivery flight is armed
+        directly and the per-packet tx-completion event is skipped (one
+        scheduler event per packet instead of two).  Every impaired,
+        busy or downed link takes the classic path, which keeps rng
+        draw order and counter timing byte-for-byte identical to the
+        pre-fast-path behaviour.  The gate must not depend on whether
+        anyone is *observing* the run (tracing, auditing): the
+        scheduled-event count is part of a run's pinned behaviour, so
+        the fast path emits the same serialisation-span trace record
+        classic would, just at commit time (the record carries explicit
+        start/end timestamps, which are identical either way).
+        """
+        bits = packet.size_bits
+        self._c_sent.value += 1
+        self._c_sent_bits.value += bits
+        sim = self.sim
+        now = sim._now
+        if (self._free_at <= now
+                and not self._transmitting
+                and self.loss is _NO_LOSS
+                and self.jitter is _NO_JITTER
+                and self.ber == 0.0
+                and not self._down
+                and bits * 0.125 <= self.buffer_bytes):
+            # The previous wire entry (if any) matured at _free_at <=
+            # now, so settling it is just replacing it (one store, at
+            # the end of this block).
+            complete = now + bits / self.bandwidth_bps
+            self._free_at = complete
+            trace = sim.trace
+            if trace.packets:
+                trace.complete(
+                    packet.flow_id or type(packet.payload).__name__,
+                    now, complete,
+                    track=self._track, cat="link",
+                    args={"bits": bits,
+                          "priority": int(packet.priority),
+                          "packet_id": packet.packet_id},
+                )
+            arrival = complete + self.prop_delay
+            if packet.priority >= _RESERVED:
+                if arrival < self._last_delivery_high:
+                    arrival = self._last_delivery_high
+                self._last_delivery_high = arrival
+            else:
+                if arrival < self._last_delivery_low:
+                    arrival = self._last_delivery_low
+                self._last_delivery_low = arrival
+            pool = self._flight_pool
+            flight = pool.pop() if pool else _Flight(self)
+            flight.packet = packet
+            sim._push(flight.handle, arrival)
+            self._propagating.add(flight)
+            self._wire = (complete, bits * 0.125, flight)
+            return
         if self._down:
             # A downed interface: the packet goes nowhere.
-            self.stats.lost_packets += 1
-            trace = self.sim.trace
+            self._c_lost.value += 1
+            trace = sim.trace
             if trace.packets:
                 trace.instant(
-                    "drop:down", track=f"link:{self.src}->{self.dst}",
-                    cat="link",
+                    "drop:down", track=self._track, cat="link",
                     args={"flow": packet.flow_id,
                           "packet_id": packet.packet_id,
-                          "link": f"{self.src}->{self.dst}"},
+                          "link": self._name},
                 )
             return
-        if self._queued_bytes + packet.size_bytes > self.buffer_bytes:
-            self.stats.buffer_drops += 1
-            trace = self.sim.trace
+        size_bytes = bits * 0.125
+        if self._queued_bytes + self._wire_bytes() + size_bytes > self.buffer_bytes:
+            self._c_buffer_drops.value += 1
+            trace = sim.trace
             if trace.packets:
                 trace.instant(
-                    "drop:buffer", track=f"link:{self.src}->{self.dst}",
-                    cat="link",
+                    "drop:buffer", track=self._track, cat="link",
                     args={"flow": packet.flow_id,
                           "packet_id": packet.packet_id,
-                          "link": f"{self.src}->{self.dst}"},
+                          "link": self._name},
                 )
             return
-        self._queued_bytes += packet.size_bytes
-        entry = (packet, self.sim.now)
-        if packet.priority >= Priority.RESERVED:
+        self._queued_bytes += size_bytes
+        entry = (packet, now)
+        if packet.priority >= _RESERVED:
             self._high.append(entry)
         else:
             self._low.append(entry)
         if not self._transmitting:
-            self._start_next()
+            if self._free_at > now:
+                # A fast-committed packet still owns the wire: wake the
+                # serialiser when it frees up instead of starting now.
+                self._transmitting = True
+                self._tx_handle = self._tx_timer
+                sim._push(self._tx_timer, self._free_at)
+            else:
+                self._start_next()
 
     def _start_next(self) -> None:
         """Begin serialising the next queued packet, if any."""
-        queue = self._high if self._high else self._low
+        queue = self._high or self._low
         if not queue:
             self._transmitting = False
             self._tx_packet = None
@@ -496,17 +677,29 @@ class Link:
             return
         self._transmitting = True
         packet, enqueued_at = queue.popleft()
-        self.stats.total_queue_delay += self.sim.now - enqueued_at
-        tx = self.tx_time(packet.size_bits)
+        sim = self.sim
+        now = sim._now
+        self._g_queue_delay.value += now - enqueued_at
         self._tx_packet = packet
-        self._tx_started = self.sim.now
-        self._tx_handle = self.sim.call_after(tx, lambda: self._tx_done(packet))
+        self._tx_started = now
+        complete = now + packet.size_bits / self.bandwidth_bps
+        self._free_at = complete
+        timer = self._tx_timer
+        self._tx_handle = timer
+        sim._push(timer, complete)
 
-    def _tx_done(self, packet: Packet) -> None:
+    def _tx_done(self) -> None:
         """Serialisation finished: launch the packet into propagation."""
+        packet = self._tx_packet
+        if packet is None:
+            # Woken at wire-idle after a fast-path commit: nothing to
+            # complete, just start serialising the queue.
+            self._tx_handle = None
+            self._start_next()
+            return
         self._tx_packet = None
         self._tx_handle = None
-        self._queued_bytes -= packet.size_bytes
+        self._queued_bytes -= packet.size_bits * 0.125
         trace = self.sim.trace
         if trace.packets:
             # Serialisation occupancy: this packet held the link from
@@ -515,50 +708,57 @@ class Link:
             trace.complete(
                 packet.flow_id or type(packet.payload).__name__,
                 self._tx_started, now,
-                track=f"link:{self.src}->{self.dst}", cat="link",
+                track=self._track, cat="link",
                 args={"bits": packet.size_bits,
                       "priority": int(packet.priority),
                       "packet_id": packet.packet_id},
             )
-        lost = self.loss.is_lost(self.rng)
-        if lost:
-            self.stats.lost_packets += 1
+        loss = self.loss
+        if loss is not _NO_LOSS and loss.is_lost(self.rng):
+            self._c_lost.value += 1
             if trace.packets:
                 trace.instant(
-                    "loss", track=f"link:{self.src}->{self.dst}", cat="link",
+                    "loss", track=self._track, cat="link",
                     args={"flow": packet.flow_id,
                           "packet_id": packet.packet_id,
-                          "link": f"{self.src}->{self.dst}"},
+                          "link": self._name},
                 )
         else:
             if self.ber > 0.0:
                 p_corrupt = 1.0 - (1.0 - self.ber) ** packet.size_bits
                 if self.rng.random() < p_corrupt:
                     packet.corrupted = True
-                    self.stats.corrupted_packets += 1
-            arrival = self.sim.now + self.prop_delay + self.jitter.sample(self.rng)
+                    self._c_corrupted.value += 1
+            jitter = self.jitter
+            arrival = self.sim._now + self.prop_delay
+            if jitter is not _NO_JITTER:
+                arrival += jitter.sample(self.rng)
             # Jitter must not reorder packets within a priority band
             # (but may reorder across bands: control traffic is never
             # clamped behind a best-effort delivery).
-            if packet.priority >= Priority.RESERVED:
-                arrival = max(arrival, self._last_delivery_high)
+            if packet.priority >= _RESERVED:
+                if arrival < self._last_delivery_high:
+                    arrival = self._last_delivery_high
                 self._last_delivery_high = arrival
             else:
-                arrival = max(arrival, self._last_delivery_low)
+                if arrival < self._last_delivery_low:
+                    arrival = self._last_delivery_low
                 self._last_delivery_low = arrival
-            token = next(self._flight_ids)
-            handle = self.sim.call_at(
-                arrival, lambda: self._deliver(packet, token)
-            )
-            self._propagating[token] = (handle, packet)
+            pool = self._flight_pool
+            flight = pool.pop() if pool else _Flight(self)
+            flight.packet = packet
+            self.sim._push(flight.handle, arrival)
+            self._propagating.add(flight)
         self._start_next()
 
-    def _deliver(self, packet: Packet, token: Optional[int] = None) -> None:
-        """Propagation finished: hand the packet to the receiving node."""
-        if token is not None:
-            self._propagating.pop(token, None)
-        self.stats.delivered_packets += 1
-        self.stats.delivered_bits += packet.size_bits
+    def _deliver(self, packet: Packet) -> None:
+        """Propagation finished: hand the packet to the receiving node.
+
+        The in-flight ``_Flight`` already removed itself from
+        ``_propagating`` before calling in.
+        """
+        self._c_delivered.value += 1
+        self._c_delivered_bits.value += packet.size_bits
         packet.hops += 1
         if self.on_deliver is not None:
             self.on_deliver(packet)

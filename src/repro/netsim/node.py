@@ -10,6 +10,7 @@ entities (transport, orchestrator) attach to the network.
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, Dict, Optional
 
 from repro.netsim.link import Link
@@ -145,6 +146,9 @@ class Host(Node):
         self._handlers: Dict[str, PacketHandler] = {}
         self.received_packets = 0
         self.unhandled_packets = 0
+        self._track = sys.intern(f"node:{name}")
+        #: Interned ``rx:<key>`` trace labels, built once per payload kind.
+        self._rx_labels: Dict[str, str] = {}
 
     def register_handler(self, key: str, handler: PacketHandler) -> None:
         """Attach a protocol entity for payloads with ``handler_key == key``."""
@@ -168,13 +172,23 @@ class Host(Node):
         key = getattr(packet.payload, "handler_key", type(packet.payload).__name__)
         trace = self.sim.trace
         if trace.packets:
+            label = self._rx_labels.get(key)
+            if label is None:
+                label = self._rx_labels[key] = sys.intern(f"rx:{key}")
             trace.instant(
-                f"rx:{key}", track=f"node:{self.name}", cat="host",
+                label, track=self._track, cat="host",
                 args={"src": packet.src, "flow": packet.flow_id,
                       "packet_id": packet.packet_id},
             )
         handler = self._handlers.get(key)
         if handler is None:
             self.unhandled_packets += 1
+            Packet.release(packet)
             return
         handler(packet)
+        # The packet shell terminates here: no handler retains it (they
+        # copy out payload fields synchronously), so pooled shells go
+        # back to the freelist.  Multicast pass-through copies returned
+        # above are never recycled -- they may alias a shell still in
+        # flight elsewhere.
+        Packet.release(packet)

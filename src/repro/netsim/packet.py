@@ -10,7 +10,9 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, ClassVar, Optional, Tuple
+
+from repro.sim.pool import Freelist
 
 
 class Priority(enum.IntEnum):
@@ -31,9 +33,15 @@ class Priority(enum.IntEnum):
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network PDU.
+
+    Hot-path note: packets on the transport data path are recycled
+    through a :class:`~repro.sim.pool.Freelist` -- create them with
+    :meth:`acquire` and let the destination host release them (see
+    :meth:`release` for the exact rules).  The plain constructor stays
+    valid everywhere and produces a never-pooled packet.
 
     Attributes:
         src: originating node name.
@@ -67,10 +75,73 @@ class Packet:
     #: the packet per next hop; ``dst`` holds the group name for
     #: tracing only.
     group_targets: Optional[Tuple[str, ...]] = None
+    #: True while the packet is owned by the pooled data path; the
+    #: destination host returns such packets to the freelist after the
+    #: payload handler runs.  Never set this by hand -- use
+    #: :meth:`acquire`.
+    _pooled: bool = field(default=False, repr=False, compare=False)
+
+    _POOL: ClassVar[Freelist] = Freelist()
 
     def __post_init__(self) -> None:
         if self.size_bits <= 0:
             raise ValueError(f"packet size must be positive, got {self.size_bits}")
+
+    @classmethod
+    def acquire(
+        cls,
+        src: str,
+        dst: str,
+        payload: Any,
+        size_bits: int,
+        priority: Priority = Priority.BEST_EFFORT,
+        flow_id: Optional[str] = None,
+    ) -> "Packet":
+        """A fresh-looking packet, recycled from the freelist when possible.
+
+        The result is marked ``_pooled``: when it reaches its
+        destination host and the payload handler has run, the host
+        returns it to the freelist.  Callers must therefore not retain
+        a reference past handing the packet to a link.
+        """
+        # Freelist access inlined (cls._POOL._free): two calls per
+        # packet are measurable at packet/link rates.
+        free = cls._POOL._free
+        if not free:
+            return cls(src, dst, payload, size_bits, priority, flow_id,
+                       _pooled=True)
+        packet = free.pop()
+        packet.src = src
+        packet.dst = dst
+        packet.payload = payload
+        packet.size_bits = size_bits
+        packet.priority = priority
+        packet.flow_id = flow_id
+        packet.corrupted = False
+        packet.packet_id = next(_packet_ids)
+        packet.sent_at = None
+        packet.hops = 0
+        packet.group_targets = None
+        packet._pooled = True
+        return packet
+
+    @classmethod
+    def release(cls, packet: "Packet") -> None:
+        """Return a pooled packet to the freelist.
+
+        Safe to call on any packet: constructor-made (never pooled)
+        packets are ignored, and double release is a no-op because the
+        first release clears the flag.  Only the terminal owner -- the
+        destination host after dispatching the payload handler, or the
+        benchmark acting as one -- may call this.
+        """
+        if not packet._pooled:
+            return
+        packet._pooled = False
+        packet.payload = None
+        free = cls._POOL._free
+        if len(free) < cls._POOL.capacity:
+            free.append(packet)
 
     @property
     def size_bytes(self) -> float:

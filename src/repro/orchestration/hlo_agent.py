@@ -30,6 +30,7 @@ Design notes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.scheduler import Process, Simulator, Timer
@@ -131,6 +132,7 @@ class HLOAgent:
         self.sim = sim
         self.llo = llo
         self.session_id = session_id
+        self._track = sys.intern(f"session:{session_id}")
         self.streams: Dict[str, StreamSpec] = {s.vc_id: s for s in streams}
         if len(self.streams) != len(streams):
             raise ValueError("duplicate vc_id in stream list")
@@ -184,7 +186,7 @@ class HLOAgent:
             return None
         return trace.span(
             f"{op}:{self.session_id}",
-            track=f"session:{self.session_id}",
+            track=self._track,
             cat="orch",
             args={"vcs": sorted(self.streams)},
         )
@@ -538,7 +540,7 @@ class HLOAgent:
         if trace.enabled:
             trace.instant(
                 "orch.outage",
-                track=f"session:{self.session_id}",
+                track=self._track,
                 cat="fault",
                 args={"vc": vc_id, "behind_osdus": digest.behind_osdus},
             )
@@ -556,7 +558,7 @@ class HLOAgent:
         if trace.enabled:
             trace.instant(
                 "orch.outage.end",
-                track=f"session:{self.session_id}",
+                track=self._track,
                 cat="fault",
                 args={"vc": vc_id, "behind_osdus": digest.behind_osdus},
             )

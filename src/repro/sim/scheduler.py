@@ -1,8 +1,36 @@
 """Event scheduler and process model for the virtual-time kernel.
 
-The design is a handle-based event-heap simulator with generator
-coroutines, written from scratch so the reproduction has no runtime
-dependencies beyond the standard library.
+The core is a **timer wheel** (calendar queue) with an overflow heap,
+driven through cancellable/reschedulable handles, with generator
+coroutines on top -- written from scratch so the reproduction has no
+runtime dependencies beyond the standard library.
+
+Event storage is split three ways by temporal distance:
+
+- the **current bucket** (``_cur``): a sorted run holding the events
+  of the bucket being drained, ordered by the full
+  ``(when, priority, seq)`` key and consumed through an index pointer
+  (``_cur_i``) -- one ``list.sort()`` per bucket load, O(1) pops, and
+  same-bucket inserts from callbacks via ``bisect.insort`` over the
+  unconsumed suffix.  Same-instant bursts (a cascade of co-timed
+  packet arrivals) live here together and are dispatched in one batch
+  without touching the rest of the structure.
+- the **wheel** (``_slots``): 2048 buckets of 2**-9 s (~1.95 ms), a
+  4 s horizon.  Near-future inserts and cancels are O(1): an append
+  to an unsorted slot list, a bitmap bit.  This is the common case for
+  continuous-media traffic (serialisation timers, propagation timers,
+  pacing slots, NACK deadlines).
+- the **overflow heap** (``_heap``): everything at or beyond the
+  horizon, kept in a classic lazy-compacted binary heap.  As the
+  cursor advances, maturing overflow events migrate into the wheel in
+  amortised O(log n) -- the invariant is that every overflow entry's
+  bucket is >= ``_cursor + 2048``.
+
+The bucket width is a **power of two** so ``when * 2**9`` is exact
+float arithmetic: the bucket index is a monotone function of ``when``
+and bucket boundaries are exact lower bounds, which is what makes the
+wheel's firing order *identical* (not just equivalent) to a global
+heap ordered by ``(when, priority, seq)``.
 
 A :class:`Process` wraps a generator.  The generator ``yield``\\ s
 *waitables*; the process resumes when the waitable fires and receives the
@@ -24,9 +52,21 @@ reusable primitives instead:
   re-arming one handle per tick.
 
 Every scheduling call returns a :class:`TimerHandle` with O(1)
-``cancel()`` and ``reschedule()``.  Cancelled or superseded heap entries
-are reclaimed lazily: they are skipped on pop, and the heap is compacted
-in one sweep whenever more than half of it is dead.
+``cancel()`` and ``reschedule()``.  Cancelled or superseded entries are
+reclaimed lazily: they are skipped when they surface, and each region
+(wheel, overflow heap) is compacted in one sweep whenever more than
+half of it is dead.
+
+Reentrancy contract: callbacks run from ``run()``/``step()`` may
+schedule, cancel and reschedule freely -- including operations that
+trigger a compaction sweep -- and never observe a half-compacted
+structure.  Two invariants make this safe: the current-bucket run
+object (``_cur``) is mutated only in place, never replaced, so the
+dispatch loop's alias stays valid across any callback (inserts land at
+or after the index pointer, so consumed positions never shift); and
+sweeps of the wheel and the overflow heap filter their containers in
+place (slice assignment) and only run from scheduling calls, never
+while the dispatch loop is iterating them.
 
 Time is a float in **seconds** throughout the code base.
 """
@@ -35,6 +75,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from bisect import insort as _insort
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -54,9 +95,26 @@ class Interrupt(Exception):
         self.cause = cause
 
 
-#: Heap size below which dead entries are never swept: rebuilding a tiny
-#: heap costs more than skipping its corpses on pop.
+#: Region size below which dead entries are never swept: rebuilding a
+#: tiny structure costs more than skipping its corpses on pop.
 _COMPACT_MIN_HEAP = 128
+
+#: Timer-wheel geometry.  The bucket width is 2**-9 s (~1.95 ms) so the
+#: bucket index ``int(when * _INV_TICK)`` is exact, monotone float
+#: arithmetic (multiplying by a power of two never rounds); 2048 slots
+#: give a 4 s horizon that covers serialisation, propagation, pacing,
+#: recovery and sample-period timers.  The width is a batching knob,
+#: not a correctness knob: each bucket is drained through the
+#: current-bucket heap in full ``(when, priority, seq)`` order, so
+#: coarser buckets only mean more events amortise one cursor advance.
+_WHEEL_BITS = 11
+_SLOTS = 1 << _WHEEL_BITS
+_MASK = _SLOTS - 1
+_TICK = 2.0 ** -9
+_INV_TICK = 2.0 ** 9
+#: Per-slot occupancy masks for the big-int bitmap (set / clear).
+_BIT = tuple(1 << i for i in range(_SLOTS))
+_CLEAR = tuple(~(1 << i) for i in range(_SLOTS))
 
 
 class TimerHandle:
@@ -97,7 +155,7 @@ class TimerHandle:
         self._cancelled = True
         if self._live:
             self._live = False
-            self.sim._note_dead()
+            self.sim._note_dead(self.when)
 
     def reschedule(self, when: float) -> "TimerHandle":
         """(Re-)arm the handle at absolute time ``when``.  O(log n).
@@ -123,19 +181,45 @@ ScheduledCall = TimerHandle
 class Simulator:
     """A discrete-event simulator with a virtual clock.
 
-    Events are ``(time, priority, seq, gen, handle)`` tuples on a heap;
-    the ``seq`` counter makes ordering of simultaneous events
-    deterministic (FIFO within equal time and priority, including
-    reschedules: re-arming for the same instant re-enqueues behind its
-    contemporaries).
+    Events are ``(time, priority, seq, gen, handle)`` tuples; the
+    ``seq`` counter makes ordering of simultaneous events deterministic
+    (FIFO within equal time and priority, including reschedules:
+    re-arming for the same instant re-enqueues behind its
+    contemporaries).  Storage is a timer wheel with an overflow heap
+    (see the module docstring); the total order dispatched is exactly
+    the one a single global heap over the same tuples would produce.
     """
 
     def __init__(self) -> None:
+        #: Overflow heap: events at or beyond the wheel horizon.  The
+        #: name is part of the informal introspection surface (tests
+        #: assert mass cancellation compacts it).
         self._heap: list[tuple[float, int, int, int, TimerHandle]] = []
         self._seq = itertools.count()
+        # Bound method of the seq counter: _push runs for every event,
+        # and the global next() lookup is measurable there.
+        self._next_seq = self._seq.__next__
         self._now = 0.0
         self._running = False
+        # Wheel state.  ``_cursor`` is the absolute bucket index being
+        # drained; the wheel window is [_cursor, _wheel_end).  ``_cur``
+        # holds the current bucket's events as a sorted run consumed
+        # through ``_cur_i``; its list identity is stable for the life
+        # of the simulator (reentrancy contract -- the dispatch loop
+        # aliases it).
+        self._slots: list[list] = [[] for _ in range(_SLOTS)]
+        self._occ = 0
+        self._cursor = 0
+        self._wheel_end = _SLOTS
+        self._cur: list[tuple[float, int, int, int, TimerHandle]] = []
+        self._cur_i = 0
+        # Entry accounting: ``pending_events`` is _count - _dead.  The
+        # per-region dead counts drive the region compaction sweeps.
+        self._count = 0
         self._dead = 0
+        self._wheel_count = 0
+        self._wheel_dead = 0
+        self._heap_dead = 0
         self.process_count = 0
         #: Observability hooks.  ``trace`` is the no-op tracer until a
         #: runtime installs a real one (see ``Runtime.enable_tracing``);
@@ -189,41 +273,188 @@ class Simulator:
         if handle._live:
             # Supersede the pending entry in place.
             handle._live = False
-            self._dead += 1
+            self._note_dead(handle.when)
         handle._gen += 1
         handle._live = True
         handle._cancelled = False
         handle.when = when
-        heap = self._heap
-        _heappush(
-            heap, (when, handle.priority, next(self._seq), handle._gen, handle)
-        )
-        # Compaction check inlined: this is the hottest call in the kernel.
-        if self._dead * 2 > len(heap) >= _COMPACT_MIN_HEAP:
-            self._compact()
+        entry = (when, handle.priority, self._next_seq(), handle._gen, handle)
+        self._count += 1
+        bucket = int(when * _INV_TICK)
+        if bucket <= self._cursor:
+            # Current (or already-passed) bucket: sorted insert into the
+            # unconsumed suffix of the run the dispatch loop is
+            # draining.  ``lo=_cur_i`` keeps consumed positions stable;
+            # an entry ordered before the whole suffix lands exactly at
+            # the pointer, i.e. it fires next -- the same position a
+            # heap push would have given it.
+            _insort(self._cur, entry, self._cur_i)
+        elif bucket < self._wheel_end:
+            # Within the horizon: O(1) slot append + occupancy bit.
+            slot_index = bucket & _MASK
+            slot = self._slots[slot_index]
+            if not slot:
+                self._occ |= _BIT[slot_index]
+            slot.append(entry)
+            self._wheel_count += 1
+        else:
+            heap = self._heap
+            _heappush(heap, entry)
+            # Compaction check inlined: far-future mass scheduling
+            # (ballast, long retry ladders) must keep the overflow
+            # heap at most half dead.
+            if self._heap_dead * 2 > len(heap) >= _COMPACT_MIN_HEAP:
+                self._compact()
 
     # -- dead-entry reclamation --------------------------------------------
 
-    def _note_dead(self) -> None:
+    def _note_dead(self, when: float) -> None:
+        """Account one cancelled/superseded entry scheduled at ``when``.
+
+        The entry's region is identified by its bucket: at or behind the
+        cursor means the current-bucket heap (reclaimed as the dispatch
+        loop drains it), inside the window means a wheel slot, beyond
+        the window means the overflow heap.  The region sweeps below
+        keep every region at most half dead.
+        """
         self._dead += 1
-        self._maybe_compact()
+        bucket = int(when * _INV_TICK)
+        if bucket <= self._cursor:
+            return
+        if bucket < self._wheel_end:
+            self._wheel_dead += 1
+            if (self._wheel_dead * 2 > self._wheel_count
+                    >= _COMPACT_MIN_HEAP):
+                self._sweep_wheel()
+        else:
+            self._heap_dead += 1
+            if self._heap_dead * 2 > len(self._heap) >= _COMPACT_MIN_HEAP:
+                self._compact()
 
     def _maybe_compact(self) -> None:
-        if self._dead * 2 > len(self._heap) >= _COMPACT_MIN_HEAP:
+        if self._heap_dead * 2 > len(self._heap) >= _COMPACT_MIN_HEAP:
             self._compact()
 
     def _compact(self) -> None:
-        """Sweep dead entries and rebuild the heap in one O(n) pass.
+        """Sweep the overflow heap's dead entries in one O(n) pass.
 
-        In place (slice assignment), because ``run()`` may hold an alias
-        of the heap list while callbacks trigger a compaction.
+        In place (slice assignment): a callback running under ``run()``
+        may trigger this, and nothing that iterates ``_heap`` (the
+        migration loop in :meth:`_advance`) ever runs user code, so a
+        half-built replacement list is never observable.
         """
-        self._heap[:] = [
-            entry for entry in self._heap
+        heap = self._heap
+        before = len(heap)
+        heap[:] = [
+            entry for entry in heap
             if entry[4]._live and entry[3] == entry[4]._gen
         ]
-        heapq.heapify(self._heap)
-        self._dead = 0
+        heapq.heapify(heap)
+        removed = before - len(heap)
+        self._count -= removed
+        self._dead -= removed
+        self._heap_dead = 0
+
+    def _sweep_wheel(self) -> None:
+        """Sweep dead entries out of every occupied wheel slot, O(window)."""
+        removed = 0
+        occ = self._occ
+        while occ:
+            slot_index = (occ & -occ).bit_length() - 1
+            occ &= occ - 1
+            slot = self._slots[slot_index]
+            before = len(slot)
+            slot[:] = [
+                entry for entry in slot
+                if entry[4]._live and entry[3] == entry[4]._gen
+            ]
+            removed += before - len(slot)
+            if not slot:
+                self._occ &= _CLEAR[slot_index]
+        self._wheel_count -= removed
+        self._count -= removed
+        self._dead -= removed
+        self._wheel_dead = 0
+
+    # -- cursor advance ----------------------------------------------------
+
+    def _advance(self, until: Optional[float]) -> bool:
+        """Move the cursor to the next occupied bucket and load it.
+
+        Returns False when there is nothing left to run, or the next
+        bucket starts after ``until`` (bucket starts are exact lower
+        bounds for their events, so stopping here can never skip an
+        event with ``when <= until``).  Runs no user code.
+        """
+        cursor = self._cursor
+        occ = self._occ
+        target = None
+        if occ:
+            cursor_slot = cursor & _MASK
+            m = occ >> cursor_slot
+            if m:
+                target = cursor + ((m & -m).bit_length() - 1)
+            else:
+                # Wrapped: lowest set bit is below the cursor's slot.
+                lsb = (occ & -occ).bit_length() - 1
+                target = cursor - cursor_slot + _SLOTS + lsb
+        heap = self._heap
+        if heap and (target is None or heap[0][0] < target * _TICK):
+            target = int(heap[0][0] * _INV_TICK)
+        if target is None:
+            return False
+        if until is not None and target * _TICK > until:
+            return False
+        self._cursor = target
+        self._wheel_end = wheel_end = target + _SLOTS
+        # Migrate matured overflow entries into the window.  Dead ones
+        # are dropped here instead of being copied.
+        if heap:
+            horizon = wheel_end * _TICK
+            slots = self._slots
+            while heap and heap[0][0] < horizon:
+                entry = _heappop(heap)
+                handle = entry[4]
+                if handle._live and entry[3] == handle._gen:
+                    bucket = int(entry[0] * _INV_TICK)
+                    slot_index = bucket & _MASK
+                    slot = slots[slot_index]
+                    if not slot:
+                        self._occ |= _BIT[slot_index]
+                    slot.append(entry)
+                    self._wheel_count += 1
+                else:
+                    self._count -= 1
+                    self._dead -= 1
+                    self._heap_dead -= 1
+        # Load the target bucket into the current-bucket run (fully
+        # consumed by now -- _advance only runs when the dispatch loop
+        # exhausted it), filtering dead entries while counting them out
+        # of the wheel.  One sort per bucket replaces per-event heap
+        # maintenance.
+        cur = self._cur
+        if cur:
+            cur.clear()
+        self._cur_i = 0
+        slot_index = target & _MASK
+        slot = self._slots[slot_index]
+        if slot:
+            self._occ &= _CLEAR[slot_index]
+            self._wheel_count -= len(slot)
+            removed = 0
+            for entry in slot:
+                handle = entry[4]
+                if handle._live and entry[3] == handle._gen:
+                    cur.append(entry)
+                else:
+                    removed += 1
+            slot.clear()
+            if removed:
+                self._count -= removed
+                self._dead -= removed
+                self._wheel_dead -= removed
+            cur.sort()
+        return True
 
     # -- execution ---------------------------------------------------------
 
@@ -234,7 +465,7 @@ class Simulator:
         return Process(self, gen, name=name)
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run events until the heap is empty or ``until`` is reached.
+        """Run events until none remain or ``until`` is reached.
 
         Returns the virtual time at which the run stopped.  When ``until``
         is given the clock is advanced to exactly ``until`` even if the
@@ -244,22 +475,33 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
-        heap = self._heap
+        # ``cur`` stays valid across callbacks: _advance and the sweeps
+        # mutate the list in place, never rebind self._cur.  The index
+        # pointer is re-read every iteration because callbacks may
+        # insert into the unconsumed suffix (never before it).
+        cur = self._cur
         try:
-            while heap:
-                entry = heap[0]
-                handle = entry[4]
-                if not handle._live or entry[3] != handle._gen:
-                    _heappop(heap)
-                    self._dead -= 1
+            while True:
+                i = self._cur_i
+                if i < len(cur):
+                    entry = cur[i]
+                    handle = entry[4]
+                    if handle._live and entry[3] == handle._gen:
+                        when = entry[0]
+                        if until is not None and when > until:
+                            break
+                        self._cur_i = i + 1
+                        self._count -= 1
+                        self._now = when
+                        handle._live = False
+                        handle._fn()
+                    else:
+                        self._cur_i = i + 1
+                        self._count -= 1
+                        self._dead -= 1
                     continue
-                when = entry[0]
-                if until is not None and when > until:
+                if not self._advance(until):
                     break
-                _heappop(heap)
-                self._now = when
-                handle._live = False
-                handle._fn()
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -268,21 +510,27 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute a single event.  Returns False when none remain."""
-        while self._heap:
-            when, _prio, _seq, gen, handle = _heappop(self._heap)
-            if not handle._live or gen != handle._gen:
-                self._dead -= 1
-                continue
-            self._now = when
-            handle._live = False
-            handle._fn()
-            return True
-        return False
+        cur = self._cur
+        while True:
+            i = self._cur_i
+            if i < len(cur):
+                when, _prio, _seq, gen, handle = cur[i]
+                self._cur_i = i + 1
+                self._count -= 1
+                if not handle._live or gen != handle._gen:
+                    self._dead -= 1
+                    continue
+                self._now = when
+                handle._live = False
+                handle._fn()
+                return True
+            if not self._advance(None):
+                return False
 
     @property
     def pending_events(self) -> int:
         """Number of scheduled (non-cancelled) events.  O(1)."""
-        return len(self._heap) - self._dead
+        return self._count - self._dead
 
 
 class Waitable:

@@ -230,6 +230,23 @@ class TransportEntity:
         self.gap_timeout = gap_timeout
         self.host = network.host(node_name)
         self.host.register_handler("tpdu", self._on_packet)
+        # Control-TPDU dispatch table, built once per entity instead of
+        # per packet.
+        self._control_dispatch = {
+            ConnectRequestTPDU: self._on_connect_request,
+            ConnectConfirmTPDU: self._on_connect_confirm,
+            ConnectRejectTPDU: self._on_connect_reject,
+            RemoteConnectTPDU: self._on_remote_connect,
+            RemoteOutcomeTPDU: self._on_remote_outcome,
+            RemoteDisconnectTPDU: self._on_remote_disconnect,
+            DisconnectTPDU: self._on_disconnect,
+            RenegotiateRequestTPDU: self._on_renegotiate_request,
+            RenegotiateConfirmTPDU: self._on_renegotiate_confirm,
+            RenegotiateRejectTPDU: self._on_renegotiate_reject,
+            RemoteRenegotiateTPDU: self._on_remote_renegotiate,
+            RemoteRenegotiateOutcomeTPDU: self._on_remote_renegotiate_outcome,
+            QoSReportTPDU: self._on_qos_report,
+        }
         self.bindings: Dict[int, TSAPBinding] = {}
         self.send_vcs: Dict[str, SendVC] = {}
         self.recv_vcs: Dict[str, RecvVC] = {}
@@ -1335,19 +1352,22 @@ class TransportEntity:
     # Packet dispatch
     # ------------------------------------------------------------------
 
-    _DISPATCH = None  # populated below
-
     def _on_packet(self, packet: Packet) -> None:
         payload = packet.payload
+        # The data/flow-control TPDUs are recycled through freelists:
+        # once the VC handler returns, every field the receiver keeps
+        # has been copied out, so the shells go back to their pools.
         if isinstance(payload, DataTPDU):
             recv_vc = self.recv_vcs.get(payload.vc_id)
             if recv_vc is not None:
                 recv_vc.on_data(payload, corrupted=packet.corrupted)
+            DataTPDU.release(payload)
             return
         if isinstance(payload, CreditTPDU):
             send_vc = self.send_vcs.get(payload.vc_id)
             if send_vc is not None:
                 send_vc.on_credit(payload.credits, from_node=packet.src)
+            CreditTPDU.release(payload)
             return
         if isinstance(payload, NackTPDU):
             send_vc = self.send_vcs.get(payload.vc_id)
@@ -1358,23 +1378,9 @@ class TransportEntity:
             send_vc = self.send_vcs.get(payload.vc_id)
             if send_vc is not None:
                 send_vc.on_ack(payload.cumulative_seq, payload.advertised)
+            AckTPDU.release(payload)
             return
-        handlers = {
-            ConnectRequestTPDU: self._on_connect_request,
-            ConnectConfirmTPDU: self._on_connect_confirm,
-            ConnectRejectTPDU: self._on_connect_reject,
-            RemoteConnectTPDU: self._on_remote_connect,
-            RemoteOutcomeTPDU: self._on_remote_outcome,
-            RemoteDisconnectTPDU: self._on_remote_disconnect,
-            DisconnectTPDU: self._on_disconnect,
-            RenegotiateRequestTPDU: self._on_renegotiate_request,
-            RenegotiateConfirmTPDU: self._on_renegotiate_confirm,
-            RenegotiateRejectTPDU: self._on_renegotiate_reject,
-            RemoteRenegotiateTPDU: self._on_remote_renegotiate,
-            RemoteRenegotiateOutcomeTPDU: self._on_remote_renegotiate_outcome,
-            QoSReportTPDU: self._on_qos_report,
-        }
-        handler = handlers.get(type(payload))
+        handler = self._control_dispatch.get(type(payload))
         if handler is not None:
             handler(payload)
 

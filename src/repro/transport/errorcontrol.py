@@ -15,6 +15,7 @@ out-of-order arrivals are stashed, in-order prefixes are released.
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.scheduler import Simulator, TimerHandle
@@ -65,6 +66,7 @@ class ReorderBuffer:
             raise ValueError(f"nack retries must be non-negative, got {nack_retries}")
         self.sim = sim
         self.name = name
+        self._track = sys.intern(f"vc:{name}")
         self.correction_enabled = correction_enabled or reliable
         self.reliable = reliable
         self.gap_timeout = gap_timeout
@@ -119,7 +121,7 @@ class ReorderBuffer:
         trace = self.sim.trace
         if trace.enabled:
             trace.instant(
-                "recovered", track=f"vc:{self.name}", cat="recovery",
+                "recovered", track=self._track, cat="recovery",
                 args={"seq": seq},
             )
 
@@ -177,7 +179,7 @@ class ReorderBuffer:
             trace = self.sim.trace
             if trace.enabled:
                 trace.instant(
-                    "nack.retry", track=f"vc:{self.name}", cat="recovery",
+                    "nack.retry", track=self._track, cat="recovery",
                     args={"missing": list(retryable)},
                 )
             if self.nack is not None and not self.reliable:
@@ -195,7 +197,7 @@ class ReorderBuffer:
         trace = self.sim.trace
         if trace.enabled and first_stashed > self.next_expected:
             trace.instant(
-                "skip", track=f"vc:{self.name}", cat="recovery",
+                "skip", track=self._track, cat="recovery",
                 args={"from_seq": self.next_expected, "to_seq": first_stashed},
             )
         releases: List[Release] = []

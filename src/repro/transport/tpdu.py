@@ -14,8 +14,9 @@ relays the outcome back to the initiator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import ClassVar, List, Optional
 
+from repro.sim.pool import Freelist
 from repro.transport.addresses import TransportAddress
 from repro.transport.osdu import OSDU
 from repro.transport.primitives import (
@@ -28,11 +29,17 @@ from repro.transport.qos import QoSContract, QoSOffer, QoSSpec
 #: Wire overhead of a data TPDU header (bytes): vc-id, sequence,
 #: timestamps, checksum.
 DATA_HEADER_BYTES = 32
+
+#: Shared empty drop-notice list.  Used as the ``dropped_seqs`` of
+#: every data TPDU that carries no notices (the overwhelmingly common
+#: case) so the hot path allocates nothing.  MUST never be mutated;
+#: receivers only iterate it.
+_EMPTY_DROPS: List[int] = []
 #: Nominal wire size of a control TPDU (bytes).
 CONTROL_TPDU_BYTES = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class TPDU:
     """Base class: everything routed to the transport entity."""
 
@@ -42,7 +49,7 @@ class TPDU:
 # -- connection establishment ------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnectRequestTPDU(TPDU):
     """CR: source entity -> destination entity."""
 
@@ -52,7 +59,7 @@ class ConnectRequestTPDU(TPDU):
     offer: QoSOffer = None  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnectConfirmTPDU(TPDU):
     """CC: destination entity -> source entity (call accepted)."""
 
@@ -61,7 +68,7 @@ class ConnectConfirmTPDU(TPDU):
     responder_qos: Optional[QoSSpec] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnectRejectTPDU(TPDU):
     """Destination refuses the call (maps to T-Disconnect.indication)."""
 
@@ -72,14 +79,14 @@ class ConnectRejectTPDU(TPDU):
 # -- remote connect (Figures 2 and 3) ----------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class RemoteConnectTPDU(TPDU):
     """Initiator entity -> source entity: please establish this VC."""
 
     request: TConnectRequest = None  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class RemoteOutcomeTPDU(TPDU):
     """Source entity -> initiator entity: final outcome of the call.
 
@@ -95,7 +102,7 @@ class RemoteOutcomeTPDU(TPDU):
     request: Optional[TConnectRequest] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class RemoteDisconnectTPDU(TPDU):
     """Initiator entity -> source/destination entity: release the VC."""
 
@@ -105,7 +112,7 @@ class RemoteDisconnectTPDU(TPDU):
 # -- release ------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class DisconnectTPDU(TPDU):
     """DR: one end releases; the peer raises T-Disconnect.indication."""
 
@@ -117,7 +124,7 @@ class DisconnectTPDU(TPDU):
 # -- renegotiation (Table 3) ---------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class RenegotiateRequestTPDU(TPDU):
     """Source entity -> destination entity, carrying the new tolerances."""
 
@@ -125,26 +132,26 @@ class RenegotiateRequestTPDU(TPDU):
     offer: QoSOffer = None  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class RenegotiateConfirmTPDU(TPDU):
     vc_id: str = ""
     contract: QoSContract = None  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class RenegotiateRejectTPDU(TPDU):
     vc_id: str = ""
     reason: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class RemoteRenegotiateTPDU(TPDU):
     """Initiator entity -> source entity (remote renegotiation)."""
 
     request: TRenegotiateRequest = None  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class RemoteRenegotiateOutcomeTPDU(TPDU):
     vc_id: str = ""
     accepted: bool = False
@@ -156,13 +163,20 @@ class RemoteRenegotiateOutcomeTPDU(TPDU):
 # -- data path ------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class DataTPDU(TPDU):
     """DT: one OSDU plus its OPDU fields.
 
     ``sent_at_sim`` is simulator (true) time, used by the omniscient
     QoS monitor; ``sent_at_local`` is the sender's drifting local
     clock, which is all a real receiver would have.
+
+    Hot-path note: data TPDUs that nobody retains (no retransmit cache)
+    are recycled through a freelist -- build them with :meth:`acquire`;
+    the receiving entity returns them after the VC consumed the fields
+    it keeps.  TPDUs parked in a sender's retransmit cache MUST be
+    built with the plain constructor (never pooled), because the cached
+    object and the in-flight object are the same reference.
     """
 
     vc_id: str = ""
@@ -181,9 +195,56 @@ class DataTPDU(TPDU):
     #: while the source was backlogged -- otherwise low delivered
     #: throughput just means the application had nothing to send.
     backlogged: bool = False
+    #: True while owned by the pooled data path; set only by
+    #: :meth:`acquire`, cleared by :meth:`release`.
+    _pooled: bool = field(default=False, repr=False, compare=False)
+
+    _POOL: ClassVar[Freelist] = Freelist()
+
+    @classmethod
+    def acquire(
+        cls,
+        vc_id: str,
+        osdu: OSDU,
+        seq: int,
+        sent_at_sim: float,
+        sent_at_local: float,
+        dropped_seqs: Optional[List[int]] = None,
+        backlogged: bool = False,
+    ) -> "DataTPDU":
+        """A recycled (or fresh) data TPDU, marked for pool return.
+
+        Only for TPDUs the sender does not retain; retransmissions come
+        out of the retransmit cache and are never pooled.
+        """
+        tpdu = cls._POOL.get()
+        drops = _EMPTY_DROPS if dropped_seqs is None else dropped_seqs
+        if tpdu is None:
+            return cls(vc_id, osdu, seq, sent_at_sim, sent_at_local,
+                       False, drops, backlogged, _pooled=True)
+        tpdu.vc_id = vc_id
+        tpdu.osdu = osdu
+        tpdu.seq = seq
+        tpdu.sent_at_sim = sent_at_sim
+        tpdu.sent_at_local = sent_at_local
+        tpdu.is_retransmission = False
+        tpdu.dropped_seqs = drops
+        tpdu.backlogged = backlogged
+        tpdu._pooled = True
+        return tpdu
+
+    @classmethod
+    def release(cls, tpdu: "DataTPDU") -> None:
+        """Return a pooled data TPDU; no-op for constructor-made ones."""
+        if not tpdu._pooled:
+            return
+        tpdu._pooled = False
+        tpdu.osdu = None
+        tpdu.dropped_seqs = _EMPTY_DROPS
+        cls._POOL.put(tpdu)
 
 
-@dataclass
+@dataclass(slots=True)
 class CreditTPDU(TPDU):
     """Receiver -> sender: cumulative flow-control credit grant.
 
@@ -199,9 +260,31 @@ class CreditTPDU(TPDU):
 
     vc_id: str = ""
     credits: int = 0
+    _pooled: bool = field(default=False, repr=False, compare=False)
+
+    _POOL: ClassVar[Freelist] = Freelist()
+
+    @classmethod
+    def acquire(cls, vc_id: str, credits: int) -> "CreditTPDU":
+        """A recycled (or fresh) credit grant, marked for pool return."""
+        tpdu = cls._POOL.get()
+        if tpdu is None:
+            return cls(vc_id, credits, _pooled=True)
+        tpdu.vc_id = vc_id
+        tpdu.credits = credits
+        tpdu._pooled = True
+        return tpdu
+
+    @classmethod
+    def release(cls, tpdu: "CreditTPDU") -> None:
+        """Return a pooled credit TPDU; no-op for constructor-made ones."""
+        if not tpdu._pooled:
+            return
+        tpdu._pooled = False
+        cls._POOL.put(tpdu)
 
 
-@dataclass
+@dataclass(slots=True)
 class NackTPDU(TPDU):
     """Receiver -> sender: selective retransmission request."""
 
@@ -209,7 +292,7 @@ class NackTPDU(TPDU):
     missing: List[int] = field(default_factory=list)
 
 
-@dataclass
+@dataclass(slots=True)
 class AckTPDU(TPDU):
     """Receiver -> sender: cumulative ACK (window profile only).
 
@@ -221,9 +304,33 @@ class AckTPDU(TPDU):
     vc_id: str = ""
     cumulative_seq: int = 0
     advertised: int = 1 << 16
+    _pooled: bool = field(default=False, repr=False, compare=False)
+
+    _POOL: ClassVar[Freelist] = Freelist()
+
+    @classmethod
+    def acquire(cls, vc_id: str, cumulative_seq: int,
+                advertised: int) -> "AckTPDU":
+        """A recycled (or fresh) cumulative ACK, marked for pool return."""
+        tpdu = cls._POOL.get()
+        if tpdu is None:
+            return cls(vc_id, cumulative_seq, advertised, _pooled=True)
+        tpdu.vc_id = vc_id
+        tpdu.cumulative_seq = cumulative_seq
+        tpdu.advertised = advertised
+        tpdu._pooled = True
+        return tpdu
+
+    @classmethod
+    def release(cls, tpdu: "AckTPDU") -> None:
+        """Return a pooled ACK TPDU; no-op for constructor-made ones."""
+        if not tpdu._pooled:
+            return
+        tpdu._pooled = False
+        cls._POOL.put(tpdu)
 
 
-@dataclass
+@dataclass(slots=True)
 class QoSReportTPDU(TPDU):
     """Sink entity -> initiator entity: degradation report payload."""
 

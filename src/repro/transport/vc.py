@@ -15,6 +15,7 @@ local LLO instance invokes.
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.netsim.packet import Packet, Priority
@@ -82,6 +83,15 @@ class SendVC:
         self.buffer = SharedCircularBuffer(sim, buffer_osdus)
         self.open = True
         self._next_seq = 0
+        #: Interned tracer track + per-packet constants, hoisted off
+        #: the per-OSDU path.
+        self._track = sys.intern(f"vc:{vc_id}")
+        self._priority = _data_priority(cos.guarantee)
+        #: Whether transmitted TPDUs are parked in the retransmit
+        #: cache.  Cached TPDUs are aliased by in-flight packets, so
+        #: only uncached sends may use the recycled-TPDU fast path.
+        self._cache_sends = (cos.error_correction
+                             or profile is ProtocolProfile.WINDOW_BASED)
         self._cache: Dict[int, DataTPDU] = {}
         self.sent_count = 0
         self.retransmit_count = 0
@@ -176,39 +186,52 @@ class SendVC:
             self._transmit(osdu)
 
     def _transmit(self, osdu: OSDU) -> None:
-        notices, self._pending_drop_notices = self._pending_drop_notices, []
-        tpdu = DataTPDU(
-            vc_id=self.vc_id,
-            osdu=osdu,
-            seq=osdu.seq,
-            sent_at_sim=self.sim.now,
-            sent_at_local=self.sim.now,
-            backlogged=len(self.buffer) > 0,
-            dropped_seqs=notices,
-        )
-        if self.cos.error_correction or self.profile is ProtocolProfile.WINDOW_BASED:
+        if self._pending_drop_notices:
+            notices, self._pending_drop_notices = self._pending_drop_notices, []
+        else:
+            notices = None
+        now = self.sim._now
+        backlogged = len(self.buffer) > 0
+        if self._cache_sends:
+            # Cached for retransmission: the in-flight object and the
+            # cache entry are the same reference, so it must never be
+            # pooled (the receiver's release becomes a no-op).
+            tpdu = DataTPDU(
+                vc_id=self.vc_id,
+                osdu=osdu,
+                seq=osdu.seq,
+                sent_at_sim=now,
+                sent_at_local=now,
+                backlogged=backlogged,
+                dropped_seqs=notices if notices is not None else [],
+            )
             self._cache[osdu.seq] = tpdu
             if len(self._cache) > RETRANSMIT_CACHE:
                 self._cache.pop(min(self._cache))
+        else:
+            tpdu = DataTPDU.acquire(
+                self.vc_id, osdu, osdu.seq, now, now,
+                dropped_seqs=notices, backlogged=backlogged,
+            )
         self.sent_count += 1
         self._send(tpdu, osdu.size_bytes)
 
     def _send(self, tpdu: DataTPDU, payload_bytes: int) -> None:
         size_bits = int((payload_bytes + DATA_HEADER_BYTES + OPDU.WIRE_BYTES) * 8)
-        packet = Packet(
-            src=self.local.node,
-            dst=self.remote.node,
-            payload=tpdu,
-            size_bits=size_bits,
-            priority=_data_priority(self.cos.guarantee),
-            flow_id=self.vc_id,
+        packet = Packet.acquire(
+            self.local.node,
+            self.remote.node,
+            tpdu,
+            size_bits,
+            self._priority,
+            self.vc_id,
         )
         trace = self.sim.trace
         if trace.packets:
             # Causal parent: TPDU -> netsim packet id (the auditor's
             # drill-down joins on packet_id end to end).
             trace.instant(
-                "tpdu.tx", track=f"vc:{self.vc_id}", cat="causal",
+                "tpdu.tx", track=self._track, cat="causal",
                 args={
                     "packet_id": packet.packet_id,
                     "vc": self.vc_id,
@@ -243,7 +266,7 @@ class SendVC:
         trace = self.sim.trace
         if trace.enabled:
             trace.instant(
-                "nack.recv", track=f"vc:{self.vc_id}", cat="recovery",
+                "nack.recv", track=self._track, cat="recovery",
                 args={"missing": list(missing)},
             )
         for seq in missing:
@@ -261,7 +284,7 @@ class SendVC:
             self.retransmit_count += 1
             if trace.enabled:
                 trace.instant(
-                    "retransmit", track=f"vc:{self.vc_id}", cat="recovery",
+                    "retransmit", track=self._track, cat="recovery",
                     args={"seq": seq},
                 )
             self._send(retransmission, cached.osdu.size_bytes)
@@ -278,7 +301,7 @@ class SendVC:
         trace = self.sim.trace
         if trace.enabled:
             trace.instant(
-                "go-back-n", track=f"vc:{self.vc_id}", cat="recovery",
+                "go-back-n", track=self._track, cat="recovery",
                 args={"base": base, "next_seq": next_seq},
             )
         for seq in range(base, next_seq):
@@ -422,6 +445,7 @@ class RecvVC:
         self.sim = sim
         self._send_packet = send_packet
         self.vc_id = vc_id
+        self._track = sys.intern(f"vc:{vc_id}")
         self.local = local
         self.remote = remote
         self.contract = contract
@@ -515,10 +539,10 @@ class RecvVC:
         self.reorder.on_arrival(tpdu.seq, tpdu.osdu)
         if self.profile is ProtocolProfile.WINDOW_BASED:
             self._send_control(
-                AckTPDU(
-                    vc_id=self.vc_id,
-                    cumulative_seq=self.reorder.next_expected,
-                    advertised=self.buffer.free_slots,
+                AckTPDU.acquire(
+                    self.vc_id,
+                    self.reorder.next_expected,
+                    self.buffer.free_slots,
                 )
             )
 
@@ -564,10 +588,10 @@ class RecvVC:
             # Window update: the application freed a buffer slot; a
             # zero-window-stalled sender needs to hear about it.
             self._send_control(
-                AckTPDU(
-                    vc_id=self.vc_id,
-                    cumulative_seq=self.reorder.next_expected,
-                    advertised=self.buffer.free_slots,
+                AckTPDU.acquire(
+                    self.vc_id,
+                    self.reorder.next_expected,
+                    self.buffer.free_slots,
                 )
             )
             return
@@ -584,9 +608,7 @@ class RecvVC:
         # *cumulative* grant so lost credit messages heal on the next one.
         if self._credits_unsent >= self._credit_batch or len(self.buffer) == 0:
             self._send_control(
-                CreditTPDU(
-                    vc_id=self.vc_id, credits=self._credits_granted_total
-                )
+                CreditTPDU.acquire(self.vc_id, self._credits_granted_total)
             )
             self._credits_unsent = 0
 
@@ -598,24 +620,24 @@ class RecvVC:
             trace = self.sim.trace
             if trace.enabled:
                 trace.instant(
-                    "nack.send", track=f"vc:{self.vc_id}", cat="recovery",
+                    "nack.send", track=self._track, cat="recovery",
                     args={"missing": list(relevant)},
                 )
             self._send_control(NackTPDU(vc_id=self.vc_id, missing=relevant))
 
     def _send_control(self, tpdu) -> None:
-        packet = Packet(
-            src=self.local.node,
-            dst=self.remote.node,
-            payload=tpdu,
-            size_bits=CONTROL_TPDU_BYTES * 8,
-            priority=Priority.CONTROL,
-            flow_id=self.vc_id,
+        packet = Packet.acquire(
+            self.local.node,
+            self.remote.node,
+            tpdu,
+            CONTROL_TPDU_BYTES * 8,
+            Priority.CONTROL,
+            self.vc_id,
         )
         trace = self.sim.trace
         if trace.packets:
             trace.instant(
-                "tpdu.tx", track=f"vc:{self.vc_id}", cat="causal",
+                "tpdu.tx", track=self._track, cat="causal",
                 args={
                     "packet_id": packet.packet_id,
                     "vc": self.vc_id,
@@ -642,7 +664,7 @@ class RecvVC:
         trace = self.sim.trace
         if trace.enabled:
             trace.instant(
-                f"gate:{state}", track=f"vc:{self.vc_id}", cat="gate",
+                f"gate:{state}", track=self._track, cat="gate",
             )
 
     def grant(self, n: int = 1) -> None:

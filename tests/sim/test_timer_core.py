@@ -457,3 +457,107 @@ class TestReusableTimers:
         timer.start()
         sim.run(until=1.35)
         assert len(ticks) == 5
+
+
+# ---------------------------------------------------------------------------
+# Wheel-region reentrancy (the compaction-reentrancy contract)
+# ---------------------------------------------------------------------------
+
+
+class TestWheelReentrancy:
+    """Callbacks may schedule/cancel/reschedule mid-dispatch -- including
+    operations that trigger a region sweep -- without ever observing a
+    half-compacted structure.  These pin the contract for each region
+    the timer wheel added (current-bucket run, wheel slots, overflow
+    heap); the pre-wheel hazard was only the single global heap.
+    """
+
+    def test_wheel_sweep_triggered_by_callback_mid_dispatch(self):
+        """A callback mass-cancelling wheel-window entries (forcing the
+        wheel sweep) must not strand later events in swept slots."""
+        sim = Simulator()
+        # Fill several near-future wheel slots past the sweep threshold.
+        doomed = [sim.call_after(1.0 + i * 1e-3, lambda: None)
+                  for i in range(300)]
+        fired = []
+
+        def cancel_all():
+            for handle in doomed:
+                handle.cancel()
+
+        sim.call_after(0.5, cancel_all)
+        sim.call_after(2.5, lambda: fired.append(sim.now))
+        sim.run(until=3.0)
+        assert fired == [2.5]
+        assert sim.pending_events == 0
+
+    def test_cancel_current_bucket_entries_from_callback(self):
+        """Cancelling not-yet-fired events of the bucket being drained:
+        the dispatch loop skips them as dead, fires the rest."""
+        sim = Simulator()
+        fired = []
+        later = [sim.call_at(0.5 + i * 1e-5, lambda i=i: fired.append(i))
+                 for i in range(1, 6)]
+
+        def killer():
+            fired.append(0)
+            later[1].cancel()  # event 2
+            later[3].cancel()  # event 4
+
+        sim.call_at(0.5, killer)
+        sim.run(until=1.0)
+        assert fired == [0, 1, 3, 5]
+        assert sim.pending_events == 0
+
+    def test_schedule_into_current_bucket_from_callback(self):
+        """A same-instant (and same-bucket) schedule from a callback
+        fires in this very dispatch batch, in (when, priority, seq)
+        order relative to the entries still pending."""
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.call_soon(lambda: fired.append("soon"))
+            sim.call_at(sim.now + 5e-5, lambda: fired.append("mid"))
+
+        sim.call_at(0.5, first)
+        sim.call_at(0.5 + 1e-4, lambda: fired.append("last"))
+        sim.run(until=1.0)
+        assert fired == ["first", "soon", "mid", "last"]
+
+    def test_reschedule_out_of_current_bucket_from_callback(self):
+        """Rescheduling a pending current-bucket event to a later bucket
+        (and back near) supersedes exactly once."""
+        sim = Simulator()
+        fired = []
+        victim = sim.call_at(0.5 + 1e-5, lambda: fired.append("victim"))
+
+        def mover():
+            fired.append("mover")
+            victim.reschedule(2.0)
+
+        sim.call_at(0.5, mover)
+        sim.run(until=1.0)
+        assert fired == ["mover"]
+        sim.run(until=3.0)
+        assert fired == ["mover", "victim"]
+
+    def test_overflow_compaction_from_callback_keeps_migration_sound(self):
+        """Overflow-heap compaction fired from a callback must not break
+        the later migration of surviving far-future events."""
+        sim = Simulator()
+        fired = []
+        far = [sim.call_after(100.0 + i * 1e-3, lambda: None)
+               for i in range(300)]
+        survivor = sim.call_after(100.5, lambda: fired.append(sim.now))
+
+        def cancel_far():
+            for handle in far:
+                handle.cancel()
+
+        sim.call_after(1.0, cancel_far)
+        sim.run(until=200.0)
+        assert fired == [100.5]
+        assert survivor.when == 100.5
+        assert sim.pending_events == 0
