@@ -1,0 +1,204 @@
+"""E18 -- desired-state control plane under chaos (no paper analogue).
+
+The paper's orchestration service is a set of primitives (Tables 4-6:
+T-Connect, Orch.Prime/Start/Stop); this benchmark exercises the layer
+that *operates* them: the event-driven reconciler of
+:mod:`repro.orchestration.controlplane`, in the mold of production
+stream routers (ready/unready path hooks, one worker lease per stream,
+converge actual state to desired state and keep it there).
+
+Three soaks over the same scripted broadcast day (three streams
+toggling ready/unready eight times in 20 s):
+
+- **clean**: perfect hook delivery, no faults -- the baseline.
+- **flaky**: at-least-once delivery with jitter, reordering and a 50 %
+  duplicate probability per event.
+- **chaos**: flaky delivery *plus* a seeded :class:`ChaosPlan` pulling
+  links down, squeezing bandwidth and bursting loss while sessions
+  start, run and stop.
+
+Every soak must end converged (actual == desired for every stream)
+with **zero lease violations**: the grant/release history proves that
+no stream ever had two workers at any instant, and duplicate events
+never started or stopped anything (the no-flap guarantee).
+"""
+
+import pytest
+
+from repro.ansa.stream import MediaQoS
+from repro.core.runtime import Stack
+from repro.faults.plan import ChaosPlan
+from repro.metrics.table import Table
+from repro.obs.audit import merge_snapshots
+from repro.orchestration.events import HookDeliveryConfig
+
+from benchmarks.common import collect_metrics, emit, emit_json, once
+
+#: One modest CM stream: 25 units/s of 2 kB (~.5 Mb/s on the wire).
+QOS = MediaQoS(osdu_rate=25, osdu_bytes=2000)
+STREAMS = ("live/cam/in", "live/mic/in", "live/slides/in")
+
+#: The scripted broadcast day: (time, stream index, action name).
+SCHEDULE = [
+    (0.5, 0, "ready"), (1.0, 1, "ready"), (2.0, 2, "ready"),
+    (6.0, 0, "unready"), (8.0, 0, "ready"),
+    (10.0, 1, "unready"), (12.0, 1, "ready"),
+    (14.0, 2, "unready"), (16.0, 2, "ready"),
+]
+#: Chaos horizon; every fault episode ends by then.
+HORIZON = 20.0
+#: Extra settle time after the last scripted/fault event.
+RUN_UNTIL = 60.0
+
+#: At-least-once delivery with reordering for the flaky/chaos soaks.
+FLAKY = HookDeliveryConfig(
+    base_delay=0.05, jitter=0.3, duplicate_probability=0.5,
+    max_extra_copies=2,
+)
+
+
+def soak_trial(label: str, seed: int, flaky: bool, chaos: bool) -> dict:
+    """One soak; returns the control plane's final report."""
+    stack = Stack(seed=seed)
+    stack.router("net")
+    stack.host("pub").link("net", bandwidth_bps=20e6)
+    stack.host("sub").link("net", bandwidth_bps=20e6)
+    stack.up()
+    auditor = stack.enable_audit()
+    cp = stack.enable_controlplane(delivery=FLAKY if flaky else None)
+    if chaos:
+        stack.with_fault_plan(ChaosPlan(
+            horizon=HORIZON,
+            links=[("pub", "net"), ("net", "sub")],
+            episode_rate=0.4,
+            max_duration=1.0,
+        ))
+    pub = stack.host_stack("pub")
+    handles = [
+        pub.publishes(stream_id, to="sub", media_qos=QOS)
+        for stream_id in STREAMS
+    ]
+    for at, index, action in SCHEDULE:
+        stack.sim.call_at(at, getattr(handles[index], action))
+    stack.sim.run(until=RUN_UNTIL)
+
+    counters = stack.sim.metrics.snapshot()["counters"]
+    collect_metrics(f"e18_controlplane[{label}]", stack.sim.metrics)
+    return {
+        "label": label,
+        "converged": cp.converged(),
+        "violations": cp.leases.violations(),
+        "max_concurrent": {
+            s: cp.leases.max_concurrent(s) for s in STREAMS
+        },
+        "paths": cp.paths(),
+        "events": {
+            "published": cp.channel.published,
+            "delivered": cp.channel.deliveries,
+            "applied": counters.get("controlplane.events.applied", 0),
+            "duplicate": counters.get("controlplane.events.duplicate", 0),
+            "stale": counters.get("controlplane.events.stale", 0),
+        },
+        "sessions": {
+            "started": counters.get("controlplane.sessions.started", 0),
+            "stopped": counters.get("controlplane.sessions.stopped", 0),
+        },
+        "reconcile": {
+            "steps": counters.get("controlplane.reconcile.steps", 0),
+            "failures": counters.get("controlplane.reconcile.failures", 0),
+            "backoffs": counters.get("controlplane.reconcile.backoffs", 0),
+        },
+        "outages": {
+            "observed": counters.get("controlplane.outages.observed", 0),
+            "recovered": counters.get("controlplane.outages.recovered", 0),
+        },
+        "audit": auditor.snapshot(),
+    }
+
+
+def run_experiment():
+    scenarios = [
+        ("clean", 7, False, False),
+        ("flaky", 7, True, False),
+        ("chaos", 7, True, True),
+    ]
+    results = [soak_trial(*scenario) for scenario in scenarios]
+
+    soak_table = Table(
+        ["soak", "converged", "lease violations", "events (pub/dlv/dup)",
+         "sessions (start/stop)", "reconcile (fail/backoff)",
+         "outages (seen/rec)"],
+        title="E18: control-plane soaks -- three streams, eight scripted "
+              f"toggles, {RUN_UNTIL:.0f} s runs (chaos horizon "
+              f"{HORIZON:.0f} s)",
+    )
+    for r in results:
+        soak_table.add(
+            r["label"],
+            "yes" if r["converged"] else "NO",
+            len(r["violations"]),
+            f"{r['events']['published']}/{r['events']['delivered']}"
+            f"/{r['events']['duplicate']}",
+            f"{r['sessions']['started']}/{r['sessions']['stopped']}",
+            f"{r['reconcile']['failures']}/{r['reconcile']['backoffs']}",
+            f"{r['outages']['observed']}/{r['outages']['recovered']}",
+        )
+
+    chaos = results[-1]
+    stream_table = Table(
+        ["stream", "runs started", "runs stopped", "max leases",
+         "failures", "outages", "recoveries", "final state"],
+        title="E18: per-stream detail for the chaos soak (at-most-one "
+              "worker lease per stream, over the whole history)",
+    )
+    for path in chaos["paths"]:
+        stream_table.add(
+            path["stream_id"],
+            path["starts"],
+            path["stops"],
+            chaos["max_concurrent"][path["stream_id"]],
+            path["failures"],
+            path["outages"],
+            path["recoveries"],
+            "running" if path["actual"]["running"] else "stopped",
+        )
+    audit = merge_snapshots([r["audit"] for r in results])
+    return [soak_table, stream_table], results, audit
+
+
+@pytest.mark.benchmark(group="e18")
+def test_e18_controlplane(benchmark):
+    tables, results, audit = once(benchmark, run_experiment)
+    emit(
+        "e18_controlplane", tables,
+        notes="Desired-state reconciliation over the HLO: ready/unready "
+              "hook events (at-least-once, reordered, duplicated) drive "
+              "T-Connect and Orch group lifecycles; seeded chaos runs "
+              "end converged with zero lease double-grants.",
+    )
+    audit_path = emit_json("e18_audit", audit)
+    print(f"audit snapshot written to {audit_path} "
+          "(render with: python -m repro.obs.report run)")
+    for r in results:
+        # The headline invariants, for every soak.
+        assert r["converged"], (r["label"], r["paths"])
+        assert r["violations"] == [], r["label"]
+        assert all(c <= 1 for c in r["max_concurrent"].values())
+        # Every stream ends its final scripted state: running.
+        assert all(p["actual"]["running"] for p in r["paths"])
+    clean, flaky, chaos = results
+    # Clean delivery has no duplicates to absorb; flaky/chaos must.
+    assert clean["events"]["duplicate"] == 0
+    assert flaky["events"]["duplicate"] > 0
+    assert chaos["events"]["duplicate"] > 0
+    # Duplicates never reach the lifecycle machinery: session starts
+    # equal the applied ready transitions, not the delivery count.
+    assert flaky["sessions"]["started"] == clean["sessions"]["started"]
+    # The merged audit carries one controlplane section per soak.
+    assert len(audit["sections"]["controlplane"]) == 3
+
+
+if __name__ == "__main__":
+    tables, results, _audit = run_experiment()
+    for table in tables:
+        print(table.render())

@@ -301,6 +301,11 @@ class Stream:
         self.closed = True
         service = TransportService(self.factory.entities[self.source_node])
         service.disconnect(self.binding, self.vc_id)
+        # Release both TSAPs: a stream may be re-established on the
+        # same addresses after close (a control-plane restart does
+        # exactly that), so close must not leak the bindings.
+        self.factory.entities[self.source_node].unbind(self.source.tsap)
+        self.factory.entities[self.sink_node].unbind(self.sink.tsap)
 
 
 class StreamFactory:
@@ -328,13 +333,28 @@ class StreamFactory:
         src_service = TransportService(self.entities[source.node])
         sink_service = TransportService(self.entities[sink.node])
         binding = src_service.bind(source.tsap)
-        sink_service.listen(sink.tsap)
-        send_endpoint = yield from src_service.connect(
-            binding, sink, media_qos.to_transport_qos(), profile=profile, cos=cos
-        )
-        recv_endpoint = self.entities[sink.node].endpoint_for(send_endpoint.vc_id)
-        if recv_endpoint is None:
-            raise ConnectionRefused("receive endpoint missing after connect")
+        try:
+            sink_service.listen(sink.tsap)
+        except BaseException:
+            self.entities[source.node].unbind(source.tsap)
+            raise
+        try:
+            send_endpoint = yield from src_service.connect(
+                binding, sink, media_qos.to_transport_qos(),
+                profile=profile, cos=cos,
+            )
+            recv_endpoint = self.entities[sink.node].endpoint_for(
+                send_endpoint.vc_id
+            )
+            if recv_endpoint is None:
+                raise ConnectionRefused("receive endpoint missing after connect")
+        except BaseException:
+            # A refused or timed-out connect must not leak the TSAPs:
+            # the caller's retry re-creates the stream on the same
+            # addresses.
+            self.entities[source.node].unbind(source.tsap)
+            self.entities[sink.node].unbind(sink.tsap)
+            raise
         return Stream(
             self,
             media_qos,

@@ -278,6 +278,47 @@ class HostBuilder:
         """This host's low-level orchestrator (stack must be up)."""
         return self._stack.llos[self.name]
 
+    def publishes(
+        self,
+        stream_id: str,
+        to: str,
+        media_qos,
+        tsap: Optional[int] = None,
+        sink_tsap: Optional[int] = None,
+        worker_factory=None,
+        orch_policy=None,
+    ):
+        """Register this host as the publisher of ``stream_id``.
+
+        Declares a control-plane stream template whose source is this
+        host and whose sink is host ``to``, and returns the
+        :class:`~repro.orchestration.controlplane.PublisherHandle`
+        whose ``ready()``/``unready()`` calls drive the reconciler.
+        TSAPs are auto-allocated from the stack's control-plane range
+        unless given.  Requires :meth:`Stack.enable_controlplane` first.
+        """
+        from repro.orchestration.controlplane import StreamTemplate
+        from repro.transport.addresses import TransportAddress
+
+        controlplane = self._stack.controlplane
+        if controlplane is None:
+            raise RuntimeError(
+                "no control plane; call stack.enable_controlplane() first"
+            )
+        if tsap is None:
+            tsap = self._stack._allocate_cp_tsap()
+        if sink_tsap is None:
+            sink_tsap = self._stack._allocate_cp_tsap()
+        template = StreamTemplate(
+            stream_id=stream_id,
+            source=TransportAddress(self.name, tsap),
+            sink=TransportAddress(to, sink_tsap),
+            media_qos=media_qos,
+            worker_factory=worker_factory,
+            orch_policy=orch_policy,
+        )
+        return controlplane.register(template)
+
 
 class Stack(Runtime):
     """Builder and container for a complete experiment environment.
@@ -308,7 +349,9 @@ class Stack(Runtime):
         self.trader: Optional[Trader] = None
         self.rpc: Optional[RexRPC] = None
         self.factory: Optional[StreamFactory] = None
+        self.controlplane = None
         self._hosts: Dict[str, HostBuilder] = {}
+        self._cp_tsaps = itertools.count(7000)
         self._up = False
 
     # -- topology ----------------------------------------------------------
@@ -379,6 +422,63 @@ class Stack(Runtime):
         self.rpc = RexRPC(self.sim, self.network, self.trader)
         self.factory = StreamFactory(self.sim, self.entities)
         return self
+
+    def _allocate_cp_tsap(self) -> int:
+        """Next TSAP from the control-plane range (7000 upward)."""
+        return next(self._cp_tsaps)
+
+    def enable_controlplane(
+        self,
+        policy=None,
+        delivery=None,
+        rng_stream: str = "controlplane",
+    ):
+        """Install the desired-state control plane; returns it.
+
+        Builds a :class:`~repro.orchestration.controlplane.ControlPlane`
+        over this stack's HLO, stream factory, and reservation manager.
+        ``delivery`` is an optional
+        :class:`~repro.orchestration.events.HookDeliveryConfig` making
+        hook-event delivery flaky (late, reordered, duplicated) from
+        the named runtime RNG stream -- the chaos-test configuration.
+        If auditing is enabled (before or after this call), the
+        control-plane snapshot is attached to the audit report as a
+        ``controlplane`` section.
+        """
+        from repro.orchestration.controlplane import ControlPlane
+
+        if not self._up:
+            raise RuntimeError("bring the stack up before the control plane")
+        if self.controlplane is not None:
+            return self.controlplane
+        self.controlplane = ControlPlane(
+            self.sim,
+            self.hlo,
+            self.factory,
+            self.reservations,
+            clock_of=self.clock,
+            policy=policy,
+            delivery=delivery,
+            rng=self.stream(rng_stream),
+        )
+        auditor = self.sim.auditor
+        if auditor is not None:
+            auditor.attach_section("controlplane", self.controlplane.snapshot)
+        return self.controlplane
+
+    def enable_audit(self, flight_capacity: int = 4096,
+                     max_drilldowns: int = 8):
+        """As :meth:`Runtime.enable_audit`, plus control-plane linkage.
+
+        When the control plane is already enabled its snapshot is
+        attached to the auditor as a ``controlplane`` report section.
+        """
+        auditor = super().enable_audit(
+            flight_capacity=flight_capacity, max_drilldowns=max_drilldowns
+        )
+        if self.controlplane is not None:
+            auditor.attach_section("controlplane", self.controlplane.snapshot)
+        return auditor
 
     # -- conveniences ------------------------------------------------------
 

@@ -51,10 +51,18 @@ class FaultInjector:
         self.applied: List[EpisodeRecord] = []
         self._handles: List[TimerHandle] = []
         self._armed = False
-        # Open trace spans for in-progress episodes, keyed by target.
-        self._open_spans: Dict[Tuple[str, str], object] = {}
-        # Undo records for interval episodes, keyed by (kind, target, at).
-        self._undo_state: Dict[Tuple[str, str, float], object] = {}
+        # Per-target episode composition: overlapping episodes on one
+        # link/node refcount, multiply, or stack instead of each end
+        # blindly restoring pre-episode state (which would clobber a
+        # still-active later episode on the same target).
+        self.ledger = mech.FaultLedger(network)
+        # Open trace spans for in-progress episodes: a stack per
+        # (label, target) so overlapping same-target spans both close.
+        self._open_spans: Dict[Tuple[str, str], List[object]] = {}
+        # Undo tokens for interval episodes, keyed by episode identity
+        # (two episodes of one kind may share a target and even a start
+        # time; identity never collides).
+        self._undo_state: Dict[int, object] = {}
 
     def arm(self) -> "FaultInjector":
         """Schedule every episode; an empty plan schedules nothing."""
@@ -87,39 +95,39 @@ class FaultInjector:
         """Fire an episode's begin action."""
         target = self._target_of(episode)
         if isinstance(episode, LinkDown):
-            mech.take_link_down(self.network, episode.src, episode.dst)
+            self.ledger.link_down(episode.src, episode.dst)
             self._open_span("outage", target)
         elif isinstance(episode, LinkUp):
-            mech.restore_link(self.network, episode.src, episode.dst)
+            self.ledger.link_up(episode.src, episode.dst)
             self._close_span("outage", target)
         elif isinstance(episode, BandwidthSqueeze):
-            state = mech.begin_squeeze(
-                self.network, episode.src, episode.dst, episode.factor
+            token = self.ledger.begin_squeeze(
+                episode.src, episode.dst, episode.factor
             )
-            self._undo_state[(episode.kind, target, episode.at)] = state
+            self._undo_state[id(episode)] = token
             self._open_span("squeeze", target, factor=episode.factor)
         elif isinstance(episode, LossBurst):
-            state = mech.begin_loss_burst(
-                self.network, episode.src, episode.dst, episode.loss
+            token = self.ledger.begin_loss_burst(
+                episode.src, episode.dst, episode.loss
             )
-            self._undo_state[(episode.kind, target, episode.at)] = state
+            self._undo_state[id(episode)] = token
             self._open_span("loss-burst", target)
         elif isinstance(episode, NodeCrash):
-            mech.crash_node(self.network, episode.node)
+            self.ledger.crash(episode.node)
             self._open_span("crash", target)
         elif isinstance(episode, NodeRestart):
-            mech.restart_node(self.network, episode.node)
+            self.ledger.restart(episode.node)
             self._close_span("crash", target)
         else:  # pragma: no cover - plan validation prevents this
             raise TypeError(f"unknown episode {episode!r}")
         self._record(episode, target)
 
     def _end(self, episode: FaultEpisode) -> None:
-        """Fire a timed episode's end action (restore captured state)."""
+        """Fire a timed episode's end action (retire its ledger token)."""
         target = self._target_of(episode)
-        state = self._undo_state.pop((episode.kind, target, episode.at), None)
-        if state is not None:
-            state.restore()
+        token = self._undo_state.pop(id(episode), None)
+        if token is not None:
+            token.restore()
         label = "squeeze" if isinstance(episode, BandwidthSqueeze) else "loss-burst"
         self._close_span(label, target)
 
@@ -143,16 +151,18 @@ class FaultInjector:
         trace = self.sim.trace
         if not trace.enabled:
             return
-        self._open_spans[(label, target)] = trace.span(
-            f"fault:{label}:{target}", track="faults", cat="fault",
-            args={"target": target, **args},
+        self._open_spans.setdefault((label, target), []).append(
+            trace.span(
+                f"fault:{label}:{target}", track="faults", cat="fault",
+                args={"target": target, **args},
+            )
         )
 
     def _close_span(self, label: str, target: str) -> None:
-        """Close the matching open span, if tracing recorded one."""
-        span = self._open_spans.pop((label, target), None)
-        if span is not None:
-            span.end()
+        """Close the most recent matching open span, if any."""
+        spans = self._open_spans.get((label, target))
+        if spans:
+            spans.pop().end()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         """Human-readable summary for debugging."""

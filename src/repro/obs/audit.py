@@ -221,6 +221,20 @@ class QoSAuditor:
         self._groups: Dict[str, _GroupAudit] = {}
         self.delay_hist = FixedBucketHistogram(lo=1e-5, hi=10.0, buckets=128)
         self.jitter_hist = FixedBucketHistogram(lo=1e-6, hi=1.0, buckets=128)
+        self._sections: Dict[str, Any] = {}
+
+    # -- extension sections ------------------------------------------------
+
+    def attach_section(self, name: str, provider) -> None:
+        """Attach a named report section evaluated at snapshot time.
+
+        ``provider`` is a zero-argument callable returning a
+        JSON-serialisable value; it is invoked lazily on each
+        :meth:`snapshot` so the section always reflects current state
+        (the control plane attaches its desired/actual view this way).
+        Re-attaching a name replaces the provider.
+        """
+        self._sections[name] = provider
 
     # -- transport hooks ---------------------------------------------------
 
@@ -380,7 +394,7 @@ class QoSAuditor:
             conn.to_dict() for conn in self._connections.values()
         ]
         groups = [group.to_dict() for group in self._groups.values()]
-        return {
+        snapshot = {
             "kind": "repro-audit",
             "now": self.sim.now,
             "summary": _summarize(connections),
@@ -391,6 +405,12 @@ class QoSAuditor:
                 "jitter_s": self.jitter_hist.to_dict(),
             },
         }
+        if self._sections:
+            snapshot["sections"] = {
+                name: provider()
+                for name, provider in sorted(self._sections.items())
+            }
+        return snapshot
 
     def export(self, path: str) -> str:
         """Write :meth:`snapshot` as JSON; returns ``path``."""
@@ -435,15 +455,19 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
     Connections and groups concatenate (VC and session ids are unique
     per process); the fleet summary is recomputed; histograms with the
     same bucket layout add, mismatched layouts keep the first seen.
+    Attached sections collect per-snapshot values into a list per name.
     """
     connections: List[Dict[str, Any]] = []
     groups: List[Dict[str, Any]] = []
     hists: Dict[str, FixedBucketHistogram] = {}
+    sections: Dict[str, List[Any]] = {}
     now = 0.0
     for snap in snapshots:
         connections.extend(snap.get("connections", ()))
         groups.extend(snap.get("groups", ()))
         now = max(now, snap.get("now", 0.0))
+        for name, value in snap.get("sections", {}).items():
+            sections.setdefault(name, []).append(value)
         for name, data in snap.get("histograms", {}).items():
             incoming = FixedBucketHistogram.from_dict(data)
             existing = hists.get(name)
@@ -460,7 +484,7 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
                 existing.total += incoming.total
                 existing.minimum = min(existing.minimum, incoming.minimum)
                 existing.maximum = max(existing.maximum, incoming.maximum)
-    return {
+    merged = {
         "kind": "repro-audit",
         "now": now,
         "summary": _summarize(connections),
@@ -470,6 +494,11 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
             name: hist.to_dict() for name, hist in hists.items()
         },
     }
+    if sections:
+        # Per-shard section values are preserved as a list per name;
+        # report renderers decide how to fold them.
+        merged["sections"] = sections
+    return merged
 
 
 def install_audit(sim, flight_capacity: int = 4096,

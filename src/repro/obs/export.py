@@ -39,8 +39,9 @@ class FixedBucketHistogram:
     """Geometric fixed-bucket histogram over ``[lo, hi)``.
 
     Bucket ``i`` covers ``[lo * r**i, lo * r**(i+1))`` with
-    ``r = (hi / lo) ** (1 / buckets)``; values at or below ``lo`` land
-    in the underflow bucket, values at or above ``hi`` in the overflow
+    ``r = (hi / lo) ** (1 / buckets)``; values strictly below ``lo``
+    land in the underflow bucket (``lo`` itself is the inclusive lower
+    edge of bucket 0), values at or above ``hi`` in the overflow
     bucket.  Exact ``min``/``max``/``total`` are tracked alongside so
     the edges stay honest.
     """
@@ -79,7 +80,7 @@ class FixedBucketHistogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
-        if value <= self.lo:
+        if value < self.lo:
             self.underflow += 1
         elif value >= self.hi:
             self.overflow += 1
@@ -184,9 +185,40 @@ class FixedBucketHistogram:
         hist.total = data.get("total", 0.0)
         if data.get("min") is not None:
             hist.minimum = data["min"]
+        elif hist.count:
+            hist.minimum = hist._derived_minimum()
         if data.get("max") is not None:
             hist.maximum = data["max"]
+        elif hist.count:
+            hist.maximum = hist._derived_maximum()
         return hist
+
+    def _bucket_lower(self, idx: int) -> float:
+        return self.lo * math.exp(self._log_span * idx / self.buckets)
+
+    def _derived_minimum(self) -> float:
+        """Tightest finite lower bound reconstructible from the buckets.
+
+        Used when a serialised snapshot has ``count > 0`` but no
+        ``min`` key: the true minimum is unknown, but it is at least
+        bounded by the lowest occupied bucket's edge -- never the
+        ``inf`` sentinel, which would poison quantile clamping.
+        """
+        if self.underflow:
+            return self.lo
+        for idx, bucket_count in enumerate(self.counts):
+            if bucket_count:
+                return self._bucket_lower(idx)
+        return self.hi  # all mass in overflow
+
+    def _derived_maximum(self) -> float:
+        """Finite upper-bound counterpart of :meth:`_derived_minimum`."""
+        if self.overflow:
+            return self.hi
+        for idx in range(self.buckets - 1, -1, -1):
+            if self.counts[idx]:
+                return self._bucket_upper(idx)
+        return self.lo  # all mass in underflow
 
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
@@ -200,22 +232,45 @@ def _prom_name(name: str) -> str:
     return sanitised
 
 
+def _disambiguate(prom: str, emitted: set) -> str:
+    """Resolve a sanitised-name collision deterministically.
+
+    Two registry names can sanitise to the same Prometheus name
+    (``vc.v0.x`` and ``vc_v0_x``); emitting both under one name is
+    invalid exposition (duplicate ``# TYPE`` + samples).  The first
+    name keeps the plain form; later colliders get ``_2``, ``_3``, ...
+    in emission order, which is sorted and therefore stable run to run.
+    """
+    if prom not in emitted:
+        return prom
+    n = 2
+    while f"{prom}_{n}" in emitted:
+        n += 1
+    return f"{prom}_{n}"
+
+
 def prometheus_text(registry) -> str:
     """Prometheus text exposition of a registry's counters and gauges.
 
     One ``# TYPE`` line per metric followed by its sample; names are
     sanitised (``vc.v0.arrived_bits`` becomes ``vc_v0_arrived_bits``).
-    Rendering reads current values only -- it never mutates the
-    registry.
+    Distinct registry names that sanitise identically are kept distinct
+    by suffixing later colliders with ``_2``, ``_3``, ... in sorted
+    emission order (counters before gauges), so the exposition never
+    contains duplicate metric names.  Rendering reads current values
+    only -- it never mutates the registry.
     """
     lines: List[str] = []
+    emitted: set = set()
     snap = registry.snapshot()
     for name, value in sorted(snap["counters"].items()):
-        prom = _prom_name(name)
+        prom = _disambiguate(_prom_name(name), emitted)
+        emitted.add(prom)
         lines.append(f"# TYPE {prom} counter")
         lines.append(f"{prom} {value}")
     for name, value in sorted(snap["gauges"].items()):
-        prom = _prom_name(name)
+        prom = _disambiguate(_prom_name(name), emitted)
+        emitted.add(prom)
         lines.append(f"# TYPE {prom} gauge")
         lines.append(f"{prom} {value}")
     return "\n".join(lines) + ("\n" if lines else "")

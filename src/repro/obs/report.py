@@ -304,6 +304,57 @@ def _orchestration_section(groups: List[Dict[str, Any]]) -> List[str]:
     return blocks
 
 
+def _controlplane_section(section: Any) -> List[str]:
+    """Render the control plane's desired/actual view.
+
+    ``section`` is one control-plane snapshot, or a list of them when
+    the audit was merged from several shards.
+    """
+    snapshots = section if isinstance(section, list) else [section]
+    blocks: List[str] = []
+    for snap in snapshots:
+        leases = snap.get("leases", {})
+        violations = leases.get("violations", [])
+        events = snap.get("events", {})
+        blocks.append(
+            f"Control plane: "
+            f"{'converged' if snap.get('converged') else 'NOT converged'}; "
+            f"{leases.get('granted_total', 0)} lease(s) granted, "
+            f"{len(violations)} double-grant violation(s)"
+            + (f" on {', '.join(violations)}" if violations else "")
+            + f"; {events.get('published', 0)} hook event(s) published, "
+            f"{events.get('delivered', 0)} delivered"
+        )
+        paths = snap.get("paths", ())
+        if not paths:
+            continue
+        table = Table(
+            ["stream", "desired", "actual", "run", "session", "conv",
+             "starts", "stops", "outages", "recov", "fails", "last error"],
+            title="Control plane: per-stream desired vs. actual state",
+        )
+        for path_entry in paths:
+            desired = path_entry.get("desired") or {}
+            actual = path_entry.get("actual") or {}
+            table.add(
+                path_entry.get("stream_id", "?"),
+                ("run" if desired.get("running") else "stop")
+                if desired else "-",
+                "run" if actual.get("running") else "stop",
+                actual.get("run_id") or desired.get("run_id") or "-",
+                actual.get("session_id") or "-",
+                "yes" if path_entry.get("converged") else "NO",
+                path_entry.get("starts", 0),
+                path_entry.get("stops", 0),
+                path_entry.get("outages", 0),
+                path_entry.get("recoveries", 0),
+                path_entry.get("failures", 0),
+                path_entry.get("last_error") or "-",
+            )
+        blocks.append(table.render())
+    return blocks
+
+
 def render_run(path: str) -> str:
     """Build the run report for one audit snapshot."""
     data = load_audit(path)
@@ -335,6 +386,9 @@ def render_run(path: str) -> str:
             )
     if groups:
         blocks.extend(_orchestration_section(groups))
+    controlplane = data.get("sections", {}).get("controlplane")
+    if controlplane is not None:
+        blocks.extend(_controlplane_section(controlplane))
     histograms = data.get("histograms", {})
     if histograms:
         hist_table = Table(

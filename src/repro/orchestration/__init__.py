@@ -19,6 +19,14 @@ lower neighbour and mechanism to its upper neighbour":
   the Orch primitives of Tables 4-6 (prime/start/stop/add/remove,
   regulate, delayed, event) against the local transport entity on a
   best-effort basis.
+
+On top of the three paper layers sits the desired-state control plane
+(:mod:`repro.orchestration.controlplane`): a reconciler that consumes
+at-least-once ``ready``/``unready`` hook events
+(:mod:`repro.orchestration.events`), enforces at-most-one worker lease
+per stream (:mod:`repro.orchestration.lease`), and drives the
+T-Connect -> Orch lifecycles to keep actual state converged with
+desired state.
 """
 
 from repro.orchestration.primitives import (
@@ -47,14 +55,39 @@ from repro.orchestration.hlo import (
 )
 from repro.orchestration.policy import CompensationAction, OrchestrationPolicy
 from repro.orchestration.clock_sync import NTPLikeSynchronizer
+from repro.orchestration.events import (
+    DesiredTable,
+    FlakyHookChannel,
+    HookDeliveryConfig,
+    HookEvent,
+    StreamHookSource,
+)
+from repro.orchestration.lease import Lease, LeaseError, LeaseTable
+from repro.orchestration.controlplane import (
+    ControlPlane,
+    ControlPlaneError,
+    ControlPlanePolicy,
+    PublisherHandle,
+    StreamTemplate,
+)
 
 __all__ = [
     "CompensationAction",
+    "ControlPlane",
+    "ControlPlaneError",
+    "ControlPlanePolicy",
     "DelayedIndication",
+    "DesiredTable",
+    "FlakyHookChannel",
     "HLOAgent",
     "HighLevelOrchestrator",
+    "HookDeliveryConfig",
+    "HookEvent",
     "IntervalReport",
     "LLOInstance",
+    "Lease",
+    "LeaseError",
+    "LeaseTable",
     "NTPLikeSynchronizer",
     "OrchDenyIndication",
     "OrchEventIndication",
@@ -65,10 +98,13 @@ __all__ = [
     "OrchestrationPolicy",
     "OrchestrationSession",
     "PrimeIndication",
+    "PublisherHandle",
     "RegulationConfig",
     "StartIndication",
     "StopIndication",
+    "StreamHookSource",
     "StreamSpec",
+    "StreamTemplate",
     "auto_orch_responder",
     "build_llos",
     "select_orchestrating_node",

@@ -1,0 +1,251 @@
+"""Stream hook events: the control plane's trigger substrate.
+
+The live-broadcast orchestration specs this module follows (MediaMTX
+``runOnReady`` / ``runOnNotReady`` hooks) deliver two event kinds for an
+ingest path: *ready* (a publisher started sending media) and *unready*
+(the publisher stopped).  Delivery is **at-least-once** (duplicates
+possible) and may be **out of order** across restarts.  Everything the
+reconciler needs to survive that is concentrated here:
+
+- :class:`HookEvent` -- one immutable event, carrying a per-stream
+  publisher-side sequence number ``seq`` that totally orders the
+  publisher's intent for the stream.
+- :class:`DesiredTable` -- the pure state-reduction: folds any
+  permutation / duplication of a stream's events into the same final
+  desired state (the max-``seq`` event wins; everything else is
+  classified duplicate or stale and ignored).
+- :class:`StreamHookSource` -- the publisher side: mints ready/unready
+  events with fresh run ids and monotonic sequence numbers.
+- :class:`FlakyHookChannel` -- a delivery channel that *deliberately*
+  reorders, delays and duplicates events on their way to a consumer,
+  deterministically from a named RNG stream, so chaos tests exercise
+  the full at-least-once contract.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+READY = "ready"
+UNREADY = "unready"
+
+_KINDS = (READY, UNREADY)
+
+
+@dataclass(frozen=True)
+class HookEvent:
+    """One stream lifecycle hook event.
+
+    Attributes:
+        stream_id: the logical ingest path (``live/<streamId>/in``).
+        run_id: the stream session this event belongs to -- one live
+            session of a stream from first ready to final stop.
+        kind: ``"ready"`` or ``"unready"``.
+        seq: publisher-side per-stream sequence number.  Duplicates of
+            the same event share a ``seq``; a re-delivered old event
+            keeps its original (lower) ``seq``, which is how the
+            reducer recognises it as stale.
+    """
+
+    stream_id: str
+    run_id: str
+    kind: str
+    seq: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown hook event kind {self.kind!r}")
+        if self.seq < 0:
+            raise ValueError(f"seq must be non-negative, got {self.seq}")
+        if not self.stream_id:
+            raise ValueError("stream_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class DesiredState:
+    """The reduced per-stream desire: run or stop, and for which run."""
+
+    running: bool
+    run_id: Optional[str]
+    seq: int
+
+
+#: Classification of one observed event against the table.
+APPLIED = "applied"
+DUPLICATE = "duplicate"
+STALE = "stale"
+
+
+class DesiredTable:
+    """Order/duplicate-tolerant reduction of hook events to desired state.
+
+    The invariant that makes convergence provable: the desired state of
+    a stream is a pure function of the **maximum-sequence event seen so
+    far**.  Observing events in any order, with any duplication,
+    therefore always converges to the same final state once the same
+    event set has been delivered -- exactly the at-least-once,
+    out-of-order contract of the hook sources.
+    """
+
+    def __init__(self) -> None:
+        self._latest: Dict[str, DesiredState] = {}
+        self._seen_seqs: Dict[str, Set[int]] = {}
+
+    def observe(self, event: HookEvent) -> str:
+        """Fold one event in; returns ``applied | duplicate | stale``."""
+        seen = self._seen_seqs.setdefault(event.stream_id, set())
+        if event.seq in seen:
+            return DUPLICATE
+        seen.add(event.seq)
+        current = self._latest.get(event.stream_id)
+        if current is not None and event.seq <= current.seq:
+            return STALE
+        self._latest[event.stream_id] = DesiredState(
+            running=event.kind == READY,
+            run_id=event.run_id if event.kind == READY else event.run_id,
+            seq=event.seq,
+        )
+        return APPLIED
+
+    def desired(self, stream_id: str) -> Optional[DesiredState]:
+        """Current desired state, or None when no event was ever seen."""
+        return self._latest.get(stream_id)
+
+    def streams(self) -> List[str]:
+        """Every stream with at least one observed event."""
+        return sorted(self._latest)
+
+    def __len__(self) -> int:
+        return len(self._latest)
+
+
+class StreamHookSource:
+    """The publisher side of one stream's hook contract.
+
+    Mints events with monotonically increasing ``seq`` and a fresh
+    ``run_id`` per ready/unready cycle, mirroring how a media router
+    assigns one *stream session* (runId) per live session.
+    """
+
+    def __init__(self, stream_id: str):
+        self.stream_id = stream_id
+        self._seq = 0
+        self._runs = 0
+        self._current_run: Optional[str] = None
+        self.emitted: List[HookEvent] = []
+
+    def _next(self, kind: str, run_id: str) -> HookEvent:
+        event = HookEvent(self.stream_id, run_id, kind, self._seq)
+        self._seq += 1
+        self.emitted.append(event)
+        return event
+
+    def ready(self) -> HookEvent:
+        """A publisher (re)started: opens a new run unless one is live."""
+        if self._current_run is None:
+            self._runs += 1
+            self._current_run = f"{self.stream_id}#r{self._runs}"
+        return self._next(READY, self._current_run)
+
+    def unready(self) -> HookEvent:
+        """The publisher stopped: closes the current run."""
+        run = self._current_run or f"{self.stream_id}#r{self._runs}"
+        self._current_run = None
+        return self._next(UNREADY, run)
+
+    @property
+    def runs(self) -> int:
+        """Number of runs (ready cycles) started so far."""
+        return self._runs
+
+
+@dataclass
+class HookDeliveryConfig:
+    """Flakiness knobs for :class:`FlakyHookChannel`.
+
+    With the defaults the channel is perfectly well behaved (zero
+    delay, no duplicates); chaos tests turn the knobs up.
+    """
+
+    base_delay: float = 0.0
+    jitter: float = 0.0
+    duplicate_probability: float = 0.0
+    max_extra_copies: int = 2
+    duplicate_lag: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0 or self.jitter < 0 or self.duplicate_lag < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.duplicate_probability <= 1.0:
+            raise ValueError("duplicate_probability must be in [0, 1]")
+        if self.max_extra_copies < 0:
+            raise ValueError("max_extra_copies must be non-negative")
+
+
+class FlakyHookChannel:
+    """At-least-once, out-of-order hook delivery over the simulator.
+
+    Each published event is delivered to ``deliver`` after
+    ``base_delay + U(0, jitter)`` seconds; with probability
+    ``duplicate_probability`` up to ``max_extra_copies`` additional
+    copies land within a further ``duplicate_lag`` window.  Jitter
+    means two events published back-to-back can arrive swapped -- the
+    reorder case the reducer must tolerate.  All randomness comes from
+    the supplied RNG, so a seeded run replays identically.
+    """
+
+    def __init__(
+        self,
+        sim,
+        deliver: Callable[[HookEvent], object],
+        rng: Optional[_random.Random] = None,
+        config: Optional[HookDeliveryConfig] = None,
+    ):
+        self.sim = sim
+        self.deliver = deliver
+        self.rng = rng or _random.Random(0)
+        self.config = config or HookDeliveryConfig()
+        self.published = 0
+        self.deliveries = 0
+
+    def publish(self, event: HookEvent) -> None:
+        """Schedule the event's delivery (plus any duplicate copies)."""
+        self.published += 1
+        cfg = self.config
+        copies = 1
+        if cfg.duplicate_probability > 0 and cfg.max_extra_copies > 0:
+            while (
+                copies <= cfg.max_extra_copies
+                and self.rng.random() < cfg.duplicate_probability
+            ):
+                copies += 1
+        for _ in range(copies):
+            delay = cfg.base_delay
+            if cfg.jitter > 0:
+                delay += self.rng.uniform(0.0, cfg.jitter)
+            if _ > 0 and cfg.duplicate_lag > 0:
+                delay += self.rng.uniform(0.0, cfg.duplicate_lag)
+            self.sim.call_at(
+                self.sim.now + delay, lambda e=event: self._deliver(e)
+            )
+
+    def _deliver(self, event: HookEvent) -> None:
+        self.deliveries += 1
+        self.deliver(event)
+
+
+def replay(
+    events: Iterable[HookEvent], table: Optional[DesiredTable] = None
+) -> Tuple[DesiredTable, Dict[str, int]]:
+    """Feed events into a table; returns it plus outcome counts.
+
+    A convenience for property tests: any permutation/duplication of
+    the same event set leaves the returned table in the same state.
+    """
+    table = table or DesiredTable()
+    outcomes = {APPLIED: 0, DUPLICATE: 0, STALE: 0}
+    for event in events:
+        outcomes[table.observe(event)] += 1
+    return table, outcomes

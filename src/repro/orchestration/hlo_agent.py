@@ -164,6 +164,10 @@ class HLOAgent:
         #: Called as ``on_outage(vc_id)`` when a stream is declared in
         #: outage (policy.outage_intervals stalled intervals).
         self.on_outage: Optional[Callable[[str], None]] = None
+        #: Called as ``on_recovery(vc_id)`` on the first interval with
+        #: fresh deliveries after an outage (the control plane's cue
+        #: that resynchronisation can settle).
+        self.on_recovery: Optional[Callable[[str], None]] = None
         # Outage tracking (see OrchestrationPolicy.outage_intervals).
         self._stall_intervals: Dict[str, int] = {}
         self._outage_vcs: set = set()
@@ -562,6 +566,8 @@ class HLOAgent:
                 cat="fault",
                 args={"vc": vc_id, "behind_osdus": digest.behind_osdus},
             )
+        if self.on_recovery is not None:
+            self.on_recovery(vc_id)
 
     def _reprime(self):
         """Coroutine: stop / prime / start after an outage recovery.

@@ -1,0 +1,162 @@
+"""Worker leases: at-most-one worker per stream, by construction.
+
+The live-broadcast orchestration specs require that each stream's
+worker is unique at every instant ("at-most-one worker lease per
+stream").  :class:`LeaseTable` enforces that invariant structurally:
+``acquire`` raises :class:`LeaseError` while another lease on the same
+stream is active, so a double-grant is impossible rather than merely
+unlikely.  The full grant/release history is retained so chaos tests
+can *prove* the invariant held over a whole run via
+:meth:`LeaseTable.max_concurrent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class LeaseError(Exception):
+    """Raised when a lease cannot be granted (stream already leased)."""
+
+
+@dataclass
+class Lease:
+    """One grant of a stream to a worker for one stream-session."""
+
+    stream_id: str
+    holder: str
+    run_id: str
+    lease_id: int
+    granted_at: float
+    released_at: Optional[float] = None
+    release_reason: Optional[str] = None
+
+    @property
+    def active(self) -> bool:
+        """True while the lease has not been released."""
+        return self.released_at is None
+
+
+class LeaseTable:
+    """Grant/release registry enforcing one active lease per stream.
+
+    All grants and releases are timestamped with sim time so the
+    at-most-one invariant is checkable after the fact, not just
+    enforced at grant time.
+    """
+
+    def __init__(self, sim=None, metrics_prefix: str = "controlplane.lease"):
+        self.sim = sim
+        self._prefix = metrics_prefix
+        self._active: Dict[str, Lease] = {}
+        self._history: List[Lease] = []
+        self._next_id = 1
+
+    # -- metrics ---------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self.sim is not None:
+            self.sim.metrics.counter(f"{self._prefix}.{name}").inc()
+
+    def _now(self) -> float:
+        return self.sim.now if self.sim is not None else 0.0
+
+    # -- grant / release -------------------------------------------------
+
+    def acquire(self, stream_id: str, holder: str, run_id: str) -> Lease:
+        """Grant the stream to ``holder`` for ``run_id``.
+
+        Raises :class:`LeaseError` (and counts a denial) if another
+        holder currently leases the stream.
+        """
+        current = self._active.get(stream_id)
+        if current is not None:
+            self._count("denied")
+            raise LeaseError(
+                f"stream {stream_id!r} already leased to {current.holder!r} "
+                f"(run {current.run_id!r})"
+            )
+        lease = Lease(
+            stream_id=stream_id,
+            holder=holder,
+            run_id=run_id,
+            lease_id=self._next_id,
+            granted_at=self._now(),
+        )
+        self._next_id += 1
+        self._active[stream_id] = lease
+        self._history.append(lease)
+        self._count("granted")
+        return lease
+
+    def release(self, lease: Lease, reason: str = "released") -> None:
+        """Release a lease; idempotent on an already-released lease."""
+        if not lease.active:
+            return
+        lease.released_at = self._now()
+        lease.release_reason = reason
+        if self._active.get(lease.stream_id) is lease:
+            del self._active[lease.stream_id]
+        self._count("released")
+
+    # -- queries ---------------------------------------------------------
+
+    def holder(self, stream_id: str) -> Optional[Lease]:
+        """The active lease on a stream, or None."""
+        return self._active.get(stream_id)
+
+    def active_leases(self) -> List[Lease]:
+        """All currently active leases, sorted by stream id."""
+        return [self._active[k] for k in sorted(self._active)]
+
+    @property
+    def history(self) -> List[Lease]:
+        """Every lease ever granted, in grant order."""
+        return list(self._history)
+
+    def max_concurrent(self, stream_id: str) -> int:
+        """Maximum number of simultaneously active leases on a stream.
+
+        Computed from the grant/release history by sweeping the
+        interval endpoints; the table's invariant makes this <= 1, and
+        chaos tests assert exactly that.
+        """
+        points = []
+        for lease in self._history:
+            if lease.stream_id != stream_id:
+                continue
+            points.append((lease.granted_at, 1))
+            end = lease.released_at
+            if end is not None:
+                points.append((end, -1))
+        # Releases at an instant land before grants at the same instant:
+        # a handover at time t is sequential, not concurrent.
+        points.sort(key=lambda p: (p[0], p[1]))
+        peak = count = 0
+        for _, delta in points:
+            count += delta
+            peak = max(peak, count)
+        return peak
+
+    def violations(self) -> List[str]:
+        """Streams whose history ever held >1 concurrent lease."""
+        streams = sorted({lease.stream_id for lease in self._history})
+        return [s for s in streams if self.max_concurrent(s) > 1]
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dump of active leases and aggregate counts."""
+        return {
+            "active": [
+                {
+                    "stream_id": lease.stream_id,
+                    "holder": lease.holder,
+                    "run_id": lease.run_id,
+                    "lease_id": lease.lease_id,
+                    "granted_at": lease.granted_at,
+                }
+                for lease in self.active_leases()
+            ],
+            "granted_total": len(self._history),
+            "violations": self.violations(),
+        }

@@ -1,0 +1,198 @@
+"""Regression tests: overlapping episodes on one target must compose.
+
+Chaos plans draw episode start times and durations independently, so
+two squeezes, two loss bursts, or two outages routinely overlap on the
+same link.  Before the ledger, the earlier episode's end restored
+*pre-episode* state and silently cancelled the still-active later
+episode; these tests pin the composed semantics.
+"""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    BandwidthSqueeze,
+    FaultPlan,
+    LinkDown,
+    LinkUp,
+    LossBurst,
+    NodeCrash,
+    NodeRestart,
+)
+from repro.netsim.faults import FaultLedger
+from repro.netsim.link import BernoulliLoss
+from repro.netsim.topology import Network
+from repro.obs.trace import Tracer
+from repro.sim.random import RandomStreams
+
+
+def star_network(sim):
+    net = Network(sim, RandomStreams(3))
+    net.add_host("a")
+    net.add_host("b")
+    net.add_router("r")
+    net.add_link("a", "r", 10e6, prop_delay=0.002)
+    net.add_link("b", "r", 10e6, prop_delay=0.002)
+    return net
+
+
+class TestOverlappingSqueezes:
+    def test_first_end_keeps_second_squeeze_active(self, sim):
+        net = star_network(sim)
+        link = net.link_between("a", "r")
+        plan = FaultPlan([
+            BandwidthSqueeze(1.0, duration=2.0, src="a", dst="r", factor=0.5),
+            BandwidthSqueeze(2.0, duration=2.0, src="a", dst="r", factor=0.2),
+        ])
+        FaultInjector(sim, net, plan).arm()
+        sim.run(until=1.5)
+        assert link.bandwidth_bps == pytest.approx(5e6)
+        sim.run(until=2.5)      # both active: factors multiply
+        assert link.bandwidth_bps == pytest.approx(1e6)
+        sim.run(until=3.5)      # first ended at t=3: second must survive
+        assert link.bandwidth_bps == pytest.approx(2e6)
+        sim.run(until=5.0)      # second ended at t=4: base restored exactly
+        assert link.bandwidth_bps == 10e6
+
+    def test_nested_squeeze_restores_base_exactly(self, sim):
+        net = star_network(sim)
+        link = net.link_between("a", "r")
+        plan = FaultPlan([
+            BandwidthSqueeze(1.0, duration=3.0, src="a", dst="r", factor=1 / 3),
+            BandwidthSqueeze(2.0, duration=1.0, src="a", dst="r", factor=1 / 7),
+        ])
+        FaultInjector(sim, net, plan).arm()
+        sim.run(until=10.0)
+        # Exact equality: the ledger restores the captured base rather
+        # than multiplying the factors back out (no float drift).
+        assert link.bandwidth_bps == 10e6
+
+
+class TestOverlappingLossBursts:
+    def test_first_end_reveals_second_burst_then_base(self, sim):
+        net = star_network(sim)
+        link = net.link_between("a", "r")
+        base = link.loss
+        first = BernoulliLoss(0.5)
+        second = BernoulliLoss(0.9)
+        plan = FaultPlan([
+            LossBurst(1.0, duration=2.0, src="a", dst="r", loss=first),
+            LossBurst(2.0, duration=2.0, src="a", dst="r", loss=second),
+        ])
+        FaultInjector(sim, net, plan).arm()
+        sim.run(until=1.5)
+        assert link.loss is first
+        sim.run(until=2.5)      # newest burst in force
+        assert link.loss is second
+        sim.run(until=3.5)      # first ended: second still in force
+        assert link.loss is second
+        sim.run(until=5.0)      # all over: the base model object returns
+        assert link.loss is base
+
+    def test_inner_burst_ends_first(self, sim):
+        net = star_network(sim)
+        link = net.link_between("a", "r")
+        base = link.loss
+        outer = BernoulliLoss(0.3)
+        inner = BernoulliLoss(0.8)
+        plan = FaultPlan([
+            LossBurst(1.0, duration=4.0, src="a", dst="r", loss=outer),
+            LossBurst(2.0, duration=1.0, src="a", dst="r", loss=inner),
+        ])
+        FaultInjector(sim, net, plan).arm()
+        sim.run(until=2.5)
+        assert link.loss is inner
+        sim.run(until=3.5)      # inner ended: outer back in force
+        assert link.loss is outer
+        sim.run(until=6.0)
+        assert link.loss is base
+
+
+class TestOverlappingOutages:
+    def test_refcounted_link_up(self, sim):
+        net = star_network(sim)
+        link = net.link_between("a", "r")
+        plan = FaultPlan([
+            LinkDown(1.0, src="a", dst="r"),
+            LinkDown(2.0, src="a", dst="r"),
+            LinkUp(3.0, src="a", dst="r"),
+            LinkUp(4.0, src="a", dst="r"),
+        ])
+        FaultInjector(sim, net, plan).arm()
+        sim.run(until=3.5)
+        # One of the two outages is still open: a LinkUp firing
+        # mid-second-outage must not restore the carrier.
+        assert not link.up
+        sim.run(until=4.5)
+        assert link.up
+
+    def test_bare_link_up_still_repairs(self, sim):
+        net = star_network(sim)
+        link = net.link_between("a", "r")
+        link.set_down()     # taken down outside any plan
+        plan = FaultPlan([LinkUp(1.0, src="a", dst="r")])
+        FaultInjector(sim, net, plan).arm()
+        sim.run(until=2.0)
+        assert link.up
+
+    def test_refcounted_node_crash(self, sim):
+        net = star_network(sim)
+        plan = FaultPlan([
+            NodeCrash(1.0, node="r"),
+            NodeCrash(2.0, node="r"),
+            NodeRestart(3.0, node="r"),
+            NodeRestart(4.0, node="r"),
+        ])
+        FaultInjector(sim, net, plan).arm()
+        sim.run(until=3.5)
+        assert net.nodes["r"].crashed
+        sim.run(until=4.5)
+        assert not net.nodes["r"].crashed
+
+
+class TestOverlapSpans:
+    def test_overlapping_same_target_spans_both_close(self, sim):
+        net = star_network(sim)
+        sim.trace = Tracer(lambda: sim.now)
+        plan = FaultPlan([
+            BandwidthSqueeze(1.0, duration=2.0, src="a", dst="r", factor=0.5),
+            BandwidthSqueeze(2.0, duration=2.0, src="a", dst="r", factor=0.5),
+        ])
+        FaultInjector(sim, net, plan).arm()
+        sim.run(until=10.0)
+        spans = [
+            e for e in sim.trace.events
+            if e.get("cat") == "fault" and e.get("ph") == "X"
+        ]
+        assert len(spans) == 2
+        durations = sorted(s["dur"] for s in spans)
+        # LIFO close: the later-opened span gets the earlier end.
+        assert durations[0] == pytest.approx(1.0e6)
+        assert durations[1] == pytest.approx(3.0e6)
+
+
+class TestFaultLedgerDirect:
+    def test_token_restore_is_idempotent(self, sim):
+        net = star_network(sim)
+        ledger = FaultLedger(net)
+        link = net.link_between("a", "r")
+        token = ledger.begin_squeeze("a", "r", 0.5)
+        other = ledger.begin_squeeze("a", "r", 0.5)
+        token.restore()
+        token.restore()     # no-op: must not pop the other squeeze
+        assert link.bandwidth_bps == pytest.approx(5e6)
+        other.restore()
+        assert link.bandwidth_bps == 10e6
+
+    def test_outage_count_query(self, sim):
+        net = star_network(sim)
+        ledger = FaultLedger(net)
+        ledger.link_down("a", "r")
+        ledger.link_down("a", "r")
+        assert ledger.outages_on("a", "r") == 2
+        ledger.link_up("a", "r")
+        assert ledger.outages_on("a", "r") == 1
+        assert not net.link_between("a", "r").up
+        ledger.link_up("a", "r")
+        assert ledger.outages_on("a", "r") == 0
+        assert net.link_between("a", "r").up

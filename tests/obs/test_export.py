@@ -104,6 +104,56 @@ class TestFixedBucketHistogram:
         assert doc["min"] is None and doc["max"] is None
         assert doc["p50"] is None and doc["p999"] is None
 
+    def test_record_lo_lands_in_bucket_zero(self):
+        # The docstring contract: bucket 0 covers [lo, lo*r), so lo
+        # itself is a bucket-0 sample, not underflow.
+        hist = FixedBucketHistogram(lo=1e-3, hi=1.0, buckets=8)
+        hist.record(1e-3)
+        assert hist.underflow == 0
+        assert hist.counts[0] == 1
+        assert hist.minimum == 1e-3
+
+    def test_values_below_lo_still_underflow(self):
+        hist = FixedBucketHistogram(lo=1e-3, hi=1.0, buckets=8)
+        hist.record(0.99e-3)
+        assert hist.underflow == 1
+        assert sum(hist.counts) == 0
+
+    def test_from_dict_derives_finite_min_max_when_keys_absent(self):
+        hist = FixedBucketHistogram(lo=1e-3, hi=1.0, buckets=16)
+        for value in (0.01, 0.2):
+            hist.record(value)
+        doc = hist.to_dict()
+        del doc["min"], doc["max"]
+        clone = FixedBucketHistogram.from_dict(doc)
+        # count > 0 must never leave the inf/-inf sentinels in place:
+        # they poison quantile clamping (p50 would return inf-clamped
+        # garbage) and serialise as Infinity in JSON.
+        assert math.isfinite(clone.minimum)
+        assert math.isfinite(clone.maximum)
+        assert clone.minimum <= 0.01 * (1 + 1e-9)
+        assert clone.maximum >= 0.2 * (1 - 1e-9)
+        assert clone.minimum <= clone.p50 <= clone.maximum
+
+    def test_from_dict_without_min_max_all_underflow_overflow(self):
+        hist = FixedBucketHistogram(lo=1e-3, hi=1.0, buckets=8)
+        hist.record(1e-6)
+        hist.record(42.0)
+        doc = hist.to_dict()
+        del doc["min"], doc["max"]
+        clone = FixedBucketHistogram.from_dict(doc)
+        # Only the edge buckets are occupied: the tightest derivable
+        # bounds are the histogram's own edges.
+        assert clone.minimum == pytest.approx(1e-3)
+        assert clone.maximum == pytest.approx(1.0)
+
+    def test_from_dict_empty_keeps_sentinels(self):
+        clone = FixedBucketHistogram.from_dict(
+            FixedBucketHistogram().to_dict()
+        )
+        assert clone.minimum == math.inf
+        assert clone.maximum == -math.inf
+
 
 class TestRegistrySnapshot:
     def test_snapshot_shape(self):
@@ -141,6 +191,36 @@ class TestPrometheusText:
 
     def test_empty_registry_renders_empty(self):
         assert prometheus_text(MetricsRegistry(FakeClock())) == ""
+
+    def test_colliding_sanitised_names_stay_distinct(self):
+        registry = MetricsRegistry(FakeClock())
+        registry.counter("vc.v0.x").inc(1)
+        registry.counter("vc_v0_x").inc(2)
+        registry.counter("vc-v0-x").inc(3)
+        text = prometheus_text(registry)
+        lines = text.splitlines()
+        sample_names = [
+            line.split()[0] for line in lines if not line.startswith("#")
+        ]
+        # Valid exposition: every metric name appears exactly once.
+        assert len(sample_names) == len(set(sample_names)) == 3
+        type_lines = [line for line in lines if line.startswith("# TYPE")]
+        assert len(type_lines) == 3
+        # Deterministic: the sorted-first name keeps the plain form,
+        # later colliders get numbered suffixes.
+        assert "vc_v0_x 3" in text          # "vc-v0-x" sorts first
+        assert "vc_v0_x_2 1" in text        # then "vc.v0.x"
+        assert "vc_v0_x_3 2" in text        # then "vc_v0_x"
+
+    def test_counter_gauge_collision_disambiguated(self):
+        registry = MetricsRegistry(FakeClock())
+        registry.counter("a.b").inc(7)
+        registry.gauge("a_b").set(9.0)
+        text = prometheus_text(registry)
+        assert "# TYPE a_b counter" in text
+        assert "a_b 7" in text
+        assert "# TYPE a_b_2 gauge" in text
+        assert "a_b_2 9.0" in text
 
     def test_json_snapshot_file(self, tmp_path):
         registry = MetricsRegistry(FakeClock())

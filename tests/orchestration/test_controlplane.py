@@ -1,0 +1,288 @@
+"""End-to-end tests for the desired-state control plane.
+
+Everything runs over a real :class:`~repro.core.runtime.Stack`: events
+drive the reconciler, the reconciler drives T-Connect and the Orch
+group lifecycle, and the assertions read back the query API, the lease
+history and the metrics registry.
+"""
+
+import pytest
+
+from repro.ansa.stream import MediaQoS
+from repro.core.runtime import Stack
+from repro.faults.plan import ChaosPlan
+from repro.orchestration.events import HookDeliveryConfig
+from repro.orchestration.lease import LeaseError
+
+QOS = MediaQoS(osdu_rate=25, osdu_bytes=2000)
+
+
+def film_stack(seed=1, **cp_kwargs):
+    """Two hosts around one router, stack up, control plane on."""
+    stack = Stack(seed=seed)
+    stack.router("net")
+    stack.host("pub").link("net")
+    stack.host("sub").link("net")
+    stack.up()
+    cp = stack.enable_controlplane(**cp_kwargs)
+    return stack, cp
+
+
+def counter(stack, name):
+    return stack.sim.metrics.counter(name).value
+
+
+class TestConvergence:
+    def test_ready_converges_to_running(self):
+        stack, cp = film_stack()
+        handle = stack.host_stack("pub").publishes(
+            "live/cam1/in", to="sub", media_qos=QOS
+        )
+        handle.ready()
+        stack.sim.run(until=5.0)
+        assert cp.converged()
+        path = cp.path("live/cam1/in")
+        assert path["actual"]["running"]
+        assert path["actual"]["run_id"] == "live/cam1/in#r1"
+        assert path["lease"] is not None
+        assert counter(stack, "controlplane.sessions.started") == 1
+        assert counter(stack, "controlplane.admission.admitted") == 1
+        assert cp.sessions() and cp.sessions()[0]["stream_id"] == "live/cam1/in"
+
+    def test_unready_converges_to_stopped(self):
+        stack, cp = film_stack()
+        handle = stack.host_stack("pub").publishes(
+            "live/cam1/in", to="sub", media_qos=QOS
+        )
+        handle.ready()
+        stack.sim.run(until=5.0)
+        handle.unready()
+        stack.sim.run(until=10.0)
+        assert cp.converged()
+        path = cp.path("live/cam1/in")
+        assert not path["actual"]["running"]
+        assert path["lease"] is None
+        assert cp.leases.holder("live/cam1/in") is None
+        assert counter(stack, "controlplane.sessions.stopped") == 1
+        assert cp.sessions() == []
+
+    def test_restart_opens_new_run(self):
+        stack, cp = film_stack()
+        handle = stack.host_stack("pub").publishes(
+            "live/cam1/in", to="sub", media_qos=QOS
+        )
+        handle.ready()
+        stack.sim.run(until=5.0)
+        handle.unready()
+        stack.sim.run(until=10.0)
+        handle.ready()
+        stack.sim.run(until=15.0)
+        assert cp.converged()
+        assert handle.runs == 2
+        path = cp.path("live/cam1/in")
+        assert path["actual"]["run_id"] == "live/cam1/in#r2"
+        assert counter(stack, "controlplane.sessions.started") == 2
+        assert cp.leases.max_concurrent("live/cam1/in") == 1
+
+    def test_two_streams_run_side_by_side(self):
+        stack = Stack(seed=1)
+        stack.router("net")
+        stack.host("pub").link("net", bandwidth_bps=20e6)
+        stack.host("sub").link("net", bandwidth_bps=20e6)
+        stack.up()
+        cp = stack.enable_controlplane()
+        pub = stack.host_stack("pub")
+        first = pub.publishes("live/a/in", to="sub", media_qos=QOS)
+        second = pub.publishes("live/b/in", to="sub", media_qos=QOS)
+        first.ready()
+        second.ready()
+        stack.sim.run(until=5.0)
+        assert cp.converged()
+        assert len(cp.sessions()) == 2
+        assert cp.leases.violations() == []
+
+
+class TestNoFlap:
+    def test_duplicate_events_do_not_restart(self):
+        stack, cp = film_stack()
+        handle = stack.host_stack("pub").publishes(
+            "live/cam1/in", to="sub", media_qos=QOS
+        )
+        event = handle.ready()
+        stack.sim.run(until=5.0)
+        starts = counter(stack, "controlplane.sessions.started")
+        # At-least-once delivery: the same event lands again (and again).
+        for _ in range(3):
+            cp.handle_event(event)
+        stack.sim.run(until=10.0)
+        assert counter(stack, "controlplane.sessions.started") == starts == 1
+        assert counter(stack, "controlplane.events.duplicate") == 3
+        assert counter(stack, "controlplane.sessions.stopped") == 0
+        assert cp.path("live/cam1/in")["starts"] == 1
+
+    def test_stale_event_does_not_resurrect_a_stopped_stream(self):
+        stack, cp = film_stack()
+        handle = stack.host_stack("pub").publishes(
+            "live/cam1/in", to="sub", media_qos=QOS
+        )
+        ready = handle.ready()
+        stack.sim.run(until=5.0)
+        handle.unready()
+        stack.sim.run(until=10.0)
+        assert not cp.path("live/cam1/in")["actual"]["running"]
+        # A delayed redelivery of the original ready arrives *after*
+        # the unready: it is stale, not a new intent.
+        cp.handle_event(ready)
+        stack.sim.run(until=15.0)
+        assert not cp.path("live/cam1/in")["actual"]["running"]
+        assert counter(stack, "controlplane.events.duplicate") == 1
+        assert counter(stack, "controlplane.sessions.started") == 1
+
+    def test_out_of_order_first_contact_never_starts(self):
+        stack, cp = film_stack()
+        handle = stack.host_stack("pub").publishes(
+            "live/cam1/in", to="sub", media_qos=QOS
+        )
+        # Mint both events but deliver them swapped (bypassing the
+        # channel): the max-seq unready must win and the late-arriving
+        # ready must be classified stale.
+        ready = handle._source.ready()
+        unready = handle._source.unready()
+        cp.handle_event(unready)
+        cp.handle_event(ready)
+        stack.sim.run(until=5.0)
+        assert cp.converged()
+        assert not cp.path("live/cam1/in")["actual"]["running"]
+        assert counter(stack, "controlplane.events.stale") == 1
+        assert counter(stack, "controlplane.sessions.started") == 0
+
+
+class TestFailureIsolation:
+    def test_admission_failure_backs_off_without_stalling_neighbours(self):
+        stack, cp = film_stack()
+        pub = stack.host_stack("pub")
+        healthy = pub.publishes("live/ok/in", to="sub", media_qos=QOS)
+        # ~21 Mb/s of wire throughput over a 10 Mb/s link: admission
+        # must refuse it, forever.
+        sick = pub.publishes(
+            "live/greedy/in", to="sub",
+            media_qos=MediaQoS(osdu_rate=1000, osdu_bytes=2000),
+        )
+        healthy.ready()
+        sick.ready()
+        stack.sim.run(until=8.0)
+        ok_path = cp.path("live/ok/in")
+        sick_path = cp.path("live/greedy/in")
+        assert ok_path["converged"] and ok_path["actual"]["running"]
+        assert not sick_path["converged"]
+        assert sick_path["failures"] >= 2          # retried with backoff
+        assert "AdmissionError" in sick_path["last_error"]
+        assert counter(stack, "controlplane.admission.rejected") >= 2
+        assert counter(stack, "controlplane.reconcile.backoffs") >= 2
+        assert not cp.converged()
+        # Giving up on the sick stream converges the whole plane.
+        sick.unready()
+        stack.sim.run(until=16.0)
+        assert cp.converged()
+        assert cp.leases.violations() == []
+
+    def test_lease_guard_blocks_foreign_holder(self):
+        stack, cp = film_stack()
+        handle = stack.host_stack("pub").publishes(
+            "live/cam1/in", to="sub", media_qos=QOS
+        )
+        handle.ready()
+        stack.sim.run(until=5.0)
+        with pytest.raises(LeaseError):
+            cp.leases.acquire("live/cam1/in", "rogue", "live/cam1/in#r9")
+        assert counter(stack, "controlplane.lease.denied") == 1
+
+
+class TestChaosSoak:
+    def test_soak_converges_with_at_most_one_lease_per_stream(self):
+        stack = Stack(seed=7)
+        stack.router("net")
+        stack.host("pub").link("net", bandwidth_bps=20e6)
+        stack.host("sub").link("net", bandwidth_bps=20e6)
+        stack.up()
+        cp = stack.enable_controlplane(
+            delivery=HookDeliveryConfig(
+                base_delay=0.05, jitter=0.3,
+                duplicate_probability=0.5, max_extra_copies=2,
+            ),
+        )
+        stack.with_fault_plan(ChaosPlan(
+            horizon=20.0,
+            links=[("pub", "net"), ("net", "sub")],
+            episode_rate=0.4,
+            max_duration=1.0,
+        ))
+        pub = stack.host_stack("pub")
+        cam = pub.publishes("live/cam/in", to="sub", media_qos=QOS)
+        mic = pub.publishes("live/mic/in", to="sub", media_qos=QOS)
+        sim = stack.sim
+        # A scripted broadcast day: both streams toggle while chaos runs.
+        for at, action in [
+            (0.5, cam.ready), (1.0, mic.ready),
+            (6.0, cam.unready), (8.0, cam.ready),
+            (10.0, mic.unready), (12.0, mic.ready),
+            (14.0, cam.unready), (16.0, cam.ready),
+        ]:
+            sim.call_at(at, action)
+        sim.run(until=60.0)                        # chaos ends at 20
+        assert cp.converged(), [p["last_error"] for p in cp.paths()]
+        for stream_id in ("live/cam/in", "live/mic/in"):
+            path = cp.path(stream_id)
+            assert path["actual"]["running"]       # both end desired-up
+            # At most one worker lease at any instant, over the whole run.
+            assert cp.leases.max_concurrent(stream_id) == 1
+        assert cp.leases.violations() == []
+        # No thrash: each run starts at most once (retries after genuine
+        # failures notwithstanding, a started run is never restarted).
+        assert cp.path("live/cam/in")["starts"] <= cam.runs + \
+            cp.path("live/cam/in")["failures"]
+        assert cp.path("live/cam/in")["stops"] >= 2
+        assert counter(stack, "controlplane.events.duplicate") > 0
+
+
+class TestQueryAndExport:
+    def test_snapshot_and_prometheus(self):
+        stack, cp = film_stack()
+        handle = stack.host_stack("pub").publishes(
+            "live/cam1/in", to="sub", media_qos=QOS
+        )
+        handle.ready()
+        stack.sim.run(until=5.0)
+        snap = cp.snapshot()
+        assert snap["converged"]
+        assert snap["leases"]["violations"] == []
+        assert snap["events"]["published"] == 1
+        assert snap["events"]["delivered"] >= 1
+        text = cp.prometheus_text()
+        assert "controlplane_sessions_started 1" in text
+        assert "controlplane_streams_running 1" in text
+        assert "controlplane_lease_granted 1" in text
+
+    def test_audit_report_carries_controlplane_section(self):
+        stack, cp = film_stack()
+        stack.enable_audit()
+        handle = stack.host_stack("pub").publishes(
+            "live/cam1/in", to="sub", media_qos=QOS
+        )
+        handle.ready()
+        stack.sim.run(until=5.0)
+        snap = stack.sim.auditor.snapshot()
+        section = snap["sections"]["controlplane"]
+        assert section["converged"]
+        assert section["paths"][0]["stream_id"] == "live/cam1/in"
+
+    def test_publishes_requires_controlplane(self):
+        stack = Stack(seed=1)
+        stack.router("net")
+        stack.host("pub").link("net")
+        stack.host("sub").link("net")
+        stack.up()
+        with pytest.raises(RuntimeError, match="control plane"):
+            stack.host_stack("pub").publishes(
+                "live/x/in", to="sub", media_qos=QOS
+            )

@@ -1,0 +1,153 @@
+"""Property tests for the hook-event reduction and delivery channel."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.orchestration.events import (
+    APPLIED,
+    DUPLICATE,
+    STALE,
+    DesiredTable,
+    FlakyHookChannel,
+    HookDeliveryConfig,
+    HookEvent,
+    StreamHookSource,
+    replay,
+)
+from repro.sim.scheduler import Simulator
+
+
+class TestHookEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HookEvent("s", "s#r1", "started", 0)
+        with pytest.raises(ValueError):
+            HookEvent("s", "s#r1", "ready", -1)
+        with pytest.raises(ValueError):
+            HookEvent("", "s#r1", "ready", 0)
+
+    def test_frozen(self):
+        event = HookEvent("s", "s#r1", "ready", 0)
+        with pytest.raises(AttributeError):
+            event.seq = 5
+
+
+class TestStreamHookSource:
+    def test_runs_and_sequences(self):
+        source = StreamHookSource("live/cam/in")
+        first = source.ready()
+        mid = source.unready()
+        second = source.ready()
+        assert [e.seq for e in (first, mid, second)] == [0, 1, 2]
+        assert first.run_id == mid.run_id == "live/cam/in#r1"
+        assert second.run_id == "live/cam/in#r2"
+        assert source.runs == 2
+
+    def test_repeated_ready_keeps_run(self):
+        source = StreamHookSource("s")
+        first = source.ready()
+        again = source.ready()     # duplicate publisher-side signal
+        assert again.run_id == first.run_id
+        assert again.seq > first.seq
+
+
+class TestDesiredTableConvergence:
+    """Any permutation/duplication of a sequence converges identically."""
+
+    @staticmethod
+    def _final(table, stream_id="s"):
+        desired = table.desired(stream_id)
+        return (desired.running, desired.run_id, desired.seq)
+
+    def test_all_permutations_converge(self):
+        source = StreamHookSource("s")
+        events = [source.ready(), source.unready(), source.ready()]
+        reference, _ = replay(events)
+        expected = self._final(reference)
+        for perm in itertools.permutations(events):
+            table, _ = replay(perm)
+            assert self._final(table) == expected
+
+    def test_duplication_and_permutation_converge(self):
+        rng = random.Random(11)
+        source = StreamHookSource("s")
+        events = []
+        for _ in range(4):
+            events.append(source.ready())
+            events.append(source.unready())
+        events.append(source.ready())
+        expected = self._final(replay(events)[0])
+        for trial in range(50):
+            shuffled = list(events)
+            # At-least-once: duplicate a random subset, then shuffle.
+            shuffled += [rng.choice(events) for _ in range(rng.randrange(6))]
+            rng.shuffle(shuffled)
+            table, outcomes = replay(shuffled)
+            assert self._final(table) == expected
+            assert outcomes[APPLIED] <= len(events)
+
+    def test_outcome_classification(self):
+        source = StreamHookSource("s")
+        first = source.ready()
+        second = source.unready()
+        table = DesiredTable()
+        assert table.observe(second) == APPLIED
+        assert table.observe(first) == STALE      # older seq, first sight
+        assert table.observe(first) == DUPLICATE  # seen seq
+        assert table.observe(second) == DUPLICATE
+        assert not table.desired("s").running
+
+    def test_streams_are_independent(self):
+        a, b = StreamHookSource("a"), StreamHookSource("b")
+        table, _ = replay([a.ready(), b.ready(), b.unready()])
+        assert table.desired("a").running
+        assert not table.desired("b").running
+        assert table.streams() == ["a", "b"]
+        assert len(table) == 2
+
+
+class TestFlakyHookChannel:
+    def test_well_behaved_by_default(self):
+        sim = Simulator()
+        seen = []
+        channel = FlakyHookChannel(sim, seen.append)
+        source = StreamHookSource("s")
+        channel.publish(source.ready())
+        sim.run(until=1.0)
+        assert len(seen) == 1
+        assert channel.published == channel.deliveries == 1
+
+    def test_duplicates_and_jitter_from_seeded_rng(self):
+        def deliveries(seed):
+            sim = Simulator()
+            seen = []
+            channel = FlakyHookChannel(
+                sim, lambda e: seen.append((sim.now, e.seq)),
+                rng=random.Random(seed),
+                config=HookDeliveryConfig(
+                    base_delay=0.05, jitter=0.4,
+                    duplicate_probability=0.6, max_extra_copies=2,
+                ),
+            )
+            source = StreamHookSource("s")
+            for _ in range(5):
+                channel.publish(source.ready())
+                channel.publish(source.unready())
+            sim.run(until=10.0)
+            return seen
+
+        first = deliveries(3)
+        assert first == deliveries(3)           # deterministic replay
+        assert len(first) > 10                  # duplicates happened
+        order = [seq for _, seq in first]
+        assert order != sorted(order)           # reordering happened
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HookDeliveryConfig(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            HookDeliveryConfig(duplicate_probability=1.5)
+        with pytest.raises(ValueError):
+            HookDeliveryConfig(max_extra_copies=-1)
