@@ -1,0 +1,159 @@
+"""E19 -- sharded virtual-time scaling (packets per wall-second).
+
+Not a paper experiment: this benchmark measures the parallel
+scale-out path of :mod:`repro.sim.shard` driving the fleet builder in
+:mod:`repro.soak`.  One fixed fleet (``SCALE``: 16 pump cells, 64
+audited VCs per cell, ~246k audited packets over 120 virtual seconds)
+is run four ways:
+
+- ``inline``: the unsharded single-process baseline.
+- ``shards@1/2/4``: the same fleet partitioned into N virtual-time
+  domains, one worker process each.  With no cross-shard links the
+  lookahead is infinite, so the whole run is a single synchronization
+  window -- this row isolates the *parallel speedup* from the protocol.
+- ``cross@4``: 4 shards plus the cross-shard gateway ring, so every
+  ring hop is a cut link and the run pays the conservative-window
+  protocol (barriers every ``ring_prop_delay`` of lookahead, packets
+  pickled across process pipes).  This row prices the synchronization
+  overhead.
+
+The throughput metric is audited packets delivered per wall-clock
+second, taken from the merged fleet result -- so every row also proves
+the merge: each sharded run must report the same fleet conformance
+summary as the inline baseline.
+
+Acceptance target (ISSUE 8): ``shards@4`` >= 2.5x ``inline`` packet
+throughput **on a >= 4-hardware-thread host**.  Worker processes
+timeshare on smaller hosts, so rows are stamped with ``cpu_count`` and
+``benchmarks/check_e19_regression.py`` gates on speedup only where the
+hardware can express it (and on merge correctness plus a bounded
+sharding overhead everywhere).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.metrics.table import Table
+from repro.soak import FleetSpec, run_fleet
+
+from benchmarks.common import emit, once
+
+#: The fixed fleet every row runs.  ``cp_pairs=0`` keeps the workload
+#: purely data-plane (the control-plane soak is e18's job); the verdict
+#: timeline is capped so snapshot size stays flat over long durations.
+SCALE = FleetSpec(
+    cells=16, vcs_per_cell=64, cp_pairs=0, duration=120.0,
+    pump_packets=2, tight_every=16, max_timeline=4,
+)
+#: Worker counts for the no-cut scaling sweep.
+SHARD_SWEEP = (1, 2, 4)
+
+
+def run_row(label: str, spec: FleetSpec, inline: bool) -> dict:
+    """One benchmark row: run the fleet, keep the headline numbers."""
+    result = run_fleet(spec, inline=inline)
+    failures = result.invariant_failures()
+    summary = result.audit["summary"]
+    return {
+        "label": label,
+        "shards": 1 if inline else spec.shards,
+        "wall_s": result.wall_s,
+        "packets": result.packets_delivered,
+        "pps": result.packets_per_wall_second,
+        "windows": result.windows,
+        "messages": result.messages,
+        "conformance": summary["conformance"],
+        "connections": summary["connections"],
+        "failures": failures,
+    }
+
+
+def run_experiment():
+    rows = [run_row("inline", SCALE, inline=True)]
+    for shards in SHARD_SWEEP:
+        spec = dataclasses.replace(SCALE, shards=shards)
+        rows.append(run_row(f"shards@{shards}", spec, inline=False))
+    cross = dataclasses.replace(
+        SCALE, shards=4, cross_traffic=True, cross_packets=2,
+    )
+    rows.append(run_row("cross@4", cross, inline=False))
+
+    baseline = rows[0]
+    table = Table(
+        ["run", "workers", "wall s", "packets", "packets/wall-s",
+         "speedup", "windows", "cross-shard msgs", "conformance"],
+        title="E19: one fleet ("
+              f"{SCALE.cells} cells x {SCALE.vcs_per_cell} VCs, "
+              f"{baseline['packets']:,} audited packets over "
+              f"{SCALE.duration:g} virtual s) across worker counts "
+              f"[host: {os.cpu_count()} hardware thread(s)]",
+    )
+    for r in rows:
+        table.add(
+            r["label"], r["shards"], f"{r['wall_s']:.2f}",
+            f"{r['packets']:,}", f"{r['pps']:,.0f}",
+            f"{r['pps'] / baseline['pps']:.2f}x",
+            r["windows"], r["messages"],
+            f"{r['conformance']:.4f}",
+        )
+    return [table], rows
+
+
+def json_rows(rows) -> dict:
+    """Machine-readable rows for the --json dump / BENCH_e19.json."""
+    out = {"cpu_count": float(os.cpu_count() or 1)}
+    for r in rows:
+        out[f"pps@{r['label']}"] = r["pps"]
+        out[f"wall_s@{r['label']}"] = r["wall_s"]
+    return out
+
+
+@pytest.mark.benchmark(group="e19")
+def test_e19_sharding(benchmark):
+    tables, rows = once(benchmark, run_experiment)
+    emit(
+        "e19_sharding", tables,
+        notes="Conservative-lookahead sharding: the same audited fleet "
+              "partitioned across worker processes, merged back into "
+              "one conformance report.  Speedup is hardware-bound; the "
+              "merge identity is not.",
+        results=json_rows(rows),
+    )
+    baseline = rows[0]
+    for r in rows:
+        # Every run -- at every worker count -- is a healthy fleet.
+        assert r["failures"] == [], (r["label"], r["failures"])
+    for r in rows[1:-1]:  # the sweep runs the *same* fleet as inline
+        assert r["packets"] == baseline["packets"], r["label"]
+        # The merge identity: sharding moves work, not verdicts.
+        assert r["conformance"] == baseline["conformance"], r["label"]
+        assert r["connections"] == baseline["connections"], r["label"]
+    by_label = {r["label"]: r for r in rows}
+    # No cuts -> one window, nothing crosses; the ring -> both.
+    for shards in SHARD_SWEEP:
+        assert by_label[f"shards@{shards}"]["windows"] == 1
+        assert by_label[f"shards@{shards}"]["messages"] == 0
+    assert by_label["cross@4"]["windows"] > 100
+    assert by_label["cross@4"]["messages"] > 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import json as _json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write machine-readable rows here")
+    cli = parser.parse_args()
+    tables, rows = run_experiment()
+    for t in tables:
+        print(t.render())
+    if cli.json:
+        with open(cli.json, "w") as fh:
+            _json.dump(json_rows(rows), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"rows written to {cli.json}")

@@ -1,0 +1,112 @@
+"""CI smoke gate for the sharded scale-out path.
+
+Runs the e19 benchmark's ``SCALE`` fleet inline and at 4 shards --
+with and without cross-shard traffic -- and gates on what the
+hardware can actually express:
+
+- **Everywhere**: the merge identity.  Every sharded run must deliver
+  the same packet count and report the identical fleet conformance
+  summary as the inline baseline, and every run's fleet invariants
+  must hold.  This is the hardware-independent guarantee.
+- **On hosts with >= 4 hardware threads** (GitHub runners): real
+  parallel speedup -- 4-worker packets/wall-second must beat inline by
+  ``--min-speedup`` (default 2.0x; the e19 acceptance row targets
+  2.5x, the gate leaves noise margin on shared runners).
+- **On smaller hosts** (1-thread dev containers, where worker
+  processes timeshare one core): a bounded overhead ratio instead --
+  4-worker wall time at most ``--max-overhead`` x inline (default
+  2.5x), so spawn/pickle/merge costs cannot silently balloon.
+
+Usage::
+
+    PYTHONPATH=.:src python benchmarks/check_e19_regression.py
+    PYTHONPATH=.:src python benchmarks/check_e19_regression.py \
+        --min-speedup 2.5 --max-overhead 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import sys
+
+from repro.soak import run_fleet
+
+from benchmarks.bench_e19_sharding import SCALE as GATE
+# The full benchmark fleet, not a reduced one: per-worker process
+# spawn is a fixed cost, so a smaller fleet would measure spawn time
+# instead of sharding overhead.  ~250k packets amortizes it.
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required shards@4/inline throughput ratio "
+                             "on >=4-thread hosts")
+    parser.add_argument("--max-overhead", type=float, default=2.5,
+                        help="max shards@4/inline wall-time ratio on "
+                             "timeshared (<4-thread) hosts")
+    cli = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    inline = run_fleet(GATE, inline=True)
+    sharded = run_fleet(dataclasses.replace(GATE, shards=4))
+    cross = run_fleet(dataclasses.replace(
+        GATE, shards=4, cross_traffic=True,
+    ))
+
+    failures = []
+    for label, result in (("inline", inline), ("shards@4", sharded),
+                          ("cross@4", cross)):
+        for problem in result.invariant_failures():
+            failures.append(f"{label}: {problem}")
+        print(f"{label}: {result.packets_delivered:,} packets in "
+              f"{result.wall_s:.2f} wall s "
+              f"({result.packets_per_wall_second:,.0f}/s), "
+              f"{result.windows} window(s), {result.messages} "
+              f"cross-shard message(s)")
+
+    # Merge identity: same fleet, same verdicts, any worker count.
+    base, merged = inline.audit["summary"], sharded.audit["summary"]
+    if sharded.packets_delivered != inline.packets_delivered:
+        failures.append(
+            f"merge identity: shards@4 delivered "
+            f"{sharded.packets_delivered} != inline "
+            f"{inline.packets_delivered}")
+    if merged != base:
+        failures.append(
+            f"merge identity: shards@4 summary {merged} != inline {base}")
+    if cross.messages == 0:
+        failures.append("cross@4 exchanged no cross-shard packets")
+
+    ratio = sharded.packets_per_wall_second / \
+        inline.packets_per_wall_second
+    if cpus >= 4:
+        print(f"{cpus} hardware threads: gating on real speedup "
+              f"({ratio:.2f}x vs {cli.min_speedup:.1f}x required)")
+        if ratio < cli.min_speedup:
+            failures.append(
+                f"speedup {ratio:.2f}x < {cli.min_speedup:.1f}x on a "
+                f"{cpus}-thread host")
+    else:
+        overhead = sharded.wall_s / inline.wall_s
+        print(f"{cpus} hardware thread(s): workers timeshare -- gating "
+              f"on overhead ({overhead:.2f}x vs "
+              f"{cli.max_overhead:.1f}x allowed)")
+        if overhead > cli.max_overhead:
+            failures.append(
+                f"sharding overhead {overhead:.2f}x > "
+                f"{cli.max_overhead:.1f}x on a {cpus}-thread host")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("shard-smoke: merge identity holds, "
+          + ("speedup" if cpus >= 4 else "overhead") + " within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -153,7 +153,9 @@ class Runtime:
         )
 
     def enable_audit(self, flight_capacity: int = 4096,
-                     max_drilldowns: int = 8):
+                     max_drilldowns: int = 8,
+                     flight_recorder: bool = True,
+                     max_timeline: Optional[int] = None):
         """Install a QoS conformance auditor; returns the auditor.
 
         Registers every subsequent T-Connect's negotiated contract and
@@ -162,14 +164,20 @@ class Runtime:
         When tracing is off, a bounded flight-recorder ring is
         installed so violated periods can still be drilled down to
         their causal packets; an already-enabled tracer is reused.
-        Like tracing, the audit only records in memory: it never
-        schedules simulator events or perturbs a run.
+        Fleet-scale soaks pass ``flight_recorder=False`` (skip the
+        per-packet ring entirely) and a small ``max_timeline`` (bound
+        each connection's retained verdict timeline) to keep a
+        100k-connection snapshot a tractable document.  Like tracing,
+        the audit only records in memory: it never schedules simulator
+        events or perturbs a run.
         """
         from repro.obs.audit import install_audit
 
         return install_audit(
             self.sim, flight_capacity=flight_capacity,
             max_drilldowns=max_drilldowns,
+            flight_recorder=flight_recorder,
+            max_timeline=max_timeline,
         )
 
     def export_audit(self, path: str) -> str:
@@ -467,14 +475,17 @@ class Stack(Runtime):
         return self.controlplane
 
     def enable_audit(self, flight_capacity: int = 4096,
-                     max_drilldowns: int = 8):
+                     max_drilldowns: int = 8,
+                     flight_recorder: bool = True,
+                     max_timeline: Optional[int] = None):
         """As :meth:`Runtime.enable_audit`, plus control-plane linkage.
 
         When the control plane is already enabled its snapshot is
         attached to the auditor as a ``controlplane`` report section.
         """
         auditor = super().enable_audit(
-            flight_capacity=flight_capacity, max_drilldowns=max_drilldowns
+            flight_capacity=flight_capacity, max_drilldowns=max_drilldowns,
+            flight_recorder=flight_recorder, max_timeline=max_timeline,
         )
         if self.controlplane is not None:
             auditor.attach_section("controlplane", self.controlplane.snapshot)

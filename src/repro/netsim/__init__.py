@@ -16,6 +16,9 @@ provides:
 - :mod:`repro.netsim.faults` -- fault mechanisms (link down/up, rate
   squeeze, loss burst, router crash) driven by :mod:`repro.faults`
   plans.
+- :mod:`repro.netsim.partition` / :mod:`repro.netsim.boundary` --
+  topology partitioning and boundary links for sharded multi-process
+  runs (see ``docs/SCALING.md``).
 """
 
 from repro.netsim.packet import Packet, Priority
@@ -31,6 +34,14 @@ from repro.netsim.link import (
 )
 from repro.netsim.node import Host, Node, Router
 from repro.netsim.topology import Network
+from repro.netsim.boundary import BoundaryLink, attach_egress
+from repro.netsim.partition import (
+    CutLink,
+    LinkSpec,
+    PartitionError,
+    TopologyPartition,
+    partition_topology,
+)
 from repro.netsim.faults import (
     begin_loss_burst,
     begin_squeeze,
@@ -48,24 +59,31 @@ from repro.netsim.reservation import (
 __all__ = [
     "AdmissionError",
     "BernoulliLoss",
+    "BoundaryLink",
+    "CutLink",
     "GilbertElliottLoss",
     "Host",
     "Link",
+    "LinkSpec",
     "LossModel",
     "Network",
     "NoJitter",
     "NoLoss",
     "Node",
     "Packet",
+    "PartitionError",
     "Priority",
     "Reservation",
     "ReservationManager",
     "Router",
+    "TopologyPartition",
     "TruncatedGaussianJitter",
     "UniformJitter",
+    "attach_egress",
     "begin_loss_burst",
     "begin_squeeze",
     "crash_node",
+    "partition_topology",
     "restart_node",
     "restore_link",
     "take_link_down",

@@ -213,10 +213,17 @@ class QoSAuditor:
     """
 
     def __init__(self, sim, tracer: Optional[Tracer] = None,
-                 max_drilldowns: int = 8):
+                 max_drilldowns: int = 8,
+                 max_timeline: Optional[int] = None):
         self.sim = sim
         self._tracer = tracer
         self.max_drilldowns = max_drilldowns
+        #: When set, each connection keeps only the most recent N
+        #: timeline entries (verdict *counts* are never truncated).
+        #: Fleet-scale soaks set this so a 100k-VC audit snapshot stays
+        #: a bounded document; interactive runs keep the default full
+        #: timelines.
+        self.max_timeline = max_timeline
         self._connections: Dict[str, _ConnectionAudit] = {}
         self._groups: Dict[str, _GroupAudit] = {}
         self.delay_hist = FixedBucketHistogram(lo=1e-5, hi=10.0, buckets=128)
@@ -301,6 +308,9 @@ class QoSAuditor:
         elif verdict == "degraded":
             entry["degraded"] = _degradations(contract, measurement)
         conn.timeline.append(entry)
+        limit = self.max_timeline
+        if limit is not None and len(conn.timeline) > limit:
+            del conn.timeline[: len(conn.timeline) - limit]
         if measurement.mean_delay_s is not None:
             self.delay_hist.record(measurement.mean_delay_s)
         if measurement.jitter_s is not None:
@@ -449,22 +459,58 @@ def _summarize(connections: List[Dict[str, Any]]) -> Dict[str, Any]:
     }
 
 
-def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
+def merge_snapshots(
+    snapshots: List[Dict[str, Any]],
+    labels: Optional[List[str]] = None,
+    namespace: bool = False,
+) -> Dict[str, Any]:
     """Fold several audit snapshots into one document.
 
-    Connections and groups concatenate (VC and session ids are unique
-    per process); the fleet summary is recomputed; histograms with the
-    same bucket layout add, mismatched layouts keep the first seen.
-    Attached sections collect per-snapshot values into a list per name.
+    Connections and groups concatenate; the fleet summary is recomputed;
+    histograms with the same bucket layout add, mismatched layouts keep
+    the first seen.  Attached sections collect per-snapshot values into
+    a list per name (the report CLI renders one block per source).
+
+    Identity rule: VC and session ids must be disjoint across the
+    inputs.  Sharded fleets guarantee this structurally (host names --
+    and therefore vc ids -- are namespaced per shard at build time), so
+    they merge with ``namespace=False`` and ids survive unchanged,
+    keeping merged conformance comparable to an unsharded baseline.
+    When the inputs *reuse* an id space (e.g. several independent runs
+    of one scenario), pass ``namespace=True`` with per-snapshot
+    ``labels``: every connection's ``vc`` and group's ``session`` gains
+    a ``"<label>/"`` prefix.  Namespacing is shallow -- ids quoted
+    inside drill-downs or timelines keep their original spelling.
+
+    With ``labels`` given (or more than one snapshot), the merged
+    document records its provenance under ``merged_from``; the report
+    header surfaces it.  Inputs are never mutated.
     """
+    if labels is not None and len(labels) != len(snapshots):
+        raise ValueError(
+            f"got {len(labels)} labels for {len(snapshots)} snapshots"
+        )
+    if namespace and labels is None:
+        raise ValueError("namespace=True requires labels")
     connections: List[Dict[str, Any]] = []
     groups: List[Dict[str, Any]] = []
     hists: Dict[str, FixedBucketHistogram] = {}
     sections: Dict[str, List[Any]] = {}
     now = 0.0
-    for snap in snapshots:
-        connections.extend(snap.get("connections", ()))
-        groups.extend(snap.get("groups", ()))
+    for index, snap in enumerate(snapshots):
+        if namespace:
+            prefix = f"{labels[index]}/"
+            connections.extend(
+                {**conn, "vc": prefix + str(conn.get("vc"))}
+                for conn in snap.get("connections", ())
+            )
+            groups.extend(
+                {**group, "session": prefix + str(group.get("session"))}
+                for group in snap.get("groups", ())
+            )
+        else:
+            connections.extend(snap.get("connections", ()))
+            groups.extend(snap.get("groups", ()))
         now = max(now, snap.get("now", 0.0))
         for name, value in snap.get("sections", {}).items():
             sections.setdefault(name, []).append(value)
@@ -494,6 +540,12 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
             name: hist.to_dict() for name, hist in hists.items()
         },
     }
+    if labels is not None or len(snapshots) > 1:
+        merged["merged_from"] = {
+            "snapshots": len(snapshots),
+            "labels": list(labels) if labels is not None else None,
+            "namespaced": bool(namespace),
+        }
     if sections:
         # Per-shard section values are preserved as a list per name;
         # report renderers decide how to fold them.
@@ -502,20 +554,33 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
 
 
 def install_audit(sim, flight_capacity: int = 4096,
-                  max_drilldowns: int = 8) -> QoSAuditor:
+                  max_drilldowns: int = 8,
+                  flight_recorder: bool = True,
+                  max_timeline: Optional[int] = None) -> QoSAuditor:
     """Install a :class:`QoSAuditor` (and flight recorder) on ``sim``.
 
     When tracing is off, a :class:`FlightRecorder` ring becomes the
     simulator's tracer so violations can still be explained; an
-    already-enabled tracer is reused untouched.  Idempotent.
+    already-enabled tracer is reused untouched.  Pass
+    ``flight_recorder=False`` to skip the ring entirely -- fleet-scale
+    soaks trade drill-downs for a per-packet-event-free hot path
+    (verdicts and conformance are unaffected).  ``max_timeline`` bounds
+    each connection's retained timeline (see :class:`QoSAuditor`).
+    Idempotent.
     """
     if sim.auditor is not None:
         return sim.auditor
     tracer = sim.trace
     if not tracer.enabled:
-        tracer = FlightRecorder(lambda: sim.now, capacity=flight_capacity)
-        sim.trace = tracer
+        if flight_recorder:
+            tracer = FlightRecorder(
+                lambda: sim.now, capacity=flight_capacity
+            )
+            sim.trace = tracer
+        else:
+            tracer = None
     sim.auditor = QoSAuditor(
         sim, tracer=tracer, max_drilldowns=max_drilldowns,
+        max_timeline=max_timeline,
     )
     return sim.auditor

@@ -359,3 +359,52 @@ class MetricsRegistry:
                 for name, series in sorted(self._series.items())
             },
         }
+
+
+def merge_snapshots(
+    snapshots: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """Fold several :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    The fleet view of a sharded run: counters and gauges sum per name
+    (gauges on the convention that every fleet gauge is an additive
+    occupancy -- queue depths, running streams), windowed stats combine
+    count/total/extrema with the earliest start and latest end, series
+    sample counts sum, and ``now`` is the latest shard clock.  Inputs
+    are not mutated.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    windows: Dict[str, Dict[str, object]] = {}
+    series: Dict[str, int] = {}
+    now = 0.0
+    for snap in snapshots:
+        now = max(now, snap.get("now", 0.0))
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0) + value
+        for name, win in snap.get("windows", {}).items():
+            out = windows.get(name)
+            if out is None:
+                windows[name] = dict(win)
+                continue
+            out["start"] = min(out["start"], win["start"])
+            out["end"] = max(out["end"], win["end"])
+            out["count"] += win["count"]
+            out["total"] += win["total"]
+            for key, pick in (("min", min), ("max", max)):
+                ours, theirs = out[key], win[key]
+                if ours is None:
+                    out[key] = theirs
+                elif theirs is not None:
+                    out[key] = pick(ours, theirs)
+        for name, count in snap.get("series", {}).items():
+            series[name] = series.get(name, 0) + count
+    return {
+        "now": now,
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "windows": dict(sorted(windows.items())),
+        "series": dict(sorted(series.items())),
+    }

@@ -16,6 +16,15 @@ of each violated period (lost packets and overlapping fault episodes),
 renegotiation outcomes, and a per-group orchestration section
 comparing the skew histogram against the HLO tightness bound.
 
+Merged snapshots (:func:`repro.obs.audit.merge_snapshots` -- what a
+sharded ``python -m repro.soak`` run emits) render through the same
+path: the header names the source shards, attached sections render one
+block per source, and the per-VC table is capped at ``--max-rows``
+rows (worst conformance first) so a 100k-VC fleet report stays
+readable.  The merge relies on VC ids being disjoint across sources --
+sharded fleets namespace host names per shard, independent runs must
+merge with ``namespace=True`` -- so every table row keeps a unique id.
+
 Both forms exit non-zero with a one-line message when the file is
 missing, truncated, or not valid JSON of the expected shape.
 """
@@ -152,14 +161,38 @@ def _reneg_cell(renegotiations: List[Dict[str, Any]]) -> str:
     return ", ".join(f"{n} {outcome}" for outcome, n in sorted(counts.items()))
 
 
-def _conformance_table(connections: List[Dict[str, Any]]) -> str:
+def _conformance_table(connections: List[Dict[str, Any]],
+                       max_rows: Optional[int] = None) -> str:
+    """Per-VC Table-2 rows; capped at ``max_rows`` worst VCs if set.
+
+    "Worst" ranks by violated-period count, then lowest conformance,
+    then vc id -- a fleet report surfaces the misbehaving connections
+    and summarises the healthy bulk in a trailing note.
+    """
+    shown = connections
+    note = ""
+    if max_rows is not None and len(connections) > max_rows:
+        def _rank(conn: Dict[str, Any]):
+            counts = conn.get("counts", {})
+            conformance = conn.get("conformance")
+            return (
+                -counts.get("violated", 0),
+                conformance if conformance is not None else 2.0,
+                str(conn.get("vc", "")),
+            )
+        shown = sorted(connections, key=_rank)[:max_rows]
+        note = (
+            f"\n  ... and {len(connections) - max_rows} more "
+            "connection(s) not shown (rows capped; fleet totals in the "
+            "header count every VC)"
+        )
     table = Table(
         ["vc", "periods", "met", "degr", "viol", "idle", "conform",
          "ttfv (s)", *(_DIM_HEADERS), "reneg", "release"],
         title="Per-VC conformance (Table-2 dimensions; counts are "
               "violated periods naming the dimension)",
     )
-    for conn in connections:
+    for conn in shown:
         counts = conn.get("counts", {})
         by_dim: Dict[str, int] = defaultdict(int)
         for entry in conn.get("timeline", ()):
@@ -179,7 +212,7 @@ def _conformance_table(connections: List[Dict[str, Any]]) -> str:
             _reneg_cell(conn.get("renegotiations", ())),
             released.get("reason", "?") if released else "-",
         )
-    return table.render()
+    return table.render() + note
 
 
 _DIM_HEADERS = ("thr", "delay", "jitter", "per", "ber")
@@ -304,20 +337,36 @@ def _orchestration_section(groups: List[Dict[str, Any]]) -> List[str]:
     return blocks
 
 
-def _controlplane_section(section: Any) -> List[str]:
+def _controlplane_section(
+    section: Any, labels: Optional[List[str]] = None
+) -> List[str]:
     """Render the control plane's desired/actual view.
 
-    ``section`` is one control-plane snapshot, or a list of them when
-    the audit was merged from several shards.
+    ``section`` is one control-plane snapshot, or -- when the audit was
+    merged from several shards -- a list with one snapshot per source,
+    in merge order.  Each source renders as its own block, headed by
+    the matching merge label (``merged_from.labels``) when available,
+    else by its 1-based position.  Stream ids inside each block are
+    shard-local names; the id-namespacing rule (see
+    :func:`repro.obs.audit.merge_snapshots`) guarantees they are
+    already disjoint across sources, so no re-prefixing happens here.
     """
-    snapshots = section if isinstance(section, list) else [section]
+    merged = isinstance(section, list)
+    snapshots = section if merged else [section]
     blocks: List[str] = []
-    for snap in snapshots:
+    for index, snap in enumerate(snapshots):
+        if merged:
+            if labels is not None and index < len(labels):
+                origin = f" [{labels[index]}]"
+            else:
+                origin = f" [{index + 1}/{len(snapshots)}]"
+        else:
+            origin = ""
         leases = snap.get("leases", {})
         violations = leases.get("violations", [])
         events = snap.get("events", {})
         blocks.append(
-            f"Control plane: "
+            f"Control plane{origin}: "
             f"{'converged' if snap.get('converged') else 'NOT converged'}; "
             f"{leases.get('granted_total', 0)} lease(s) granted, "
             f"{len(violations)} double-grant violation(s)"
@@ -331,7 +380,8 @@ def _controlplane_section(section: Any) -> List[str]:
         table = Table(
             ["stream", "desired", "actual", "run", "session", "conv",
              "starts", "stops", "outages", "recov", "fails", "last error"],
-            title="Control plane: per-stream desired vs. actual state",
+            title=f"Control plane{origin}: per-stream desired vs. "
+                  "actual state",
         )
         for path_entry in paths:
             desired = path_entry.get("desired") or {}
@@ -355,8 +405,13 @@ def _controlplane_section(section: Any) -> List[str]:
     return blocks
 
 
-def render_run(path: str) -> str:
-    """Build the run report for one audit snapshot."""
+def render_run(path: str, max_rows: Optional[int] = 200) -> str:
+    """Build the run report for one audit snapshot.
+
+    ``max_rows`` caps the per-VC conformance table for fleet-scale
+    audits (``None`` disables the cap); the header and histograms
+    always cover every connection.
+    """
     data = load_audit(path)
     connections = data["connections"]
     groups = data.get("groups", [])
@@ -372,8 +427,22 @@ def render_run(path: str) -> str:
         f"mean time-to-first-violation "
         f"{_fmt(summary.get('mean_time_to_first_violation'), 3)} s"
     )
+    merged_from = data.get("merged_from")
+    merge_labels: Optional[List[str]] = None
+    if merged_from:
+        merge_labels = merged_from.get("labels")
+        origin = (
+            ", ".join(merge_labels) if merge_labels
+            else f"{merged_from.get('snapshots', '?')} snapshot(s)"
+        )
+        blocks.append(
+            f"Merged from {merged_from.get('snapshots', '?')} "
+            f"snapshot(s): {origin}"
+            + (" (vc ids namespaced per source)"
+               if merged_from.get("namespaced") else "")
+        )
     if connections:
-        blocks.append(_conformance_table(connections))
+        blocks.append(_conformance_table(connections, max_rows=max_rows))
         drill_blocks: List[str] = []
         for conn in connections:
             lines = _drilldown_lines(conn)
@@ -388,7 +457,9 @@ def render_run(path: str) -> str:
         blocks.extend(_orchestration_section(groups))
     controlplane = data.get("sections", {}).get("controlplane")
     if controlplane is not None:
-        blocks.extend(_controlplane_section(controlplane))
+        blocks.extend(
+            _controlplane_section(controlplane, labels=merge_labels)
+        )
     histograms = data.get("histograms", {})
     if histograms:
         hist_table = Table(
@@ -413,9 +484,17 @@ def _main_run(argv: List[str]) -> int:
                     "snapshot (Runtime.export_audit).",
     )
     parser.add_argument("audit", help="path to an exported audit JSON")
+    parser.add_argument(
+        "--max-rows", type=int, default=200,
+        help="cap the per-VC table at the N worst connections "
+             "(0 = unlimited; default 200)",
+    )
     args = parser.parse_args(argv)
     try:
-        text = render_run(args.audit)
+        text = render_run(
+            args.audit,
+            max_rows=args.max_rows if args.max_rows > 0 else None,
+        )
     except OSError as exc:
         print(f"cannot read {args.audit!r}: {exc}", file=sys.stderr)
         return 1

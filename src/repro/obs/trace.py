@@ -221,3 +221,63 @@ class Tracer:
         with open(path, "w") as handle:
             json.dump(self.to_dict(), handle)
         return path
+
+
+def merge_traces(
+    traces: List[Dict[str, Any]],
+    labels: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """Fold several exported traces into one Chrome-trace document.
+
+    Each input is a :meth:`Tracer.to_dict` object (or anything with a
+    ``traceEvents`` list).  Per-trace pids are sequential small ints, so
+    two shards' traces reuse the same pid space for *different* tracks;
+    merging rebuilds one pid namespace keyed by track name.  With
+    ``labels`` given (one per trace -- shard names, typically) every
+    track is prefixed ``"<label>/"`` so same-named tracks from
+    different shards stay distinct lanes; without labels, same-named
+    tracks merge into a single lane (correct when track names are
+    already globally unique, as namespaced fleet host names are).
+
+    Event payloads are not copied deeply -- callers must not mutate the
+    inputs afterwards.  Events keep per-trace recording order,
+    concatenated; Chrome-trace consumers sort by timestamp themselves.
+    """
+    if labels is not None and len(labels) != len(traces):
+        raise ValueError(
+            f"got {len(labels)} labels for {len(traces)} traces"
+        )
+    pids: Dict[str, int] = {}
+    merged: List[Dict[str, Any]] = []
+    for index, trace in enumerate(traces):
+        events = trace["traceEvents"] if isinstance(trace, dict) else trace
+        # Recover this trace's pid -> track mapping from its metadata.
+        tracks: Dict[int, str] = {}
+        for event in events:
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                tracks[event["pid"]] = event["args"]["name"]
+        prefix = f"{labels[index]}/" if labels is not None else ""
+        remap: Dict[int, int] = {}
+        for old_pid, track in tracks.items():
+            name = prefix + track
+            pid = pids.get(name)
+            if pid is None:
+                pid = pids[name] = len(pids) + 1
+            remap[old_pid] = pid
+        for event in events:
+            if event.get("ph") == "M":
+                continue
+            out = dict(event)
+            out["pid"] = remap.get(event.get("pid"), event.get("pid"))
+            merged.append(out)
+    metadata = [
+        {
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": track},
+        }
+        for track, pid in sorted(pids.items(), key=lambda kv: kv[1])
+    ]
+    return {
+        "traceEvents": metadata + merged,
+        "displayTimeUnit": "ms",
+    }

@@ -20,6 +20,8 @@ Public surface:
   model the inter-machine clock drift that motivates continuous
   orchestration (paper section 3.6).
 - :class:`RandomStreams` -- named, independently seeded random streams.
+- :mod:`repro.sim.shard` -- parallel per-process virtual-time domains
+  synchronized with conservative lookahead (``docs/SCALING.md``).
 """
 
 from repro.sim.scheduler import (

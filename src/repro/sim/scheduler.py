@@ -532,6 +532,39 @@ class Simulator:
         """Number of scheduled (non-cancelled) events.  O(1)."""
         return self._count - self._dead
 
+    def next_event_time(self) -> Optional[float]:
+        """Conservative lower bound on the next event's fire time.
+
+        Read-only: scans the unconsumed dispatch run, the occupancy
+        bitmap and the overflow heap without mutating any of them, so it
+        is safe to call between ``run(until=...)`` windows (the shard
+        coordinator uses it to pick the next synchronization horizon).
+
+        The bound is conservative in the safe direction: dead (cancelled)
+        entries and bucket starts may make it *earlier* than the first
+        event that actually fires, never later.  Returns ``None`` when
+        nothing is scheduled.
+        """
+        cur = self._cur
+        i = self._cur_i
+        if i < len(cur):
+            return cur[i][0]
+        occ = self._occ
+        target = None
+        if occ:
+            cursor_slot = self._cursor & _MASK
+            m = occ >> cursor_slot
+            if m:
+                target = self._cursor + ((m & -m).bit_length() - 1)
+            else:
+                lsb = (occ & -occ).bit_length() - 1
+                target = self._cursor - cursor_slot + _SLOTS + lsb
+        t = target * _TICK if target is not None else None
+        heap = self._heap
+        if heap and (t is None or heap[0][0] < t):
+            t = heap[0][0]
+        return t
+
 
 class Waitable:
     """Base class for things a process generator may ``yield``."""

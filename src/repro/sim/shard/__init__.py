@@ -1,0 +1,27 @@
+"""Sharded simulation: parallel per-process virtual-time domains.
+
+One logical simulation is split into *shards*, each owning a
+:class:`~repro.sim.scheduler.Simulator` plus a slice of the topology,
+running in its own worker process.  Shards synchronize with classic
+conservative lookahead: every cut link has a positive propagation
+delay, so a shard may safely execute a whole *window* of virtual time
+-- up to the minimum cut latency past the global floor -- before it can
+possibly be affected by a packet it has not yet seen.  Cross-shard
+packets are serialized at the cut by a
+:class:`~repro.netsim.boundary.BoundaryLink`, collected in a per-shard
+:class:`Outbox`, and routed between windows by the coordinator over
+``multiprocessing`` pipes.
+
+See ``docs/SCALING.md`` for the full design: partitioning rules, the
+window protocol, determinism guarantees, and the result-merge pipeline.
+"""
+
+from repro.sim.shard.coordinator import ShardedRun, run_sharded
+from repro.sim.shard.runner import Outbox, reset_process_state
+
+__all__ = [
+    "Outbox",
+    "ShardedRun",
+    "reset_process_state",
+    "run_sharded",
+]

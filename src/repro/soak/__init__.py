@@ -1,0 +1,186 @@
+"""Fleet-scale soak runs over the sharded simulation core.
+
+``python -m repro.soak --shards N`` runs one :class:`FleetSpec` --
+pump cells, control-plane pairs, optional cross-shard ring traffic --
+either inline (one simulator, the baseline) or sharded across ``N``
+worker processes via :func:`repro.sim.shard.run_sharded`, then folds
+the per-shard audit/metrics/trace snapshots into one fleet document
+(:func:`repro.obs.audit.merge_snapshots` and friends) that
+``python -m repro.obs.report run`` renders as a single report.
+
+The package's contract (tested in ``tests/integration``): a 1-shard
+sharded run is bit-identical to the inline baseline, and an N-shard
+run's merged conformance equals the baseline's.  See
+``docs/SCALING.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.audit import merge_snapshots
+from repro.obs.registry import merge_snapshots as merge_metrics
+from repro.obs.trace import merge_traces
+from repro.sim.shard import reset_process_state, run_sharded
+from repro.soak.fleet import (
+    FleetContext,
+    FleetSpec,
+    build_fleet_inline,
+    build_fleet_shard,
+    fleet_partition,
+)
+
+__all__ = [
+    "FleetContext",
+    "FleetResult",
+    "FleetSpec",
+    "build_fleet_inline",
+    "build_fleet_shard",
+    "fleet_partition",
+    "run_fleet",
+]
+
+
+@dataclass
+class FleetResult:
+    """Outcome of :func:`run_fleet`: merged documents plus provenance.
+
+    ``payloads[k]`` is shard ``k``'s raw ``collect()`` payload (one
+    entry for inline runs); ``audit``/``metrics``/``trace`` are the
+    merged fleet documents.  ``windows``/``messages`` come from the
+    synchronization protocol (1 window, 0 messages inline).
+    """
+
+    spec: FleetSpec
+    mode: str
+    lookahead: float
+    wall_s: float
+    windows: int = 1
+    messages: int = 0
+    payloads: List[Dict[str, Any]] = field(default_factory=list)
+    audit: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    trace: Optional[Dict[str, Any]] = None
+
+    def _count(self, name: str) -> int:
+        return sum(p["counts"][name] for p in self.payloads)
+
+    @property
+    def packets_delivered(self) -> int:
+        """Audited data packets delivered fleet-wide (pump + ring)."""
+        return self._count("pump_received") + self._count("cross_received")
+
+    @property
+    def packets_per_wall_second(self) -> float:
+        """Delivered audited packets per wall-clock second."""
+        return self.packets_delivered / self.wall_s if self.wall_s else 0.0
+
+    def invariant_failures(self) -> List[str]:
+        """Every broken fleet invariant, as human-readable strings.
+
+        Empty means the run is healthy: control planes converged with
+        zero lease violations, deliveries account for every sent packet
+        (minus at most one in-flight batch per flow at cutoff), and the
+        deterministic tight-contract violations survived the merge.
+        """
+        failures: List[str] = []
+        spec = self.spec
+        if spec.cp_pairs:
+            for payload in self.payloads:
+                cp = payload["controlplane"]
+                where = f"shard {payload['shard']}"
+                if cp["converged"] is not True:
+                    failures.append(f"{where}: control plane not converged")
+                if cp["lease_violations"]:
+                    failures.append(
+                        f"{where}: {len(cp['lease_violations'])} lease "
+                        "violation(s)"
+                    )
+        sent, received = self._count("pump_sent"), self._count("pump_received")
+        in_flight = spec.total_vcs * spec.pump_packets
+        if not (sent - in_flight <= received <= sent):
+            failures.append(
+                f"pump accounting: sent {sent}, received {received}, "
+                f"in-flight bound {in_flight}"
+            )
+        xsent = self._count("cross_sent")
+        xreceived = self._count("cross_received")
+        x_in_flight = 2 * spec.cells * spec.cross_packets
+        if not (xsent - x_in_flight <= xreceived <= xsent):
+            failures.append(
+                f"ring accounting: sent {xsent}, received {xreceived}, "
+                f"in-flight bound {x_in_flight}"
+            )
+        summary = self.audit.get("summary", {})
+        expected_vcs = self._count("pump_vcs") + self._count("cross_vcs")
+        if summary.get("connections", 0) < expected_vcs:
+            failures.append(
+                f"merged audit lost connections: "
+                f"{summary.get('connections')} < {expected_vcs}"
+            )
+        tight_vcs = (
+            spec.total_vcs // spec.tight_every if spec.tight_every else 0
+        )
+        if (tight_vcs and spec.duration >= 3 * spec.pump_period
+                and not summary.get("counts", {}).get("violated")):
+            failures.append(
+                f"expected violated periods from {tight_vcs} "
+                "tight-contract VC(s), merged audit has none"
+            )
+        return failures
+
+
+def run_fleet(
+    spec: FleetSpec,
+    *,
+    inline: bool = False,
+    window: Optional[float] = None,
+    mp_context: str = "spawn",
+    progress: Optional[Callable[[float, int], None]] = None,
+) -> FleetResult:
+    """Run one fleet spec to completion and merge its outputs.
+
+    ``inline=True`` builds the whole fleet on one simulator in this
+    process (resetting process-global id counters first, so the result
+    is comparable to what a freshly spawned worker produces); otherwise
+    ``spec.shards`` worker processes run the conservative window
+    protocol.  ``window`` and ``mp_context`` pass through to
+    :func:`repro.sim.shard.run_sharded`.
+    """
+    spec.validate()
+    lookahead = fleet_partition(spec).lookahead
+    if inline:
+        reset_process_state()
+        started = time.perf_counter()
+        ctx = build_fleet_inline(spec)
+        ctx.sim.run(until=spec.duration)
+        payload = ctx.collect()
+        return FleetResult(
+            spec=spec, mode="inline", lookahead=lookahead,
+            wall_s=time.perf_counter() - started,
+            payloads=[payload],
+            audit=payload["audit"], metrics=payload["metrics"],
+            trace=payload["trace"],
+        )
+    run = run_sharded(
+        build_fleet_shard, spec.shards, until=spec.duration,
+        lookahead=lookahead, args=(spec,), window=window,
+        mp_context=mp_context, progress=progress,
+    )
+    labels = [f"s{k}" for k in range(spec.shards)]
+    audit = merge_snapshots(
+        [p["audit"] for p in run.results], labels=labels,
+    )
+    metrics = merge_metrics([p["metrics"] for p in run.results])
+    trace = None
+    if spec.trace:
+        trace = merge_traces(
+            [p["trace"] for p in run.results], labels=labels,
+        )
+    return FleetResult(
+        spec=spec, mode="sharded", lookahead=lookahead,
+        wall_s=run.wall_s, windows=run.windows, messages=run.messages,
+        payloads=run.results, audit=audit, metrics=metrics, trace=trace,
+    )

@@ -1,0 +1,152 @@
+"""CLI for fleet-scale soak runs: ``python -m repro.soak --shards N``.
+
+Builds a :class:`~repro.soak.FleetSpec` from the flags, runs it
+(sharded by default, ``--inline`` for the single-process baseline),
+prints a one-screen summary, optionally writes the merged audit
+snapshot (``--out``) and renders it through ``repro.obs.report``
+(``--render``).  Exits non-zero when a fleet invariant fails, which is
+what lets CI use a small soak as a smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.soak import FleetSpec, run_fleet
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.soak",
+        description="Run a sharded (or inline-baseline) soak fleet.",
+    )
+    parser.add_argument("--shards", type=int, default=1,
+                        help="virtual-time domains / worker processes")
+    parser.add_argument("--cells", type=int, default=4,
+                        help="pump cells (two hosts each)")
+    parser.add_argument("--vcs-per-cell", type=int, default=8,
+                        help="audited VCs per cell")
+    parser.add_argument("--cp-pairs", type=int, default=1,
+                        help="control-plane pub/sub pairs")
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="virtual seconds to simulate")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cross", action="store_true",
+                        help="add the cross-shard gateway ring")
+    parser.add_argument("--inline", action="store_true",
+                        help="run unsharded in this process (baseline)")
+    parser.add_argument("--pump-packets", type=int, default=2,
+                        help="packets per VC per period")
+    parser.add_argument("--pump-bytes", type=int, default=1200)
+    parser.add_argument("--period", type=float, default=1.0,
+                        help="pump/verdict period (virtual seconds)")
+    parser.add_argument("--tight-every", type=int, default=16,
+                        help="every Nth VC gets a violated-by-design "
+                             "delay contract (0 disables)")
+    parser.add_argument("--timeline", type=int, default=16,
+                        help="retained verdict-timeline entries per VC "
+                             "(0 keeps full timelines)")
+    parser.add_argument("--flight-recorder", action="store_true",
+                        help="keep the per-packet flight-recorder ring "
+                             "(off by default at fleet scale)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record and merge lifecycle traces")
+    parser.add_argument("--window", type=float, default=None,
+                        help="cap the synchronization window below the "
+                             "lookahead (protocol stress testing)")
+    parser.add_argument("--mp-context", default="spawn",
+                        choices=("spawn", "fork", "forkserver"))
+    parser.add_argument("--out", default=None,
+                        help="write the merged audit snapshot JSON here")
+    parser.add_argument("--render", action="store_true",
+                        help="render the merged report to stdout")
+    parser.add_argument("--max-rows", type=int, default=40,
+                        help="per-VC rows in the rendered report "
+                             "(0 = unlimited)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    spec = FleetSpec(
+        cells=args.cells,
+        vcs_per_cell=args.vcs_per_cell,
+        shards=args.shards,
+        cp_pairs=args.cp_pairs,
+        duration=args.duration,
+        seed=args.seed,
+        cross_traffic=args.cross,
+        pump_packets=args.pump_packets,
+        pump_bytes=args.pump_bytes,
+        pump_period=args.period,
+        tight_every=args.tight_every,
+        max_timeline=args.timeline or None,
+        flight_recorder=args.flight_recorder,
+        trace=args.trace,
+    )
+    spec.validate()
+
+    def progress(t_end: float, windows: int) -> None:
+        print(f"  window {windows}: virtual time {t_end:.3f}/"
+              f"{spec.duration:.3f} s", file=sys.stderr)
+
+    result = run_fleet(
+        spec, inline=args.inline, window=args.window,
+        mp_context=args.mp_context,
+        progress=progress if not args.inline else None,
+    )
+
+    summary = result.audit.get("summary", {})
+    counts = summary.get("counts", {})
+    conformance = summary.get("conformance")
+    print(
+        f"{result.mode} run: {spec.cells} cell(s) x "
+        f"{spec.vcs_per_cell} VC(s) + {spec.cp_pairs} control-plane "
+        f"pair(s) over {spec.shards if not args.inline else 1} "
+        f"process(es), {spec.duration:g} virtual s"
+    )
+    print(
+        f"  synchronization: lookahead "
+        f"{result.lookahead if result.lookahead != float('inf') else 'inf'}"
+        f", {result.windows} window(s), {result.messages} cross-shard "
+        f"packet(s)"
+    )
+    print(
+        f"  delivered {result.packets_delivered} audited packets in "
+        f"{result.wall_s:.2f} wall s "
+        f"({result.packets_per_wall_second:,.0f} packets/wall-s)"
+    )
+    print(
+        f"  audit: {summary.get('connections', 0)} connection(s), "
+        f"{summary.get('periods', 0)} period(s), conformance "
+        f"{conformance if conformance is None else round(conformance, 4)} "
+        f"(met {counts.get('met', 0)}, violated "
+        f"{counts.get('violated', 0)})"
+    )
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result.audit, handle)
+        print(f"  merged audit written to {args.out}")
+    if args.render:
+        from repro.obs.report import render_run
+
+        path = args.out
+        if path is None:
+            path = "fleet_audit.json"
+            with open(path, "w") as handle:
+                json.dump(result.audit, handle)
+        print()
+        print(render_run(path, max_rows=args.max_rows or None))
+
+    failures = result.invariant_failures()
+    for failure in failures:
+        print(f"INVARIANT FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

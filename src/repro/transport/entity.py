@@ -207,9 +207,6 @@ class _VCRecord:
     reservation: Optional[Reservation]
 
 
-_vc_counter = itertools.count(1)
-
-
 class TransportEntity:
     """Transport protocol entity for one host."""
 
@@ -269,6 +266,13 @@ class TransportEntity:
         self._degradation: Optional[DegradationConfig] = None
         self._outage_states: Dict[str, OutageState] = {}
         self._outage_probes: set = set()
+        # Per-entity VC numbering: since node names are globally
+        # unique, ids like "host-vc3" are a pure function of the host
+        # and its connect order -- never of process-global state.  A
+        # sharded run therefore mints the same vc ids regardless of
+        # which worker a host lands on (the merge identity rule, see
+        # repro.obs.audit.merge_snapshots).
+        self._vc_counter = itertools.count(1)
 
     # ------------------------------------------------------------------
     # User interface
@@ -288,7 +292,7 @@ class TransportEntity:
         self.bindings.pop(tsap, None)
 
     def new_vc_id(self) -> str:
-        return f"{self.node_name}-vc{next(_vc_counter)}"
+        return f"{self.node_name}-vc{next(self._vc_counter)}"
 
     def enable_degradation(
         self, config: Optional[DegradationConfig] = None

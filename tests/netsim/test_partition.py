@@ -1,0 +1,76 @@
+"""Partitioning rules: what may and may not cross a shard boundary."""
+
+import math
+
+import pytest
+
+from repro.netsim.link import BernoulliLoss, UniformJitter
+from repro.netsim.partition import (
+    LinkSpec,
+    PartitionError,
+    partition_topology,
+)
+
+NODES = {"a0": 0, "r0": 0, "a1": 1, "r1": 1}
+
+
+def _links(**cut_overrides):
+    cut = dict(
+        src="r0", dst="r1", bandwidth_bps=1e7, prop_delay=0.01,
+    )
+    cut.update(cut_overrides)
+    return [
+        LinkSpec("a0", "r0", 1e8, 0.001),
+        LinkSpec("a1", "r1", 1e8, 0.001,
+                 jitter=UniformJitter(0.001)),  # local links may be dirty
+        LinkSpec(**cut),
+    ]
+
+
+def test_partitions_local_and_cut_links():
+    part = partition_topology(NODES, _links())
+    assert part.shards == 2
+    assert len(part.local[0]) == 1 and len(part.local[1]) == 1
+    (cut,) = part.cuts
+    assert (cut.src, cut.dst, cut.src_shard, cut.dst_shard) == (
+        "r0", "r1", 0, 1
+    )
+    assert part.lookahead == 0.01
+    assert part.egress(0) == (cut,)
+    assert part.ingress(1) == (cut,)
+    assert part.egress(1) == ()
+    assert part.nodes(1) == ("a1", "r1")
+
+
+def test_no_cuts_means_infinite_lookahead():
+    part = partition_topology(
+        {"a": 0, "b": 1},
+        [],
+    )
+    assert part.lookahead == math.inf
+    assert part.cuts == ()
+
+
+def test_rejects_zero_latency_cut():
+    with pytest.raises(PartitionError, match="positive"):
+        partition_topology(NODES, _links(prop_delay=0.0))
+
+
+def test_rejects_impaired_cuts():
+    with pytest.raises(PartitionError, match="pristine"):
+        partition_topology(NODES, _links(jitter=UniformJitter(0.001)))
+    with pytest.raises(PartitionError, match="pristine"):
+        partition_topology(NODES, _links(loss=BernoulliLoss(0.1)))
+    with pytest.raises(PartitionError, match="pristine"):
+        partition_topology(NODES, _links(ber=1e-6))
+
+
+def test_rejects_unassigned_endpoint_and_empty_shard():
+    with pytest.raises(PartitionError, match="no shard assignment"):
+        partition_topology({"r0": 0, "r1": 1}, _links())
+    with pytest.raises(PartitionError, match="owns no nodes"):
+        partition_topology({"a": 0}, [], shards=2)
+    with pytest.raises(PartitionError, match="outside"):
+        partition_topology({"a": 0, "b": 5}, [], shards=2)
+    with pytest.raises(PartitionError, match="empty"):
+        partition_topology({}, [])
