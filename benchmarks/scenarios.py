@@ -1,144 +1,17 @@
-"""Reusable experiment scenarios for the benchmark harness."""
+"""Reusable experiment scenarios (migrated to :mod:`repro.scenarios.film`).
+
+This module is a compatibility shim: the film testbed and scenario now
+live in the installable package so the test suite, the scenario matrix
+and the benchmark harness share one definition.  Import from
+``repro.scenarios.film`` in new code.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from repro.scenarios.film import (  # noqa: F401
+    FilmScenario,
+    film_testbed,
+    run_film,
+)
 
-from repro.core import Stack
-from repro.ansa.stream import AudioQoS, VideoQoS
-from repro.media.encodings import audio_pcm, video_cbr
-from repro.media.sink import PlayoutSink
-from repro.media.source import StoredMediaSource
-from repro.orchestration.policy import OrchestrationPolicy
-from repro.sim.clock import NodeClock
-from repro.sim.scheduler import Timeout
-from repro.transport.addresses import TransportAddress
-
-
-def film_testbed(
-    seed: int = 1,
-    drift_ppm: float = 200.0,
-    bandwidth: float = 20e6,
-    jitter=None,
-    loss=None,
-):
-    """video-srv + audio-srv feeding one workstation through a router."""
-    bed = Stack(seed=seed)
-    bed.host("video-srv", clock_skew_ppm=drift_ppm)
-    bed.host("audio-srv", clock_skew_ppm=-drift_ppm)
-    bed.host("ws", clock_skew_ppm=drift_ppm / 4)
-    bed.router("net")
-    for name in ("video-srv", "audio-srv", "ws"):
-        bed.link(name, "net", bandwidth, prop_delay=0.003, jitter=jitter,
-                 loss=loss)
-    return bed.up()
-
-
-class FilmScenario:
-    """The canonical lip-sync workload, orchestrated or free-running."""
-
-    def __init__(self, bed, orchestrated: bool, drift_ppm: float,
-                 interval_length: float = 0.2,
-                 video_drop: int = 2):
-        self.bed = bed
-        self.orchestrated = orchestrated
-        self.drift_ppm = drift_ppm
-        self.interval_length = interval_length
-        self.video_drop = video_drop
-        self.streams: Dict[str, object] = {}
-        self.sources: Dict[str, StoredMediaSource] = {}
-        self.sinks: Dict[str, PlayoutSink] = {}
-        self.session = None
-        self.marks: Dict[str, float] = {}
-
-    def connect(self, duration: float = 300.0) -> None:
-        holder = self.streams
-
-        def connector():
-            holder["video"] = yield from self.bed.factory.create(
-                TransportAddress("video-srv", 1), TransportAddress("ws", 1),
-                VideoQoS.of(fps=25.0, compression_ratio=80.0),
-            )
-            holder["audio"] = yield from self.bed.factory.create(
-                TransportAddress("audio-srv", 2), TransportAddress("ws", 2),
-                AudioQoS.telephone(),
-            )
-
-        self.bed.spawn(connector())
-        self.bed.run(5.0)
-        encodings = {
-            "video": video_cbr(25.0, holder["video"].media_qos.osdu_bytes),
-            "audio": audio_pcm(8000.0, 1, 32),
-        }
-        playout_clocks = {
-            "video": NodeClock(self.bed.sim, skew_ppm=self.drift_ppm),
-            "audio": NodeClock(self.bed.sim, skew_ppm=-self.drift_ppm),
-        }
-        for name in ("video", "audio"):
-            self.sources[name] = StoredMediaSource(
-                self.bed.sim, holder[name].send_endpoint, encodings[name],
-                total_osdus=int(duration * encodings[name].osdu_rate),
-            )
-            self.sinks[name] = PlayoutSink(
-                self.bed.sim,
-                holder[name].recv_endpoint,
-                osdu_rate=encodings[name].osdu_rate,
-                clock=(
-                    self.bed.clock("ws")
-                    if self.orchestrated
-                    else playout_clocks[name]
-                ),
-                mode="gated" if self.orchestrated else "paced",
-            )
-
-    def play(self, seconds: float) -> None:
-        marks = self.marks
-
-        if self.orchestrated:
-            def driver():
-                session = yield from self.bed.hlo.orchestrate(
-                    [
-                        self.streams["video"].spec(
-                            max_drop_per_interval=self.video_drop
-                        ),
-                        self.streams["audio"].spec(max_drop_per_interval=0),
-                    ],
-                    OrchestrationPolicy(interval_length=self.interval_length),
-                )
-                self.session = session
-                yield from session.prime()
-                yield from session.start()
-                marks["t0"] = self.bed.sim.now
-                yield Timeout(self.bed.sim, seconds)
-                marks["t1"] = self.bed.sim.now
-        else:
-            def driver():
-                self.sources["video"].play()
-                self.sources["audio"].play()
-                marks["t0"] = self.bed.sim.now
-                yield Timeout(self.bed.sim, seconds)
-                marks["t1"] = self.bed.sim.now
-
-        self.bed.spawn(driver())
-        self.bed.run(seconds + 20.0)
-
-    def skew_series(self, settle: float = 3.0, dt: float = 0.05):
-        from repro.media.lipsync import interstream_skew_series
-
-        return interstream_skew_series(
-            [self.sinks["video"], self.sinks["audio"]],
-            self.marks["t0"] + settle,
-            self.marks["t1"] - 1.0,
-            dt=dt,
-        )
-
-
-def run_film(orchestrated: bool, drift_ppm: float, seconds: float = 30.0,
-             seed: int = 1, interval_length: float = 0.2,
-             bandwidth: float = 20e6):
-    bed = film_testbed(seed=seed, drift_ppm=drift_ppm, bandwidth=bandwidth)
-    scenario = FilmScenario(bed, orchestrated, drift_ppm,
-                            interval_length=interval_length)
-    scenario.connect(duration=seconds + 60.0)
-    scenario.play(seconds)
-    return scenario
+__all__ = ["FilmScenario", "film_testbed", "run_film"]

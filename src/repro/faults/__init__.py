@@ -22,9 +22,14 @@ from repro.faults.plan import (
     LossBurst,
     NodeCrash,
     NodeRestart,
+    episode_from_jsonable,
+    episode_to_jsonable,
     link_outage,
     node_outage,
+    plan_from_jsonable,
+    plan_to_jsonable,
 )
+from repro.faults.shrink import ShrinkProbe, ShrinkResult, shrink_plan
 
 __all__ = [
     "BandwidthSqueeze",
@@ -38,6 +43,13 @@ __all__ = [
     "LossBurst",
     "NodeCrash",
     "NodeRestart",
+    "ShrinkProbe",
+    "ShrinkResult",
+    "episode_from_jsonable",
+    "episode_to_jsonable",
     "link_outage",
     "node_outage",
+    "plan_from_jsonable",
+    "plan_to_jsonable",
+    "shrink_plan",
 ]

@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import random as _random
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
 
-from repro.netsim.link import GilbertElliottLoss, LossModel
+from repro.netsim.link import BernoulliLoss, GilbertElliottLoss, LossModel, NoLoss
 
 
 @dataclass(frozen=True)
@@ -213,6 +213,102 @@ class FaultPlan:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         """Human-readable summary for debugging."""
         return f"FaultPlan({len(self._episodes)} episodes, horizon={self.horizon:g}s)"
+
+
+# -- serialization ---------------------------------------------------------
+#
+# Plans travel: a shrunk minimal plan is written to a repro file and
+# replayed later, and a scenario spec embeds concrete episodes so a
+# compiled fleet is a pure function of (spec, seed).  The JSON form is
+# the canonical identity: two plans are "the same" iff their jsonable
+# forms are equal (episode dataclass equality is unusable because loss
+# models carry run-time channel state and no __eq__).
+
+
+def _loss_to_jsonable(loss: LossModel) -> Dict[str, Any]:
+    """Serialize a loss model's *parameters* (never its channel state)."""
+    if isinstance(loss, GilbertElliottLoss):
+        return {
+            "model": "gilbert-elliott",
+            "p_good_to_bad": loss.p_good_to_bad,
+            "p_bad_to_good": loss.p_bad_to_good,
+            "p_good": loss.p_good,
+            "p_bad": loss.p_bad,
+        }
+    if isinstance(loss, BernoulliLoss):
+        return {"model": "bernoulli", "p": loss.p}
+    if isinstance(loss, NoLoss):
+        return {"model": "none"}
+    raise TypeError(f"cannot serialize loss model {loss!r}")
+
+
+def _loss_from_jsonable(data: Dict[str, Any]) -> LossModel:
+    """Rebuild a pristine loss model from its serialized parameters."""
+    model = data.get("model")
+    if model == "gilbert-elliott":
+        return GilbertElliottLoss(
+            p_good_to_bad=data["p_good_to_bad"],
+            p_bad_to_good=data["p_bad_to_good"],
+            p_good=data["p_good"],
+            p_bad=data["p_bad"],
+        )
+    if model == "bernoulli":
+        return BernoulliLoss(data["p"])
+    if model == "none":
+        return NoLoss()
+    raise ValueError(f"unknown loss model {model!r}")
+
+
+def episode_to_jsonable(episode: FaultEpisode) -> Dict[str, Any]:
+    """One episode as a plain JSON-serialisable dict."""
+    data: Dict[str, Any] = {"kind": episode.kind, "at": episode.at}
+    if isinstance(episode, (NodeCrash, NodeRestart)):
+        data["node"] = episode.node
+    else:
+        data["src"] = episode.src
+        data["dst"] = episode.dst
+    if isinstance(episode, BandwidthSqueeze):
+        data["duration"] = episode.duration
+        data["factor"] = episode.factor
+    elif isinstance(episode, LossBurst):
+        data["duration"] = episode.duration
+        data["loss"] = _loss_to_jsonable(episode.loss)
+    return data
+
+
+def episode_from_jsonable(data: Dict[str, Any]) -> FaultEpisode:
+    """Rebuild one episode from :func:`episode_to_jsonable` output."""
+    kind = data.get("kind")
+    at = data["at"]
+    if kind == "link_down":
+        return LinkDown(at, src=data["src"], dst=data["dst"])
+    if kind == "link_up":
+        return LinkUp(at, src=data["src"], dst=data["dst"])
+    if kind == "bandwidth_squeeze":
+        return BandwidthSqueeze(
+            at, duration=data["duration"], src=data["src"],
+            dst=data["dst"], factor=data["factor"],
+        )
+    if kind == "loss_burst":
+        return LossBurst(
+            at, duration=data["duration"], src=data["src"],
+            dst=data["dst"], loss=_loss_from_jsonable(data["loss"]),
+        )
+    if kind == "node_crash":
+        return NodeCrash(at, node=data["node"])
+    if kind == "node_restart":
+        return NodeRestart(at, node=data["node"])
+    raise ValueError(f"unknown episode kind {kind!r}")
+
+
+def plan_to_jsonable(plan: "FaultPlan") -> List[Dict[str, Any]]:
+    """A whole plan as a JSON-serialisable episode list (sorted order)."""
+    return [episode_to_jsonable(episode) for episode in plan]
+
+
+def plan_from_jsonable(data: Iterable[Dict[str, Any]]) -> "FaultPlan":
+    """Rebuild a :class:`FaultPlan` from :func:`plan_to_jsonable` output."""
+    return FaultPlan(episode_from_jsonable(item) for item in data)
 
 
 @dataclass

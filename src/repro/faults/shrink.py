@@ -1,0 +1,250 @@
+"""Automatic shrinking of failing fault plans to minimal repros.
+
+A seeded :class:`~repro.faults.plan.ChaosPlan` that breaks an invariant
+usually breaks it with one or two of its dozens of episodes; the rest
+are noise that makes the failure expensive to understand and replay.
+:func:`shrink_plan` reduces a failing plan to a *minimal reproducing*
+plan: every episode that can be dropped is dropped, and every timed
+episode that can be shortened is shortened, while a caller-supplied
+``still_fails`` predicate (typically "rerun the scenario with this
+candidate plan and check the invariant still breaks") keeps returning
+True.
+
+The algorithm is delta debugging (ddmin) over *atoms* -- episode
+groups that only make sense together: a ``LinkDown`` travels with its
+matching ``LinkUp``, a ``NodeCrash`` with its ``NodeRestart``, so no
+candidate plan ever leaves a link down or a router crashed forever by
+accident of shrinking.  A second pass then repeatedly halves the
+active duration of each surviving atom (squeeze/burst durations;
+down->up and crash->restart gaps) down to ``min_duration``.
+
+Guarantees (unit-tested in ``tests/faults/test_shrink.py``):
+
+- **soundness** -- the returned plan satisfies ``still_fails``, and
+  every probed candidate (reproducing or not) is recorded in
+  :attr:`ShrinkResult.attempts`, so no rejected plan vanishes silently;
+- **termination** -- the ddmin pass strictly shrinks the atom set or
+  raises granularity until it exceeds the plan size, the duration pass
+  halves geometrically to a fixed floor, and ``max_probes`` backstops
+  both (setting :attr:`ShrinkResult.truncated`);
+- **idempotence** -- shrinking an already-minimal plan returns an
+  identical plan and accepts zero changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Sequence, Tuple
+
+from repro.faults.plan import (
+    BandwidthSqueeze,
+    FaultEpisode,
+    FaultPlan,
+    LinkDown,
+    LinkUp,
+    LossBurst,
+    NodeCrash,
+    NodeRestart,
+    plan_to_jsonable,
+)
+
+
+@dataclass(frozen=True)
+class ShrinkProbe:
+    """One candidate plan tried during shrinking, with its outcome."""
+
+    action: str          # e.g. "drop 3 atom(s)", "halve duration c0.a->c0.b"
+    episodes: int        # size of the candidate plan
+    reproduced: bool     # did ``still_fails`` hold for the candidate?
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of :func:`shrink_plan`."""
+
+    plan: FaultPlan
+    original_episodes: int
+    probes: List[ShrinkProbe] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def accepted(self) -> int:
+        """Number of probes whose candidate reproduced (was kept)."""
+        return sum(1 for probe in self.probes if probe.reproduced)
+
+    @property
+    def minimal(self) -> bool:
+        """True when shrinking changed nothing (plan was already minimal)."""
+        return self.accepted == 0
+
+    def to_jsonable(self) -> dict:
+        """Summary + plan as a plain dict (the repro-file payload)."""
+        return {
+            "episodes": plan_to_jsonable(self.plan),
+            "original_episodes": self.original_episodes,
+            "probes": len(self.probes),
+            "accepted": self.accepted,
+            "truncated": self.truncated,
+        }
+
+
+#: An atom: episodes that must be dropped (or kept) together.
+Atom = Tuple[FaultEpisode, ...]
+
+
+def _group_atoms(plan: FaultPlan) -> List[Atom]:
+    """Group a plan's episodes into droppable atoms.
+
+    Each ``LinkDown`` pairs with the next ``LinkUp`` on the same
+    directed link; each ``NodeCrash`` with the next ``NodeRestart`` of
+    the same node.  Unmatched begin/end episodes and all timed episodes
+    stand alone.  Atom order follows first-episode time, so dropping a
+    contiguous chunk of atoms drops a contiguous stretch of the plan.
+    """
+    episodes = list(plan)
+    used = [False] * len(episodes)
+    atoms: List[Atom] = []
+    for i, episode in enumerate(episodes):
+        if used[i]:
+            continue
+        used[i] = True
+        if isinstance(episode, LinkDown):
+            for j in range(i + 1, len(episodes)):
+                other = episodes[j]
+                if (not used[j] and isinstance(other, LinkUp)
+                        and other.src == episode.src
+                        and other.dst == episode.dst):
+                    used[j] = True
+                    atoms.append((episode, other))
+                    break
+            else:
+                atoms.append((episode,))
+        elif isinstance(episode, NodeCrash):
+            for j in range(i + 1, len(episodes)):
+                other = episodes[j]
+                if (not used[j] and isinstance(other, NodeRestart)
+                        and other.node == episode.node):
+                    used[j] = True
+                    atoms.append((episode, other))
+                    break
+            else:
+                atoms.append((episode,))
+        else:
+            atoms.append((episode,))
+    return atoms
+
+
+def _plan_of(atoms: Sequence[Atom]) -> FaultPlan:
+    """Flatten atoms back into a plan."""
+    return FaultPlan(episode for atom in atoms for episode in atom)
+
+
+def _atom_duration(atom: Atom) -> float:
+    """The atom's active duration (0 for instantaneous atoms)."""
+    if len(atom) == 2:
+        return atom[1].at - atom[0].at
+    episode = atom[0]
+    return getattr(episode, "duration", 0.0)
+
+
+def _halve_atom(atom: Atom) -> Atom:
+    """The same fault at half the active duration."""
+    if len(atom) == 2:
+        begin, end = atom
+        return (begin, replace(end, at=begin.at + (end.at - begin.at) / 2))
+    episode = atom[0]
+    if isinstance(episode, (BandwidthSqueeze, LossBurst)):
+        return (replace(episode, duration=episode.duration / 2),)
+    return atom
+
+
+def _atom_label(atom: Atom) -> str:
+    """Human-readable atom description for probe records."""
+    episode = atom[0]
+    if isinstance(episode, (NodeCrash, NodeRestart)):
+        return f"{episode.kind}:{episode.node}@{episode.at:g}"
+    return f"{episode.kind}:{episode.src}->{episode.dst}@{episode.at:g}"
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    still_fails: Callable[[FaultPlan], bool],
+    *,
+    min_duration: float = 0.05,
+    max_probes: int = 500,
+) -> ShrinkResult:
+    """Reduce ``plan`` to a minimal plan for which ``still_fails`` holds.
+
+    ``still_fails(candidate)`` must be deterministic for a fixed
+    candidate (rerunning a seeded scenario qualifies).  The input plan
+    itself must fail -- a plan that does not reproduce has nothing to
+    shrink and raises ``ValueError``.
+
+    ``min_duration`` floors the duration-halving pass (an episode is
+    never shortened below it), and ``max_probes`` bounds the total
+    number of predicate evaluations.
+    """
+    if not still_fails(plan):
+        raise ValueError(
+            "the input plan does not reproduce the failure; "
+            "nothing to shrink"
+        )
+    result = ShrinkResult(plan=plan, original_episodes=len(plan))
+
+    def probe(candidate: FaultPlan, action: str) -> bool:
+        if len(result.probes) >= max_probes:
+            result.truncated = True
+            return False
+        ok = bool(still_fails(candidate))
+        result.probes.append(
+            ShrinkProbe(action=action, episodes=len(candidate),
+                        reproduced=ok)
+        )
+        return ok
+
+    # Pass 1: ddmin (complement reduction) over atoms.
+    atoms = _group_atoms(plan)
+    granularity = 2
+    while len(atoms) >= 2 and not result.truncated:
+        chunk = max(1, len(atoms) // granularity)
+        reduced = False
+        for start in range(0, len(atoms), chunk):
+            candidate_atoms = atoms[:start] + atoms[start + chunk:]
+            if not candidate_atoms:
+                continue
+            candidate = _plan_of(candidate_atoms)
+            if probe(candidate, f"drop {len(atoms) - len(candidate_atoms)} "
+                                f"atom(s) at {start}"):
+                atoms = candidate_atoms
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            if result.truncated:
+                break
+        if not reduced:
+            if granularity >= len(atoms):
+                break
+            granularity = min(granularity * 2, len(atoms))
+
+    # Pass 2: halve surviving atoms' active durations toward the floor.
+    changed = True
+    while changed and not result.truncated:
+        changed = False
+        for index, atom in enumerate(atoms):
+            duration = _atom_duration(atom)
+            if duration / 2 < min_duration:
+                continue
+            halved = _halve_atom(atom)
+            if halved == atom:
+                continue
+            candidate_atoms = list(atoms)
+            candidate_atoms[index] = halved
+            candidate = _plan_of(candidate_atoms)
+            if probe(candidate, f"halve {_atom_label(atom)}"):
+                atoms[index] = halved
+                changed = True
+            if result.truncated:
+                break
+
+    result.plan = _plan_of(atoms)
+    return result

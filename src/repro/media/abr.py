@@ -1,0 +1,218 @@
+"""Adaptive-bitrate ladder switching driven by ``T-QoS.indication``.
+
+The paper's monitoring function (section 4.1.2, Table 2) reports
+contract violations to the initiating transport user as
+``T-QoS.indication`` primitives -- but the paper leaves what the user
+*does* with them open.  This module closes the loop the way a modern
+streaming stack would: an :class:`AbrLadder` of encodings ordered from
+highest to lowest bitrate, and an :class:`AbrController` that watches
+the initiator's TSAP binding, switches the feeding
+:class:`~repro.media.source.StoredMediaSource` one rung **down** on
+every violation indication, and climbs one rung back **up** after a
+configurable number of consecutive indication-free sample periods.
+
+Switching changes only the *size* of subsequently generated OSDUs --
+the unit rate is sacred (the logical-data-unit principle of section
+3.7), so a rung change never perturbs orchestration timing, only the
+bits pushed through the contract.
+
+The scenario fleet (:mod:`repro.soak.fleet`) implements the same
+ladder policy at pump level, driven by per-period auditor verdicts --
+the fleet-scale analog of the indication stream modelled here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.media.encodings import Encoding
+from repro.sim.scheduler import PeriodicTimer, Simulator
+from repro.transport.primitives import TQoSIndication
+
+
+class AbrLadder:
+    """An ordered set of encoding rungs, highest bitrate first."""
+
+    def __init__(self, rungs: Sequence[Encoding]):
+        if not rungs:
+            raise ValueError("a ladder needs at least one rung")
+        rates = [rung.nominal_bps for rung in rungs]
+        if rates != sorted(rates, reverse=True):
+            raise ValueError(
+                "ladder rungs must be ordered highest bitrate first"
+            )
+        self.rungs: List[Encoding] = list(rungs)
+
+    def __len__(self) -> int:
+        return len(self.rungs)
+
+    def __getitem__(self, index: int) -> Encoding:
+        return self.rungs[index]
+
+    def clamp(self, index: int) -> int:
+        """The nearest valid rung index."""
+        return max(0, min(index, len(self.rungs) - 1))
+
+
+@dataclass(frozen=True)
+class AbrSwitch:
+    """One recorded rung change."""
+
+    at: float
+    from_rung: int
+    to_rung: int
+    reason: str  # "qos-indication" or "recovered"
+    violations: tuple = ()
+
+
+class AbrController:
+    """Closes the T-QoS.indication -> encoding-rung feedback loop.
+
+    Watches ``binding`` (the *initiator's* TSAP binding -- that is
+    where the monitor delivers indications, locally or relayed via
+    QoS-report TPDUs) and retargets ``source.encoding``:
+
+    - every :class:`TQoSIndication` for ``source``'s VC steps one rung
+      down (unless already at the bottom);
+    - every ``upswitch_after`` consecutive indication-free sample
+      periods step one rung up (unless already at the top).
+
+    The controller polls on the monitor's own ``sample_period`` cadence
+    so "indication-free period" aligns with the contract's verdict
+    clock.  All switches are recorded in :attr:`switches`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        binding,
+        source,
+        ladder: AbrLadder,
+        sample_period: float = 1.0,
+        upswitch_after: int = 3,
+        start_rung: int = 0,
+    ):
+        if sample_period <= 0:
+            raise ValueError("sample_period must be positive")
+        if upswitch_after < 1:
+            raise ValueError("upswitch_after must be at least 1")
+        self.sim = sim
+        self.binding = binding
+        self.source = source
+        self.ladder = ladder
+        self.upswitch_after = upswitch_after
+        self.rung = ladder.clamp(start_rung)
+        self.switches: List[AbrSwitch] = []
+        self._clean_periods = 0
+        self._indicated = False
+        source.encoding = ladder[self.rung]
+        self._watcher = sim.spawn(
+            self._watch_loop(), name=f"abr:{source.endpoint.vc_id}"
+        )
+        self._timer = PeriodicTimer(sim, sample_period, self._on_period)
+        self._timer.start(first_delay=sample_period)
+
+    @property
+    def encoding(self) -> Encoding:
+        """The currently selected rung's encoding."""
+        return self.ladder[self.rung]
+
+    def stop(self) -> None:
+        """Stop the period clock (the watcher dies with the simulator)."""
+        self._timer.stop()
+
+    # -- internals ---------------------------------------------------------
+
+    def _watch_loop(self):
+        vc_id = self.source.endpoint.vc_id
+        while True:
+            primitive = yield self.binding.next_primitive()
+            if (isinstance(primitive, TQoSIndication)
+                    and primitive.vc_id == vc_id):
+                self._indicated = True
+                self._step(
+                    +1, "qos-indication",
+                    tuple(v.parameter for v in primitive.violations),
+                )
+
+    def _on_period(self) -> None:
+        if self._indicated:
+            self._indicated = False
+            self._clean_periods = 0
+            return
+        self._clean_periods += 1
+        if self._clean_periods >= self.upswitch_after:
+            self._clean_periods = 0
+            self._step(-1, "recovered")
+
+    def _step(self, delta: int, reason: str, violations: tuple = ()) -> None:
+        target = self.ladder.clamp(self.rung + delta)
+        if target == self.rung:
+            return
+        switch = AbrSwitch(
+            at=self.sim.now, from_rung=self.rung, to_rung=target,
+            reason=reason, violations=violations,
+        )
+        self.switches.append(switch)
+        self.rung = target
+        self.source.encoding = self.ladder[target]
+        metrics = getattr(self.sim, "metrics", None)
+        if metrics is not None:
+            metrics.counter("abr.switches").inc()
+            metrics.counter(
+                "abr.down" if delta > 0 else "abr.up"
+            ).inc()
+
+
+#: Default byte-size multipliers for :func:`ladder_from_encoding`.
+DEFAULT_RUNG_SCALES = (1.0, 0.7, 0.5, 0.35)
+
+
+@dataclass(frozen=True)
+class _ScaledEncoding(Encoding):
+    """An encoding rung: ``base`` with every unit scaled by ``scale``."""
+
+    base: Encoding = field(default=None)  # type: ignore[assignment]
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.base is None:
+            raise ValueError("_ScaledEncoding needs a base encoding")
+        if not 0 < self.scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+
+    def osdu_size(self, index, rng=None) -> int:
+        return max(1, int(self.base.osdu_size(index, rng) * self.scale))
+
+    @property
+    def nominal_bps(self) -> float:
+        return self.base.nominal_bps * self.scale
+
+
+def ladder_from_encoding(
+    base: Encoding, scales: Sequence[float] = DEFAULT_RUNG_SCALES,
+    name: Optional[str] = None,
+) -> AbrLadder:
+    """Build a ladder by scaling ``base``'s unit sizes by ``scales``.
+
+    ``scales`` must be strictly decreasing with the top rung first;
+    scale ``1.0`` reuses ``base`` itself so the top rung is
+    bit-identical to the unadapted encoding.
+    """
+    if list(scales) != sorted(set(scales), reverse=True):
+        raise ValueError("scales must be strictly decreasing")
+    rungs: List[Encoding] = []
+    for scale in scales:
+        if scale == 1.0:
+            rungs.append(base)
+        else:
+            rungs.append(_ScaledEncoding(
+                name=f"{name or base.name}@{scale:g}",
+                osdu_rate=base.osdu_rate,
+                max_osdu_bytes=max(1, int(base.max_osdu_bytes * scale)),
+                base=base,
+                scale=scale,
+            ))
+    return AbrLadder(rungs)

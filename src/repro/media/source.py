@@ -32,7 +32,10 @@ class StoredMediaSource:
     is the transport's job (rate-based flow control), seeking is the
     application's.  ``per_osdu_delay`` models application processing
     time per unit and is the fault-injection knob for the slow-source
-    attribution experiment (E10).
+    attribution experiment (E10).  ``per_osdu_jitter`` adds a uniform
+    random component on top (drawn from ``rng``), modelling a variable
+    -latency processing stage such as a live-dubbing worker; it is zero
+    by default and consumes no randomness when disabled.
     """
 
     def __init__(
@@ -43,17 +46,21 @@ class StoredMediaSource:
         total_osdus: int = 1 << 30,
         rng: Optional[_random.Random] = None,
         per_osdu_delay: float = 0.0,
+        per_osdu_jitter: float = 0.0,
         event_marks: Optional[Dict[int, int]] = None,
         deny_prime: bool = False,
     ):
         if endpoint.kind != "send":
             raise ValueError("a media source needs a send endpoint")
+        if per_osdu_jitter > 0 and rng is None:
+            raise ValueError("per_osdu_jitter needs an rng to draw from")
         self.sim = sim
         self.endpoint = endpoint
         self.encoding = encoding
         self.total_osdus = total_osdus
         self.rng = rng
         self.per_osdu_delay = per_osdu_delay
+        self.per_osdu_jitter = per_osdu_jitter
         #: media-position index -> event field value stamped on that
         #: unit (Orch.Event support, section 6.3.4).
         self.event_marks = dict(event_marks or {})
@@ -107,8 +114,11 @@ class StoredMediaSource:
             event = self.event_marks.get(index)
             if event is not None:
                 osdu.opdu = OPDU(0, event)  # sequence reassigned at write
-            if self.per_osdu_delay > 0:
-                yield Timeout(self.sim, self.per_osdu_delay)
+            delay = self.per_osdu_delay
+            if self.per_osdu_jitter > 0:
+                delay += self.rng.uniform(0.0, self.per_osdu_jitter)
+            if delay > 0:
+                yield Timeout(self.sim, delay)
             yield from self.endpoint.write(osdu)
             if self.position == index:
                 # Only advance when no seek() landed while the write

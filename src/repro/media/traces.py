@@ -1,0 +1,173 @@
+"""Frame-size trace replay: real GoP burst structure as an encoding.
+
+The synthetic :class:`~repro.media.encodings.VBREncoding` approximates
+an I-frame cycle with a square wave; a :class:`FrameTrace` replays a
+*recorded* per-frame byte sequence instead -- I/P/B frames, GoP
+periodicity, scene-change bursts and all.  Traces are checked-in text
+files under ``repro/media/traces/`` so every run, on every machine,
+replays the exact same byte sequence (the regression tests pin the
+first frames of each shipped trace).
+
+File format (one frame per line, display order)::
+
+    # repro GoP frame-size trace
+    # name=news fps=25 gop=12
+    I 8598
+    B 1085
+    ...
+
+:class:`TraceEncoding` adapts a trace to the
+:class:`~repro.media.encodings.Encoding` protocol: ``osdu_size(index)``
+is the trace entry at ``index`` (wrapping around at the end, so a
+source can play longer than the recording), and no randomness is ever
+consumed -- trace replay is bit-deterministic by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.media.encodings import Encoding
+
+#: Directory holding the checked-in ``*.trace`` files.
+TRACE_DIR = os.path.join(os.path.dirname(__file__), "traces")
+
+_cache: Dict[str, "FrameTrace"] = {}
+
+
+@dataclass(frozen=True)
+class FrameTrace:
+    """One recorded frame-size sequence (sizes in bytes, display order)."""
+
+    name: str
+    fps: float
+    gop: int
+    sizes: Tuple[int, ...]
+    kinds: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError(f"trace {self.name!r} has no frames")
+        if len(self.sizes) != len(self.kinds):
+            raise ValueError("sizes and kinds must be parallel")
+        if self.fps <= 0:
+            raise ValueError("fps must be positive")
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    def size(self, index: int) -> int:
+        """Frame size at ``index``, wrapping past the end of the trace."""
+        return self.sizes[index % len(self.sizes)]
+
+    def kind(self, index: int) -> str:
+        """Frame type (``I``/``P``/``B``) at ``index``, wrapping."""
+        return self.kinds[index % len(self.kinds)]
+
+    @property
+    def max_bytes(self) -> int:
+        """Largest frame in the trace."""
+        return max(self.sizes)
+
+    @property
+    def mean_bytes(self) -> float:
+        """Mean frame size over the whole trace."""
+        return sum(self.sizes) / len(self.sizes)
+
+    @property
+    def duration(self) -> float:
+        """Media seconds covered by one full pass of the trace."""
+        return len(self.sizes) / self.fps
+
+
+def parse_trace(text: str, name: str = "?") -> FrameTrace:
+    """Parse the trace file format into a :class:`FrameTrace`."""
+    fps, gop = 25.0, 12
+    sizes: List[int] = []
+    kinds: List[str] = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            for token in line[1:].split():
+                key, _, value = token.partition("=")
+                if not value:
+                    continue
+                if key == "name":
+                    name = value
+                elif key == "fps":
+                    fps = float(value)
+                elif key == "gop":
+                    gop = int(value)
+            continue
+        parts = line.split()
+        if len(parts) != 2 or parts[0] not in ("I", "P", "B"):
+            raise ValueError(f"trace {name!r} line {lineno}: bad frame {raw!r}")
+        kinds.append(parts[0])
+        sizes.append(int(parts[1]))
+    return FrameTrace(name=name, fps=fps, gop=gop,
+                      sizes=tuple(sizes), kinds=tuple(kinds))
+
+
+def available_traces() -> List[str]:
+    """Names of the checked-in traces, sorted."""
+    return sorted(
+        fname[: -len(".trace")]
+        for fname in os.listdir(TRACE_DIR)
+        if fname.endswith(".trace")
+    )
+
+
+def load_trace(name: str) -> FrameTrace:
+    """Load (and cache) the checked-in trace called ``name``."""
+    trace = _cache.get(name)
+    if trace is None:
+        path = os.path.join(TRACE_DIR, f"{name}.trace")
+        if not os.path.exists(path):
+            raise ValueError(
+                f"unknown trace {name!r}; available: {available_traces()}"
+            )
+        with open(path) as handle:
+            trace = parse_trace(handle.read(), name=name)
+        _cache[name] = trace
+    return trace
+
+
+@dataclass(frozen=True)
+class TraceEncoding(Encoding):
+    """An :class:`Encoding` that replays a :class:`FrameTrace`.
+
+    ``osdu_size(index)`` ignores the RNG entirely: replay is exact.  A
+    source playing past the end of the recording wraps around, so the
+    trace behaves like looped stored media.
+    """
+
+    trace: FrameTrace = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.trace is None:
+            raise ValueError("TraceEncoding needs a trace")
+
+    def osdu_size(self, index: int,
+                  rng: Optional[_random.Random] = None) -> int:
+        return self.trace.size(index)
+
+    @property
+    def nominal_bps(self) -> float:
+        return self.osdu_rate * self.trace.mean_bytes * 8
+
+
+def trace_encoding(name: str) -> TraceEncoding:
+    """The checked-in trace ``name`` as a ready-to-use encoding."""
+    trace = load_trace(name)
+    return TraceEncoding(
+        name=f"trace-{trace.name}",
+        osdu_rate=trace.fps,
+        max_osdu_bytes=trace.max_bytes,
+        trace=trace,
+    )

@@ -1,0 +1,142 @@
+"""Conformance baselines: load, diff, and annotate audit documents.
+
+A baselines file (``BASELINES.json`` at the repo root) pins each
+scenario-matrix cell's expected conformance so CI can detect *drift*
+-- a behavioural change in transport, orchestration, fault handling or
+the auditor itself that moves a cell's met/judged fraction -- without
+pinning every per-period number.  The format:
+
+.. code-block:: json
+
+    {
+      "tolerance": 0.02,
+      "cells": {
+        "cbr/cells/calm@s0": {"conformance": 0.8333, "periods": 90,
+                               "connections": 6}
+      }
+    }
+
+``tolerance`` is the default band (a cell drifts when its observed
+conformance leaves ``baseline +/- tolerance``); ``periods`` and
+``connections`` are exact-match guards against silently losing audit
+coverage.  :func:`diff_cell` produces one cell's verdict dict, and
+:func:`attach_baseline_diff` embeds it in the audit document so
+``python -m repro.obs.report run`` renders the comparison alongside
+the conformance tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: Default drift band when the baselines file does not set one.
+DEFAULT_TOLERANCE = 0.02
+
+
+def load_baselines(path: str) -> Dict[str, Any]:
+    """Load and structurally validate a baselines file."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or not isinstance(data.get("cells"), dict):
+        raise ValueError(
+            f"{path!r} is not a baselines file (expected a dict with a "
+            "'cells' mapping)"
+        )
+    return data
+
+
+def save_baselines(path: str, baselines: Dict[str, Any]) -> None:
+    """Write a baselines file with stable key order and a newline."""
+    with open(path, "w") as handle:
+        json.dump(baselines, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def baseline_entry(summary: Dict[str, Any]) -> Dict[str, Any]:
+    """The baseline record for one cell, from its audit summary."""
+    conformance = summary.get("conformance")
+    return {
+        "conformance": (
+            round(conformance, 6) if conformance is not None else None
+        ),
+        "periods": summary.get("periods", 0),
+        "connections": summary.get("connections", 0),
+    }
+
+
+def diff_cell(
+    summary: Dict[str, Any],
+    baseline: Optional[Dict[str, Any]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict[str, Any]:
+    """One cell's drift verdict against its baseline entry.
+
+    Returns a dict with ``status`` (``"ok"``, ``"drift"`` or ``"new"``
+    for a cell with no baseline yet), the observed and expected
+    numbers, and the signed ``delta``.  Coverage regressions (fewer
+    judged periods or registered connections than baselined) are drift
+    even when the conformance fraction happens to survive them.
+    """
+    observed = baseline_entry(summary)
+    if baseline is None:
+        return {"status": "new", "observed": observed, "expected": None,
+                "delta": None, "tolerance": tolerance}
+    expected = baseline.get("conformance")
+    got = observed["conformance"]
+    delta = None
+    drifted = False
+    if (expected is None) != (got is None):
+        drifted = True
+    elif expected is not None:
+        delta = round(got - expected, 6)
+        drifted = abs(delta) > tolerance
+    for guard in ("periods", "connections"):
+        if guard in baseline and observed[guard] < baseline[guard]:
+            drifted = True
+    return {
+        "status": "drift" if drifted else "ok",
+        "observed": observed,
+        "expected": baseline,
+        "delta": delta,
+        "tolerance": tolerance,
+    }
+
+
+def attach_baseline_diff(
+    audit: Dict[str, Any],
+    diff: Dict[str, Any],
+    scenario_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Embed a cell's drift verdict in its audit document (in place)."""
+    payload = dict(diff)
+    if scenario_id is not None:
+        payload["scenario"] = scenario_id
+    audit["baseline_diff"] = payload
+    return audit
+
+
+def render_baseline_diff(diff: Dict[str, Any]) -> str:
+    """One-paragraph human rendering of a cell's drift verdict."""
+    status = diff.get("status", "?")
+    observed = diff.get("observed") or {}
+    expected = diff.get("expected") or {}
+    line = (
+        f"Baseline: {status.upper()}"
+        + (f" ({diff['scenario']})" if diff.get("scenario") else "")
+    )
+    if status == "new":
+        return (
+            f"{line} -- no baseline entry; observed conformance "
+            f"{observed.get('conformance')} over "
+            f"{observed.get('periods')} period(s)"
+        )
+    return (
+        f"{line} -- conformance {observed.get('conformance')} vs "
+        f"baseline {expected.get('conformance')} "
+        f"(delta {diff.get('delta')}, tolerance "
+        f"{diff.get('tolerance')}); periods "
+        f"{observed.get('periods')}/{expected.get('periods')}, "
+        f"connections {observed.get('connections')}"
+        f"/{expected.get('connections')}"
+    )

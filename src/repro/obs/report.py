@@ -441,6 +441,11 @@ def render_run(path: str, max_rows: Optional[int] = 200) -> str:
             + (" (vc ids namespaced per source)"
                if merged_from.get("namespaced") else "")
         )
+    baseline_diff = data.get("baseline_diff")
+    if baseline_diff is not None:
+        from repro.obs.baseline import render_baseline_diff
+
+        blocks.append(render_baseline_diff(baseline_diff))
     if connections:
         blocks.append(_conformance_table(connections, max_rows=max_rows))
         drill_blocks: List[str] = []

@@ -1,0 +1,58 @@
+"""Declarative scenario matrix over the soak fleet.
+
+The scenario layer turns "which configurations do we regression-test?"
+into data: a :class:`ScenarioSpec` names one matrix cell (workload x
+topology x fault/flow variant x seed), :func:`compile_spec` lowers it
+-- purely, seed-deterministically -- into a runnable
+:class:`~repro.soak.FleetSpec`, and :func:`run_matrix` sweeps the
+checked-in :func:`default_matrix`, diffing every cell's conformance
+against ``BASELINES.json`` and shrinking any degraded chaotic cell's
+fault plan to a minimal replayable repro file.
+
+``python -m repro.scenarios --matrix`` is the CI entry point; see
+``docs/SCENARIOS.md`` for the full workflow.
+"""
+
+from repro.scenarios.runner import (
+    CellOutcome,
+    MatrixReport,
+    cell_outcome,
+    replay_repro,
+    run_cell,
+    run_matrix,
+    shrink_cell,
+    write_repro,
+)
+from repro.scenarios.spec import (
+    MATRIX_TOPOLOGIES,
+    MATRIX_VARIANTS,
+    MATRIX_WORKLOADS,
+    VARIANTS,
+    WORKLOADS,
+    ScenarioSpec,
+    Variant,
+    compile_spec,
+    default_matrix,
+    parse_scenario_id,
+)
+
+__all__ = [
+    "CellOutcome",
+    "MATRIX_TOPOLOGIES",
+    "MATRIX_VARIANTS",
+    "MATRIX_WORKLOADS",
+    "MatrixReport",
+    "ScenarioSpec",
+    "VARIANTS",
+    "Variant",
+    "WORKLOADS",
+    "cell_outcome",
+    "compile_spec",
+    "default_matrix",
+    "parse_scenario_id",
+    "replay_repro",
+    "run_cell",
+    "run_matrix",
+    "shrink_cell",
+    "write_repro",
+]

@@ -1,0 +1,181 @@
+"""Declarative scenario specs and the pure compile to fleet specs.
+
+A :class:`ScenarioSpec` names one cell of the scenario matrix in
+workload/topology/variant terms -- *what* is exercised -- and
+:func:`compile_spec` lowers it to the concrete
+:class:`~repro.soak.FleetSpec` that :func:`repro.soak.run_fleet`
+executes.  The compile is a **pure function of (spec, seed)**: every
+random draw (the chaos plan's episode times, targets and loss
+parameters) comes from a named
+:class:`~repro.sim.random.RandomStreams` stream keyed by the scenario
+id, so compiling the same spec twice yields byte-identical fleet specs
+and running them yields byte-identical audit documents (the property
+test in ``tests/scenarios/test_purity.py``).
+
+The three registries -- :data:`WORKLOADS`, :data:`TOPOLOGIES` (re
+-exported from the fleet) and :data:`VARIANTS` -- define the matrix
+axes; :func:`default_matrix` enumerates the checked-in CI matrix
+(every workload x topology x variant combination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.plan import ChaosPlan, FaultEpisode
+from repro.sim.random import RandomStreams
+from repro.soak.fleet import TOPOLOGIES, FleetSpec
+
+#: Matrix workloads: constant-bitrate plus the checked-in GoP traces.
+WORKLOADS = ("cbr", "trace:news", "trace:action")
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One fault-plan x flow-control matrix axis value.
+
+    ``chaos`` turns on a seeded :class:`~repro.faults.plan.ChaosPlan`
+    over the topology's cell-internal links; ``episode_rate`` is its
+    mean episodes-per-virtual-second.  ``flow`` picks the fleet's
+    flow-control variant (open / paced / abr).
+    """
+
+    name: str
+    flow: str = "open"
+    chaos: bool = False
+    episode_rate: float = 0.5
+
+
+#: Matrix variants: a pristine network, the same network under seeded
+#: chaos, and chaos with ABR ladder adaptation fighting back.
+VARIANTS: Dict[str, Variant] = {
+    variant.name: variant
+    for variant in (
+        Variant("calm"),
+        Variant("paced", flow="paced"),
+        Variant("chaos", chaos=True),
+        Variant("abr-chaos", flow="abr", chaos=True),
+    )
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named cell of the scenario matrix.
+
+    The first three fields are the matrix coordinates; the rest size
+    the underlying fleet (defaults are CI-small: 6 VCs for 8 virtual
+    seconds).  ``tight_every=0`` disables the deliberately violated
+    delay contracts so a calm cell's conformance baseline is 1.0-able;
+    the default keeps one tight VC as a canary.
+    """
+
+    workload: str = "cbr"
+    topology: str = "cells"
+    variant: str = "calm"
+    seed: int = 0
+    cells: int = 2
+    vcs_per_cell: int = 3
+    shards: int = 1
+    duration: float = 8.0
+    pump_period: float = 0.5
+    tight_every: int = 6
+    cp_pairs: int = 0
+
+    @property
+    def scenario_id(self) -> str:
+        """The cell's stable name, e.g. ``trace:news/pipeline/chaos@s0``."""
+        return f"{self.workload}/{self.topology}/{self.variant}@s{self.seed}"
+
+    def validate(self) -> "ScenarioSpec":
+        """Raise ``ValueError`` on an uncompilable spec; returns self."""
+        if self.variant not in VARIANTS:
+            raise ValueError(
+                f"unknown variant {self.variant!r}; "
+                f"expected one of {tuple(VARIANTS)}"
+            )
+        compile_spec(self)  # full fleet-level validation
+        return self
+
+
+def parse_scenario_id(scenario_id: str) -> ScenarioSpec:
+    """Invert :attr:`ScenarioSpec.scenario_id` (matrix-default sizing)."""
+    coords, _, seed_part = scenario_id.rpartition("@s")
+    parts = coords.rsplit("/", 2)
+    if len(parts) != 3 or not seed_part:
+        raise ValueError(
+            f"malformed scenario id {scenario_id!r}; expected "
+            "'<workload>/<topology>/<variant>@s<seed>'"
+        )
+    try:
+        seed = int(seed_part)
+    except ValueError:
+        raise ValueError(f"malformed scenario seed in {scenario_id!r}")
+    return ScenarioSpec(
+        workload=parts[0], topology=parts[1], variant=parts[2], seed=seed,
+    )
+
+
+def compile_spec(
+    spec: ScenarioSpec,
+    faults: Optional[Sequence[FaultEpisode]] = None,
+) -> FleetSpec:
+    """Lower a scenario spec to a validated, runnable fleet spec.
+
+    Pure in ``(spec,)``: chaotic variants materialise their fault plan
+    from the stream named by the scenario id, so equal specs compile to
+    equal fleets (compare via
+    :func:`repro.faults.plan_to_jsonable` -- loss models are stateful
+    and have no ``__eq__``).  Passing ``faults`` overrides the
+    variant's plan -- that is how the shrinker probes candidate plans
+    and how a repro file replays its minimal plan.
+    """
+    variant = VARIANTS.get(spec.variant)
+    if variant is None:
+        raise ValueError(
+            f"unknown variant {spec.variant!r}; "
+            f"expected one of {tuple(VARIANTS)}"
+        )
+    fleet = FleetSpec(
+        cells=spec.cells,
+        vcs_per_cell=spec.vcs_per_cell,
+        shards=spec.shards,
+        cp_pairs=spec.cp_pairs,
+        duration=spec.duration,
+        seed=spec.seed,
+        pump_period=spec.pump_period,
+        tight_every=spec.tight_every,
+        workload=spec.workload,
+        topology=spec.topology,
+        flow=variant.flow,
+    )
+    if faults is None and variant.chaos:
+        rng = RandomStreams(spec.seed).stream(
+            f"scenario.chaos.{spec.scenario_id}"
+        )
+        plan = ChaosPlan(
+            horizon=spec.duration,
+            links=fleet.chaos_links(),
+            episode_rate=variant.episode_rate,
+        ).materialise(rng)
+        faults = tuple(plan)
+    return replace(fleet, faults=tuple(faults or ())).validate()
+
+
+#: The checked-in CI matrix axes (kept small so a matrix run is a
+#: smoke test, not a soak): 3 workloads x 2 topologies x 4 variants.
+MATRIX_WORKLOADS: Tuple[str, ...] = ("cbr", "trace:news", "trace:action")
+MATRIX_TOPOLOGIES: Tuple[str, ...] = TOPOLOGIES
+MATRIX_VARIANTS: Tuple[str, ...] = ("calm", "paced", "chaos", "abr-chaos")
+
+
+def default_matrix(seed: int = 0) -> List[ScenarioSpec]:
+    """The checked-in scenario matrix (baselined in ``BASELINES.json``)."""
+    return [
+        ScenarioSpec(workload=workload, topology=topology,
+                     variant=variant, seed=seed)
+        for workload in MATRIX_WORKLOADS
+        for topology in MATRIX_TOPOLOGIES
+        for variant in MATRIX_VARIANTS
+    ]

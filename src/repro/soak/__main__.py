@@ -13,9 +13,31 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.soak import FleetSpec, run_fleet
+
+#: Named flag-default bundles (``--preset NAME``); explicit flags win.
+PRESETS: Dict[str, Dict[str, Any]] = {
+    "smoke": {
+        "cells": 2, "vcs_per_cell": 3, "cp_pairs": 0,
+        "duration": 8.0, "period": 0.5, "tight_every": 6,
+    },
+    "pipeline-smoke": {
+        "cells": 2, "vcs_per_cell": 3, "cp_pairs": 0,
+        "duration": 8.0, "period": 0.5, "tight_every": 6,
+        "topology": "pipeline",
+    },
+    "soak": {
+        "cells": 8, "vcs_per_cell": 16, "cp_pairs": 2,
+        "duration": 60.0, "cross": True,
+    },
+    "trace-abr": {
+        "cells": 4, "vcs_per_cell": 8, "cp_pairs": 0,
+        "duration": 20.0, "period": 0.5,
+        "workload": "trace:news", "flow": "abr",
+    },
+}
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -23,6 +45,11 @@ def _parser() -> argparse.ArgumentParser:
         prog="python -m repro.soak",
         description="Run a sharded (or inline-baseline) soak fleet.",
     )
+    parser.add_argument("--list", action="store_true",
+                        help="list the available presets and exit")
+    parser.add_argument("--preset", default=None, choices=sorted(PRESETS),
+                        help="apply a named bundle of flag defaults "
+                             "(explicit flags still win)")
     parser.add_argument("--shards", type=int, default=1,
                         help="virtual-time domains / worker processes")
     parser.add_argument("--cells", type=int, default=4,
@@ -46,6 +73,17 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--tight-every", type=int, default=16,
                         help="every Nth VC gets a violated-by-design "
                              "delay contract (0 disables)")
+    parser.add_argument("--workload", default="cbr",
+                        help="pump workload: 'cbr' or 'trace:<name>' "
+                             "(GoP frame-trace replay)")
+    parser.add_argument("--flow", default="open",
+                        choices=("open", "paced", "abr"),
+                        help="flow-control variant per pump VC")
+    parser.add_argument("--topology", default="cells",
+                        choices=("cells", "pipeline"),
+                        help="per-cell traffic shape")
+    parser.add_argument("--fanout", type=int, default=2,
+                        help="pipeline republish fan-out")
     parser.add_argument("--timeline", type=int, default=16,
                         help="retained verdict-timeline entries per VC "
                              "(0 keeps full timelines)")
@@ -70,7 +108,20 @@ def _parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _parser().parse_args(argv)
+    parser = _parser()
+    # Two-phase parse: a preset only changes *defaults*, so any flag
+    # the user passes explicitly still wins over the preset's value.
+    preview, _ = parser.parse_known_args(argv)
+    if preview.list:
+        for name in sorted(PRESETS):
+            settings = ", ".join(
+                f"{key}={value}" for key, value in PRESETS[name].items()
+            )
+            print(f"{name}: {settings}")
+        return 0
+    if preview.preset:
+        parser.set_defaults(**PRESETS[preview.preset])
+    args = parser.parse_args(argv)
     spec = FleetSpec(
         cells=args.cells,
         vcs_per_cell=args.vcs_per_cell,
@@ -86,8 +137,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_timeline=args.timeline or None,
         flight_recorder=args.flight_recorder,
         trace=args.trace,
+        workload=args.workload,
+        flow=args.flow,
+        topology=args.topology,
+        fanout=args.fanout,
     )
-    spec.validate()
+    try:
+        spec.validate()
+    except ValueError as exc:
+        parser.error(str(exc))
 
     def progress(t_end: float, windows: int) -> None:
         print(f"  window {windows}: virtual time {t_end:.3f}/"

@@ -1,0 +1,193 @@
+"""Shrinker guarantees: soundness, termination, idempotence, recording.
+
+These tests drive :func:`repro.faults.shrink_plan` with synthetic
+predicates (no simulation) so each guarantee is isolated:
+
+- the returned plan always satisfies ``still_fails``;
+- **every** probed candidate -- kept or rejected -- appears in
+  :attr:`ShrinkResult.probes`, so no non-reproducing plan vanishes
+  unrecorded;
+- shrinking terminates (bounded probes even for adversarial
+  predicates) and respects ``max_probes``;
+- shrinking an already-minimal plan is the identity and reports
+  ``minimal``.
+"""
+
+import pytest
+
+from repro.faults import (
+    BandwidthSqueeze,
+    FaultPlan,
+    LinkDown,
+    LinkUp,
+    LossBurst,
+    NodeCrash,
+    NodeRestart,
+    plan_to_jsonable,
+    shrink_plan,
+)
+
+
+def outage(src, dst, at, until):
+    return [LinkDown(at=at, src=src, dst=dst),
+            LinkUp(at=until, src=src, dst=dst)]
+
+
+def big_plan():
+    """Ten atoms: 4 outage pairs, a crash pair, squeezes and bursts."""
+    episodes = []
+    for j in range(4):
+        episodes += outage(f"c{j}.a", f"c{j}.b", 1.0 + j, 2.0 + j)
+    episodes += [NodeCrash(at=2.5, node="r1"),
+                 NodeRestart(at=4.5, node="r1")]
+    episodes += [
+        BandwidthSqueeze(at=1.5, duration=2.0, src="c0.a", dst="c0.b",
+                         factor=0.25),
+        BandwidthSqueeze(at=3.0, duration=1.0, src="c1.a", dst="c1.b",
+                         factor=0.5),
+        LossBurst(at=2.0, duration=1.5, src="c2.a", dst="c2.b"),
+        LossBurst(at=5.0, duration=0.5, src="c3.a", dst="c3.b"),
+    ]
+    return FaultPlan(episodes)
+
+
+def contains_outage_on(plan, src, dst):
+    return any(isinstance(e, LinkDown) and e.src == src and e.dst == dst
+               for e in plan)
+
+
+class TestSoundness:
+    def test_result_still_fails_and_is_much_smaller(self):
+        plan = big_plan()
+        predicate = lambda p: contains_outage_on(p, "c2.a", "c2.b")
+        result = shrink_plan(plan, predicate)
+        assert predicate(result.plan)
+        # Only the c2 outage atom (down+up) is needed.
+        assert len(result.plan) == 2
+        assert result.original_episodes == len(plan)
+
+    def test_every_probe_recorded_none_lost(self):
+        plan = big_plan()
+        evaluated = []
+
+        def predicate(candidate):
+            verdict = contains_outage_on(candidate, "c0.a", "c0.b")
+            evaluated.append((len(candidate), verdict))
+            return verdict
+
+        result = shrink_plan(plan, predicate)
+        # The input-plan check is evaluated but is not a probe; every
+        # candidate after it must be recorded, reproducing or not.
+        assert len(result.probes) == len(evaluated) - 1
+        assert ([(p.episodes, p.reproduced) for p in result.probes]
+                == evaluated[1:])
+        assert any(not p.reproduced for p in result.probes)
+        assert result.accepted == sum(1 for p in result.probes
+                                      if p.reproduced)
+
+    def test_nonfailing_input_raises(self):
+        with pytest.raises(ValueError, match="does not reproduce"):
+            shrink_plan(big_plan(), lambda p: False)
+
+    def test_paired_episodes_travel_together(self):
+        """No candidate plan ever contains a LinkDown without its
+        LinkUp (or a crash without its restart)."""
+        plan = big_plan()
+
+        def balanced(candidate):
+            downs = sum(isinstance(e, LinkDown) for e in candidate)
+            ups = sum(isinstance(e, LinkUp) for e in candidate)
+            crashes = sum(isinstance(e, NodeCrash) for e in candidate)
+            restarts = sum(isinstance(e, NodeRestart) for e in candidate)
+            assert downs == ups and crashes == restarts
+            return contains_outage_on(candidate, "c1.a", "c1.b")
+
+        result = shrink_plan(plan, balanced)
+        assert len(result.plan) == 2
+
+
+class TestDurationHalving:
+    def test_durations_halved_to_floor(self):
+        plan = FaultPlan([
+            BandwidthSqueeze(at=1.0, duration=3.2, src="a", dst="b",
+                             factor=0.25),
+        ])
+        result = shrink_plan(plan, lambda p: len(p) == 1,
+                             min_duration=0.1)
+        (episode,) = result.plan
+        # 3.2 -> 1.6 -> 0.8 -> 0.4 -> 0.2 -> 0.1; halving below the
+        # floor is never attempted.
+        assert episode.duration == pytest.approx(0.1)
+
+    def test_outage_gap_halved(self):
+        plan = FaultPlan(outage("a", "b", 1.0, 5.0))
+        result = shrink_plan(
+            plan, lambda p: contains_outage_on(p, "a", "b"),
+            min_duration=0.5,
+        )
+        down, up = sorted(result.plan, key=lambda e: e.at)
+        assert down.at == 1.0
+        assert up.at - down.at == pytest.approx(0.5)
+
+    def test_halving_stops_when_failure_needs_duration(self):
+        plan = FaultPlan([
+            LossBurst(at=1.0, duration=2.0, src="a", dst="b"),
+        ])
+        result = shrink_plan(
+            plan,
+            lambda p: all(e.duration >= 0.9 for e in p),
+            min_duration=0.05,
+        )
+        (episode,) = result.plan
+        assert episode.duration == pytest.approx(1.0)
+
+
+class TestTerminationAndIdempotence:
+    def test_idempotent_on_minimal_plan(self):
+        minimal = FaultPlan(outage("a", "b", 1.0, 1.05))
+        predicate = lambda p: contains_outage_on(p, "a", "b")
+        result = shrink_plan(minimal, predicate, min_duration=0.05)
+        assert plan_to_jsonable(result.plan) == plan_to_jsonable(minimal)
+        assert result.minimal
+        assert result.accepted == 0
+        # Second shrink of the result changes nothing either.
+        again = shrink_plan(result.plan, predicate, min_duration=0.05)
+        assert plan_to_jsonable(again.plan) == plan_to_jsonable(result.plan)
+        assert again.minimal
+
+    def test_terminates_when_everything_reproduces(self):
+        # Adversarial predicate: every candidate fails, so ddmin can
+        # always shrink -- must still converge to one atom.
+        result = shrink_plan(big_plan(), lambda p: True)
+        assert len(result.plan) <= 2
+        assert not result.truncated
+
+    def test_terminates_when_nothing_can_shrink(self):
+        # Predicate holds only for the exact input plan: every ddmin
+        # drop and every duration halving is rejected, yet the search
+        # still terminates with the plan unchanged.
+        plan = big_plan()
+        frozen = plan_to_jsonable(plan)
+        result = shrink_plan(plan, lambda p: plan_to_jsonable(p) == frozen)
+        assert len(result.plan) == len(plan)
+        assert result.minimal
+        assert all(not p.reproduced for p in result.probes)
+        assert not result.truncated
+
+    def test_max_probes_truncates(self):
+        result = shrink_plan(big_plan(), lambda p: True, max_probes=3)
+        assert result.truncated
+        assert len(result.probes) == 3
+        # Soundness survives truncation: the kept plan still fails.
+        assert len(result.plan) >= 1
+
+    def test_to_jsonable_roundtrips_summary(self):
+        result = shrink_plan(
+            big_plan(), lambda p: contains_outage_on(p, "c3.a", "c3.b"),
+        )
+        doc = result.to_jsonable()
+        assert doc["episodes"] == plan_to_jsonable(result.plan)
+        assert doc["original_episodes"] == result.original_episodes
+        assert doc["probes"] == len(result.probes)
+        assert doc["accepted"] == result.accepted
+        assert doc["truncated"] is False

@@ -1,0 +1,81 @@
+"""Dubbed-audio lip sync: a translation worker on the audio path.
+
+The dubbing variant of the film scenario charges every audio OSDU a
+seeded per-unit processing cost at the source (a speech-to-speech
+dubbing worker).  While the worker's mean cost stays under the audio
+unit period (4 ms for 8 kHz / 32-sample PCM) the source keeps up and
+orchestration holds the usual skew bound; a worker slower than the
+unit rate falls *cumulatively* behind, and no transport- or
+orchestration-level mechanism can recover lip sync -- the deliberate
+failure pinned here, so a future "fix" that silently absorbs the lag
+(e.g. by skipping media) shows up as this test flipping.
+"""
+
+from repro.media.lipsync import (
+    LIP_SYNC_THRESHOLD,
+    fraction_within,
+    interstream_skew_series,
+    skew_summary,
+)
+from repro.scenarios.film import run_film
+
+#: 8 kHz, 32 samples per OSDU => one audio unit every 4 ms.
+AUDIO_UNIT_PERIOD = 32 / 8000.0
+
+
+class TestDubbedFilm:
+    def test_worker_within_unit_rate_holds_lip_sync(self):
+        scenario = run_film(
+            orchestrated=True, drift_ppm=300.0, seconds=20.0,
+            interval_length=0.1,
+            audio_worker_delay=0.001, audio_worker_jitter=0.002,
+        )
+        assert (scenario.audio_worker_delay
+                + scenario.audio_worker_jitter) < AUDIO_UNIT_PERIOD
+        series = scenario.skew_series()
+        assert series, "no overlapping playout to measure"
+        assert skew_summary(series)["max"] <= LIP_SYNC_THRESHOLD
+        assert fraction_within(series) == 1.0
+
+    def test_worker_slower_than_unit_rate_breaks_lip_sync(self):
+        # 8 ms per 4 ms unit: audio media time advances at half real
+        # rate, so skew grows without bound and orchestration cannot
+        # save it (the media simply is not there to present).
+        scenario = run_film(
+            orchestrated=True, drift_ppm=300.0, seconds=10.0,
+            interval_length=0.1,
+            audio_worker_delay=2 * AUDIO_UNIT_PERIOD,
+        )
+        series = scenario.skew_series(settle=1.0)
+        assert series
+        summary = skew_summary(series)
+        assert summary["max"] > LIP_SYNC_THRESHOLD
+        assert fraction_within(series) < 1.0
+
+    def test_slow_worker_lag_is_cumulative(self):
+        scenario = run_film(
+            orchestrated=True, drift_ppm=300.0, seconds=12.0,
+            interval_length=0.1,
+            audio_worker_delay=1.5 * AUDIO_UNIT_PERIOD,
+        )
+        t0 = scenario.marks["t0"]
+        sinks = [scenario.sinks["video"], scenario.sinks["audio"]]
+        early = interstream_skew_series(sinks, t0 + 1.0, t0 + 4.0)
+        late = interstream_skew_series(sinks, t0 + 8.0, t0 + 11.0)
+        assert skew_summary(late)["mean"] > skew_summary(early)["mean"]
+
+    def test_dubbing_is_seeded_and_reproducible(self):
+        def presented_counts():
+            scenario = run_film(
+                orchestrated=True, drift_ppm=300.0, seconds=8.0,
+                interval_length=0.1,
+                audio_worker_delay=0.001, audio_worker_jitter=0.002,
+            )
+            return (
+                scenario.sinks["audio"].presented,
+                scenario.sinks["video"].presented,
+                [record.delivered_at
+                 for record in scenario.sinks["audio"].records[:50]],
+            )
+
+        assert presented_counts() == presented_counts()

@@ -1,0 +1,163 @@
+"""ABR ladder switching driven by T-QoS.indication."""
+
+import pytest
+
+from repro.media.abr import (
+    AbrController,
+    AbrLadder,
+    DEFAULT_RUNG_SCALES,
+    ladder_from_encoding,
+)
+from repro.media.encodings import video_cbr
+from repro.sim.sync import Queue
+from repro.transport.addresses import TransportAddress
+from repro.transport.primitives import TQoSIndication
+from repro.transport.qos import QoSContract, QoSMeasurement, QoSViolation
+
+
+class _Binding:
+    """Just enough of a TSAPBinding for the controller to watch."""
+
+    def __init__(self, sim):
+        self.primitives = Queue(sim)
+
+    def next_primitive(self):
+        return self.primitives.get()
+
+    def deliver(self, primitive):
+        self.primitives.put_nowait(primitive)
+
+
+class _Endpoint:
+    def __init__(self, vc_id):
+        self.vc_id = vc_id
+
+
+class _Source:
+    def __init__(self, vc_id, encoding):
+        self.endpoint = _Endpoint(vc_id)
+        self.encoding = encoding
+
+
+def _indication(vc_id="vc-1"):
+    return TQoSIndication(
+        initiator=TransportAddress("a", 1),
+        src=TransportAddress("a", 1),
+        dst=TransportAddress("b", 1),
+        initial_qos=QoSContract(
+            throughput_bps=1e6, delay_s=0.1, jitter_s=0.05,
+            packet_error_rate=0.01, bit_error_rate=1e-6,
+            max_osdu_bytes=8192,
+        ),
+        sample_period=0.5,
+        vc_id=vc_id,
+        current_qos=QoSMeasurement(period_start=0.0, period_end=0.5),
+        violations=[QoSViolation("delay_s", 0.1, 0.4)],
+    )
+
+
+def _controller(sim, **kwargs):
+    base = video_cbr(25.0, 4000)
+    ladder = ladder_from_encoding(base)
+    binding = _Binding(sim)
+    source = _Source("vc-1", base)
+    controller = AbrController(
+        sim, binding, source, ladder,
+        sample_period=0.5, **kwargs,
+    )
+    return controller, binding, source, ladder
+
+
+class TestAbrLadder:
+    def test_requires_descending_bitrates(self):
+        base = video_cbr(25.0, 4000)
+        with pytest.raises(ValueError, match="highest bitrate first"):
+            AbrLadder(list(reversed(ladder_from_encoding(base).rungs)))
+
+    def test_ladder_from_encoding_scales(self):
+        base = video_cbr(25.0, 4000)
+        ladder = ladder_from_encoding(base)
+        assert len(ladder) == len(DEFAULT_RUNG_SCALES)
+        assert ladder[0] is base  # top rung is the unadapted encoding
+        rates = [rung.nominal_bps for rung in ladder.rungs]
+        assert rates == sorted(rates, reverse=True)
+        assert ladder[1].osdu_size(0) == int(base.osdu_size(0) * 0.7)
+
+    def test_rejects_nondecreasing_scales(self):
+        base = video_cbr(25.0, 4000)
+        with pytest.raises(ValueError, match="decreasing"):
+            ladder_from_encoding(base, scales=(0.5, 0.7))
+
+
+class TestAbrController:
+    def test_indication_steps_down(self, sim):
+        controller, binding, source, ladder = _controller(sim)
+        binding.deliver(_indication())
+        sim.run(until=0.1)
+        assert controller.rung == 1
+        assert source.encoding is ladder[1]
+        assert len(controller.switches) == 1
+        assert controller.switches[0].reason == "qos-indication"
+        assert controller.switches[0].violations == ("delay_s",)
+
+    def test_other_vcs_indications_ignored(self, sim):
+        controller, binding, _, _ = _controller(sim)
+        binding.deliver(_indication(vc_id="someone-else"))
+        sim.run(until=0.1)
+        assert controller.rung == 0
+        assert controller.switches == []
+
+    def test_clamps_at_bottom_rung(self, sim):
+        controller, binding, _, ladder = _controller(sim)
+        for _ in range(len(ladder) + 3):
+            binding.deliver(_indication())
+        sim.run(until=0.1)
+        assert controller.rung == len(ladder) - 1
+        assert len(controller.switches) == len(ladder) - 1
+
+    def test_clean_periods_step_back_up(self, sim):
+        controller, binding, source, ladder = _controller(
+            sim, upswitch_after=3,
+        )
+        binding.deliver(_indication())
+        sim.run(until=0.1)
+        assert controller.rung == 1
+        # The period at 0.5 s absorbs the indication; three clean
+        # periods later (1.0, 1.5, 2.0 s) the controller climbs back.
+        sim.run(until=2.05)
+        assert controller.rung == 0
+        assert source.encoding is ladder[0]
+        assert controller.switches[-1].reason == "recovered"
+
+    def test_indication_resets_clean_period_count(self, sim):
+        controller, binding, _, _ = _controller(sim, upswitch_after=3)
+        binding.deliver(_indication())
+        binding.deliver(_indication())
+        sim.run(until=0.1)
+        assert controller.rung == 2
+        # Two clean periods, then another indication: counter resets,
+        # so two further clean periods are not enough to climb.
+        sim.run(until=1.05)
+        binding.deliver(_indication())
+        sim.run(until=2.05)
+        assert controller.rung == 3
+        sim.run(until=2.6)
+        assert controller.rung == 3
+
+    def test_metrics_counters(self, sim):
+        _, binding, _, _ = _controller(sim)
+        binding.deliver(_indication())
+        sim.run(until=2.0)
+        assert sim.metrics.counter("abr.switches").value >= 2
+        assert sim.metrics.counter("abr.down").value == 1
+        assert sim.metrics.counter("abr.up").value >= 1
+
+    def test_validates_parameters(self, sim):
+        base = video_cbr(25.0, 4000)
+        ladder = ladder_from_encoding(base)
+        with pytest.raises(ValueError, match="sample_period"):
+            AbrController(sim, _Binding(sim), _Source("v", base), ladder,
+                          sample_period=0.0)
+        with pytest.raises(ValueError, match="upswitch_after"):
+            AbrController(sim, _Binding(sim), _Source("v", base), ladder,
+                          upswitch_after=0)

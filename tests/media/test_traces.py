@@ -1,0 +1,230 @@
+"""Frame-trace replay: exact byte sequences, wraparound, priming.
+
+The checked-in traces are regression data: the first frames of each
+shipped trace are pinned to literal byte counts, so an accidental
+regeneration (or a parser change that reorders/rescales frames) fails
+loudly instead of silently shifting every trace-driven scenario's
+conformance numbers.
+"""
+
+import random
+
+import pytest
+
+from repro.apps.testbed import Testbed
+from repro.ansa.stream import VideoQoS
+from repro.media.source import StoredMediaSource
+from repro.media.traces import (
+    FrameTrace,
+    available_traces,
+    load_trace,
+    parse_trace,
+    trace_encoding,
+)
+from repro.orchestration.policy import OrchestrationPolicy
+from repro.transport.addresses import TransportAddress
+
+#: Regression pins: the first 8 frames of each checked-in trace.
+FIRST_FRAMES = {
+    "news": [("I", 8598), ("B", 1085), ("B", 1410), ("P", 2823),
+             ("B", 916), ("B", 1473), ("P", 3409), ("B", 1709)],
+    "action": [("I", 17198), ("B", 1290), ("B", 1753), ("P", 5226),
+               ("B", 2604), ("B", 3320), ("P", 3232), ("B", 3888)],
+}
+
+
+class TestCheckedInTraces:
+    def test_both_traces_ship(self):
+        assert set(FIRST_FRAMES) <= set(available_traces())
+
+    @pytest.mark.parametrize("name", sorted(FIRST_FRAMES))
+    def test_first_frames_pinned(self, name):
+        trace = load_trace(name)
+        got = [(trace.kind(i), trace.size(i)) for i in range(8)]
+        assert got == FIRST_FRAMES[name]
+
+    @pytest.mark.parametrize("name", sorted(FIRST_FRAMES))
+    def test_gop_structure(self, name):
+        trace = load_trace(name)
+        assert trace.gop == 12
+        assert len(trace) == 600
+        for i in range(len(trace)):
+            if i % trace.gop == 0:
+                assert trace.kind(i) == "I"
+            elif i % 3 == 0:
+                assert trace.kind(i) == "P"
+            else:
+                assert trace.kind(i) == "B"
+        # I frames dominate: every I beats every B in its GoP.
+        assert trace.max_bytes == max(
+            trace.size(i) for i in range(0, len(trace), trace.gop)
+        )
+
+    def test_unknown_trace_lists_available(self):
+        with pytest.raises(ValueError, match="news"):
+            load_trace("nosuchtrace")
+
+
+class TestParseTrace:
+    def test_headers_and_frames(self):
+        trace = parse_trace(
+            "# name=t fps=30 gop=6\nI 100\nB 10\nP 50\n"
+        )
+        assert (trace.name, trace.fps, trace.gop) == ("t", 30.0, 6)
+        assert trace.sizes == (100, 10, 50)
+        assert trace.kinds == ("I", "B", "P")
+        assert trace.duration == pytest.approx(3 / 30.0)
+
+    def test_rejects_bad_frame_type(self):
+        with pytest.raises(ValueError, match="bad frame"):
+            parse_trace("X 100\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no frames"):
+            parse_trace("# name=empty\n")
+
+
+class TestTraceEncoding:
+    def test_replay_is_exact_and_wraps(self):
+        encoding = trace_encoding("news")
+        trace = load_trace("news")
+        n = len(trace)
+        for i in (0, 1, 7, n - 1, n, n + 1, 3 * n + 5):
+            assert encoding.osdu_size(i) == trace.size(i % n)
+
+    def test_replay_ignores_rng(self):
+        encoding = trace_encoding("action")
+        sizes_with = [encoding.osdu_size(i, random.Random(1))
+                      for i in range(50)]
+        sizes_without = [encoding.osdu_size(i) for i in range(50)]
+        assert sizes_with == sizes_without
+
+    def test_nominal_bps_follows_mean(self):
+        trace = load_trace("news")
+        encoding = trace_encoding("news")
+        assert encoding.nominal_bps == pytest.approx(
+            trace.fps * trace.mean_bytes * 8
+        )
+
+    def test_frame_trace_validates(self):
+        with pytest.raises(ValueError, match="parallel"):
+            FrameTrace(name="x", fps=25.0, gop=12,
+                       sizes=(1, 2), kinds=("I",))
+
+
+@pytest.fixture
+def bed():
+    testbed = Testbed(seed=11)
+    testbed.host("src")
+    testbed.host("dst")
+    testbed.link("src", "dst", 30e6, prop_delay=0.004)
+    return testbed.up()
+
+
+def _run_coro(bed, gen, until=30.0):
+    proc = bed.spawn(gen)
+    bed.run(until)
+    assert proc.finished.is_set, "coroutine did not finish"
+    return proc.finished.value
+
+
+def _make_stream(bed, tsap=5):
+    holder = {}
+
+    def driver():
+        holder["stream"] = yield from bed.factory.create(
+            TransportAddress("src", tsap),
+            TransportAddress("dst", tsap),
+            # Low compression ratio => a max-OSDU budget comfortably
+            # above the news trace's largest I frame (12114 B).
+            VideoQoS.of(fps=25.0, compression_ratio=20.0),
+        )
+
+    bed.spawn(driver())
+    bed.run(5.0)
+    return holder["stream"]
+
+
+class TestTraceThroughTransport:
+    def test_delivered_byte_sequence_matches_trace(self, bed):
+        """The sink sees the trace's bytes, frame for frame, in order."""
+        stream = _make_stream(bed)
+        encoding = trace_encoding("news")
+        source = StoredMediaSource(
+            bed.sim, stream.send_endpoint, encoding, total_osdus=60,
+        )
+        received = []
+
+        def reader():
+            while True:
+                osdu = yield from stream.recv_endpoint.read()
+                received.append(osdu.size_bytes)
+
+        bed.spawn(reader())
+        source.play()
+        bed.run(10.0)
+        trace = load_trace("news")
+        assert source.generated == 60
+        assert received == [trace.size(i) for i in range(60)]
+
+    def test_pause_resume_under_orchestration_priming(self, bed):
+        """Orch.Prime starts trace replay; Orch.Stop pauses it; a
+        restart resumes from the same media position (no frames lost
+        or replayed out of sequence)."""
+        from repro.media.sink import PlayoutSink
+
+        stream = _make_stream(bed)
+        encoding = trace_encoding("news")
+        source = StoredMediaSource(
+            bed.sim, stream.send_endpoint, encoding, total_osdus=500,
+        )
+        sink = PlayoutSink(
+            bed.sim, stream.recv_endpoint, 25.0,
+            bed.network.host("dst").clock, mode="gated",
+        )
+        holder = {}
+
+        def driver():
+            session = yield from bed.hlo.orchestrate(
+                [stream.spec(max_drop_per_interval=0)],
+                OrchestrationPolicy(interval_length=0.2),
+            )
+            holder["session"] = session
+            yield from session.prime()
+
+        bed.spawn(driver())
+        bed.run(3.0)
+        session = holder["session"]
+        # Priming fills the pipeline: the source generates (replaying
+        # the trace) but the gated sink presents nothing yet.
+        assert source.generating
+        primed_count = source.generated
+        assert primed_count > 0
+        assert sink.presented == 0
+
+        _run_coro(bed, session.start(), until=2.0)
+        bed.run(4.0)
+        assert sink.presented > 0
+
+        _run_coro(bed, session.stop(), until=2.0)
+        bed.run(0.2)
+        assert not source.generating  # Orch.Stop pauses the source
+        paused_generated = source.generated
+        paused_presented = sink.presented
+        bed.run(2.0)
+        assert source.generated == paused_generated
+        assert sink.presented == paused_presented
+
+        _run_coro(bed, session.start(), until=2.0)
+        bed.run(3.0)
+        assert source.generating
+        assert source.generated > paused_generated
+        assert sink.presented > paused_presented
+        # Presented media is a contiguous prefix of the trace --
+        # pause/resume never skipped or reordered a frame.
+        seqs = [record.seq for record in sink.records]
+        assert seqs == list(range(len(seqs)))
+        trace = load_trace("news")
+        assert [record.media_time for record in sink.records] == (
+            pytest.approx([i / trace.fps for i in range(len(seqs))])
+        )

@@ -1,0 +1,193 @@
+"""Matrix runner: baseline diffing, shrinking, repro files, replay.
+
+The headline demonstration lives in
+``test_degrading_chaos_shrinks_to_a_replayable_minimal_plan``: a
+seeded chaos plan harsh enough to push a cell's conformance below its
+baseline band is shrunk to a minimal reproducing plan, written as a
+repro file, and the repro file replays to the same verdict -- the full
+failure-to-artifact path a CI drift would take.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.faults import ChaosPlan, FaultPlan, plan_to_jsonable
+from repro.obs.baseline import baseline_entry
+from repro.scenarios import (
+    ScenarioSpec,
+    cell_outcome,
+    compile_spec,
+    parse_scenario_id,
+    replay_repro,
+    run_cell,
+    run_matrix,
+    shrink_cell,
+    write_repro,
+)
+from repro.faults.shrink import shrink_plan
+
+CHAOS_ID = "cbr/cells/chaos@s0"
+
+
+def observed_baselines(spec, tolerance=0.02):
+    """Baselines pinning exactly what the cell observes right now."""
+    result = run_cell(spec)
+    summary = result.audit["summary"]
+    return summary, {
+        "tolerance": tolerance,
+        "cells": {spec.scenario_id: baseline_entry(summary)},
+    }
+
+
+class TestCellOutcome:
+    def test_ok_within_band(self):
+        spec = parse_scenario_id(CHAOS_ID)
+        summary, baselines = observed_baselines(spec)
+        outcome = cell_outcome(spec, run_cell(spec), baselines)
+        assert outcome.ok and outcome.status == "ok"
+        assert outcome.diff["delta"] == 0
+        assert outcome.conformance == pytest.approx(summary["conformance"])
+
+    def test_unknown_cell_is_new_not_ok(self):
+        spec = ScenarioSpec()  # not in the (empty) baselines
+        outcome = cell_outcome(
+            spec, run_cell(spec), {"tolerance": 0.02, "cells": {}},
+        )
+        assert outcome.status == "new"
+        assert not outcome.ok
+
+    def test_diff_lands_in_the_audit_document(self):
+        spec = ScenarioSpec()
+        result = run_cell(spec)
+        cell_outcome(spec, result, {"tolerance": 0.02, "cells": {}})
+        assert result.audit["baseline_diff"]["status"] == "new"
+        assert result.audit["baseline_diff"]["scenario"] == spec.scenario_id
+
+
+class TestRunMatrix:
+    def test_clean_sweep_is_ok(self, tmp_path):
+        spec = parse_scenario_id("cbr/cells/calm@s0")
+        _, baselines = observed_baselines(spec)
+        report = run_matrix([spec], baselines, repro_dir=str(tmp_path))
+        assert report.ok
+        assert report.outcomes[0].repro_path is None
+        assert report.refreshed_cells().keys() == {spec.scenario_id}
+
+    def test_upward_drift_reported_but_not_shrunk(self, tmp_path):
+        spec = parse_scenario_id(CHAOS_ID)
+        summary, baselines = observed_baselines(spec)
+        # Pretend the baseline was much *lower*: upward drift.
+        entry = baselines["cells"][spec.scenario_id]
+        entry["conformance"] = round(summary["conformance"] - 0.1, 6)
+        lines = []
+        report = run_matrix([spec], baselines, repro_dir=str(tmp_path),
+                            log=lines.append)
+        outcome = report.outcomes[0]
+        assert outcome.status == "drift"
+        assert outcome.diff["delta"] > 0
+        assert outcome.shrink is None and outcome.repro_path is None
+        assert not list(tmp_path.iterdir())
+
+    def test_downward_drift_shrinks_and_writes_a_repro(self, tmp_path):
+        spec = parse_scenario_id(CHAOS_ID)
+        summary, baselines = observed_baselines(spec)
+        # Pretend the baseline was much *higher*: the observed cell is
+        # degraded, so the runner shrinks its chaos plan.
+        entry = baselines["cells"][spec.scenario_id]
+        entry["conformance"] = round(summary["conformance"] + 0.1, 6)
+        lines = []
+        report = run_matrix([spec], baselines, repro_dir=str(tmp_path),
+                            max_probes=60, log=lines.append)
+        outcome = report.outcomes[0]
+        assert outcome.status == "drift" and outcome.diff["delta"] < 0
+        assert outcome.shrink is not None
+        assert outcome.repro_path is not None
+        document = json.loads((tmp_path / "repro-cbr_cells_chaos_s0.json")
+                              .read_text())
+        assert document["scenario"] == spec.scenario_id
+        assert len(document["plan"]) <= outcome.shrink["original_episodes"]
+        verdict = replay_repro(outcome.repro_path)
+        assert verdict["reproduced"]
+        assert any("shrunk" in line for line in lines)
+
+    def test_no_shrink_flag_skips_the_repro(self, tmp_path):
+        spec = parse_scenario_id(CHAOS_ID)
+        summary, baselines = observed_baselines(spec)
+        baselines["cells"][spec.scenario_id]["conformance"] = round(
+            summary["conformance"] + 0.1, 6,
+        )
+        report = run_matrix([spec], baselines, shrink=False,
+                            repro_dir=str(tmp_path))
+        assert report.outcomes[0].repro_path is None
+        assert not list(tmp_path.iterdir())
+
+
+class TestShrinkCell:
+    def test_faultless_cell_has_nothing_to_shrink(self):
+        assert shrink_cell(parse_scenario_id("cbr/cells/calm@s0"), 0.99) is None
+
+    def test_unreproducible_floor_yields_none(self):
+        # The cell's own plan does not push conformance below zero, so
+        # the drift (whatever caused it) is not the plan's fault.
+        assert shrink_cell(parse_scenario_id(CHAOS_ID), 0.0) is None
+
+
+class TestEndToEndShrinkDemo:
+    def test_degrading_chaos_shrinks_to_a_replayable_minimal_plan(
+        self, tmp_path,
+    ):
+        """Chaos genuinely degrades the cell; the shrunk plan still does."""
+        spec = parse_scenario_id(CHAOS_ID)
+        fleet = compile_spec(spec)
+        harsh = ChaosPlan(
+            horizon=spec.duration,
+            links=fleet.chaos_links(),
+            episode_rate=2.5,
+            min_duration=1.0,
+            max_duration=3.0,
+        ).materialise(random.Random(7))
+
+        def conformance_with(faults):
+            result = run_cell(spec, faults=tuple(faults))
+            return result.audit["summary"]["conformance"]
+
+        clean = conformance_with(())
+        degraded = conformance_with(harsh)
+        assert degraded < clean  # the chaos, not the cell, is at fault
+        floor = (clean + degraded) / 2
+
+        def still_fails(candidate):
+            return conformance_with(candidate) < floor
+
+        shrunk = shrink_plan(FaultPlan(tuple(harsh)), still_fails,
+                             max_probes=60)
+        assert len(shrunk.plan) < len(harsh)
+        assert still_fails(shrunk.plan)
+
+        path = tmp_path / "repro.json"
+        write_repro(str(path), spec, floor, shrunk)
+        verdict = replay_repro(str(path))
+        assert verdict["reproduced"]
+        assert verdict["scenario"] == spec.scenario_id
+        assert verdict["episodes"] == len(shrunk.plan)
+        assert verdict["conformance"] < floor <= clean
+
+    def test_repro_file_format_is_guarded(self, tmp_path):
+        path = tmp_path / "not-a-repro.json"
+        path.write_text(json.dumps({"format": "something/else"}))
+        with pytest.raises(ValueError, match="repro file"):
+            replay_repro(str(path))
+
+    def test_repro_plan_roundtrips_byte_identically(self, tmp_path):
+        spec = parse_scenario_id(CHAOS_ID)
+        fleet = compile_spec(spec)
+        plan = FaultPlan(fleet.faults)
+        shrunk = shrink_plan(plan, lambda p: True, max_probes=40)
+        path = tmp_path / "repro.json"
+        write_repro(str(path), spec, 0.99, shrunk)
+        document = json.loads(path.read_text())
+        assert document["format"] == "repro.scenarios/1"
+        assert document["plan"] == plan_to_jsonable(shrunk.plan)
+        assert document["spec"]["workload"] == spec.workload

@@ -113,6 +113,36 @@ class TestSoakCLI:
         assert "inline run" in captured
         assert "Per-VC conformance" in captured
 
-    def test_cli_rejects_bad_spec(self):
-        with pytest.raises(ValueError):
+    def test_cli_rejects_bad_spec_with_usage_exit(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             soak_main(["--cells", "0", "--inline"])
+        assert excinfo.value.code == 2
+        assert "cell" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["--workload", "trace:nosuch", "--inline"],
+        ["--shards", "9", "--cells", "2", "--inline"],
+        ["--topology", "hypercube", "--inline"],
+        ["--flow", "closed", "--inline"],
+        ["--no-such-flag"],
+    ])
+    def test_cli_usage_errors_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            soak_main(argv)
+        assert excinfo.value.code == 2
+        assert capsys.readouterr().err
+
+    def test_cli_list_prints_presets(self, capsys):
+        assert soak_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for preset in ("smoke", "pipeline-smoke", "soak", "trace-abr"):
+            assert preset in out
+
+    def test_cli_preset_applies_defaults_but_flags_win(self, capsys):
+        code = soak_main([
+            "--preset", "pipeline-smoke", "--inline", "--duration", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s) x 3 VC(s)" in out
+        assert "4 virtual s" in out
