@@ -189,6 +189,38 @@ class Runtime:
             )
         return auditor.export(path)
 
+    def enable_profiling(self, max_events: int = 100_000):
+        """Install a wall-clock span profiler; returns the profiler.
+
+        Instruments scheduler dispatch, link commit, transport delivery
+        and audit evaluation with :func:`time.perf_counter` spans (see
+        :mod:`repro.obs.profile`).  Every site is guarded inline, so
+        runs with profiling disabled execute the exact same event
+        sequence -- the zero-perturbation identity is pinned by
+        ``tests/obs/test_profile.py``.  Enable *before* calling
+        ``sim.run``: the dispatch loop latches the profiler per run()
+        call.
+        """
+        from repro.obs.profile import WallProfiler
+
+        profiler = WallProfiler(max_events=max_events)
+        self.sim.profile = profiler
+        return profiler
+
+    def disable_profiling(self) -> None:
+        """Detach the profiler (takes effect on the next ``run`` call)."""
+        self.sim.profile = None
+
+    def export_profile(self, path: str) -> str:
+        """Write the collected profile document as JSON."""
+        profiler = self.sim.profile
+        if profiler is None:
+            raise RuntimeError(
+                "profiling is not enabled; call enable_profiling() "
+                "before export"
+            )
+        return profiler.export(path)
+
     # -- fault injection ---------------------------------------------------
 
     def with_fault_plan(self, plan, network=None) -> "Runtime":

@@ -588,6 +588,9 @@ class Link:
         self._c_sent.value += 1
         self._c_sent_bits.value += bits
         sim = self.sim
+        prof = sim.profile
+        if prof is not None:
+            _t0 = prof.clock()
         now = sim._now
         if (self._free_at <= now
                 and not self._transmitting
@@ -626,6 +629,8 @@ class Link:
             sim._push(flight.handle, arrival)
             self._propagating.add(flight)
             self._wire = (complete, bits * 0.125, flight)
+            if prof is not None:
+                prof.add("link.commit", _t0, prof.clock())
             return
         if self._down:
             # A downed interface: the packet goes nowhere.
@@ -638,6 +643,8 @@ class Link:
                           "packet_id": packet.packet_id,
                           "link": self._name},
                 )
+            if prof is not None:
+                prof.add("link.commit", _t0, prof.clock())
             return
         size_bytes = bits * 0.125
         if self._queued_bytes + self._wire_bytes() + size_bytes > self.buffer_bytes:
@@ -650,6 +657,8 @@ class Link:
                           "packet_id": packet.packet_id,
                           "link": self._name},
                 )
+            if prof is not None:
+                prof.add("link.commit", _t0, prof.clock())
             return
         self._queued_bytes += size_bytes
         entry = (packet, now)
@@ -666,6 +675,8 @@ class Link:
                 sim._push(self._tx_timer, self._free_at)
             else:
                 self._start_next()
+        if prof is not None:
+            prof.add("link.commit", _t0, prof.clock())
 
     def _start_next(self) -> None:
         """Begin serialising the next queued packet, if any."""

@@ -226,6 +226,13 @@ class QoSAuditor:
         self.max_timeline = max_timeline
         self._connections: Dict[str, _ConnectionAudit] = {}
         self._groups: Dict[str, _GroupAudit] = {}
+        #: Insertion-ordered "sets" of ids touched since the last drain
+        #: by a streaming :class:`repro.obs.stream.DeltaEncoder`.  One
+        #: dict store per recording call; nothing reads them unless a
+        #: delta encoder is attached, and untouched connections cost
+        #: nothing per barrier.
+        self._dirty_connections: Dict[str, None] = {}
+        self._dirty_groups: Dict[str, None] = {}
         self.delay_hist = FixedBucketHistogram(lo=1e-5, hi=10.0, buckets=128)
         self.jitter_hist = FixedBucketHistogram(lo=1e-6, hi=1.0, buckets=128)
         self._sections: Dict[str, Any] = {}
@@ -253,6 +260,7 @@ class QoSAuditor:
             self._connections[key] = _ConnectionAudit(
                 key, self.sim.now, contract, src, dst, sample_period,
             )
+            self._dirty_connections[key] = None
 
     def _connection(self, vc_id) -> _ConnectionAudit:
         key = str(vc_id)
@@ -264,12 +272,17 @@ class QoSAuditor:
             conn = self._connections[key] = _ConnectionAudit(
                 key, self.sim.now, None, None, None, None,
             )
+            self._dirty_connections[key] = None
             return conn
 
     def record_period(self, vc_id, contract, measurement,
                       violations) -> None:
         """File one sample period's verdict on the VC's timeline."""
+        prof = getattr(self.sim, "profile", None)
+        if prof is not None:
+            _t0 = prof.clock()
         conn = self._connection(vc_id)
+        self._dirty_connections[conn.vc_id] = None
         if conn.contract is None:
             conn.contract = contract
         observed = measurement.as_dict()
@@ -315,6 +328,8 @@ class QoSAuditor:
             self.delay_hist.record(measurement.mean_delay_s)
         if measurement.jitter_s is not None:
             self.jitter_hist.record(measurement.jitter_s)
+        if prof is not None:
+            prof.add("audit.evaluate", _t0, prof.clock())
 
     def _drilldown(self, conn: _ConnectionAudit,
                    entry: Dict[str, Any]) -> None:
@@ -335,7 +350,9 @@ class QoSAuditor:
     def record_renegotiation(self, vc_id, outcome, from_bps=None,
                              to_bps=None, reason=None) -> None:
         """File a T-Renegotiate outcome (confirmed / rejected / failed)."""
-        self._connection(vc_id).renegotiations.append({
+        conn = self._connection(vc_id)
+        self._dirty_connections[conn.vc_id] = None
+        conn.renegotiations.append({
             "at": self.sim.now,
             "outcome": outcome,
             "from_bps": from_bps,
@@ -345,7 +362,9 @@ class QoSAuditor:
 
     def record_release(self, vc_id, reason, initiator=None) -> None:
         """File the VC's release (e.g. ``qos-outage`` past grace)."""
-        self._connection(vc_id).released = {
+        conn = self._connection(vc_id)
+        self._dirty_connections[conn.vc_id] = None
+        conn.released = {
             "at": self.sim.now,
             "reason": reason,
             "initiator": initiator,
@@ -361,6 +380,7 @@ class QoSAuditor:
             self._groups[key] = _GroupAudit(
                 key, self.sim.now, bound, list(streams), interval_length,
             )
+            self._dirty_groups[key] = None
 
     def _group(self, session_id) -> _GroupAudit:
         key = str(session_id)
@@ -370,29 +390,33 @@ class QoSAuditor:
             group = self._groups[key] = _GroupAudit(
                 key, self.sim.now, float("inf"), [], None,
             )
+            self._dirty_groups[key] = None
             return group
 
     def record_skew(self, session_id, skew: float) -> None:
         """File one regulation interval's group skew observation."""
         group = self._group(session_id)
+        self._dirty_groups[group.session_id] = None
         group.skew_hist.record(skew)
         if skew > group.bound:
             group.over_bound += 1
 
     def record_group_outage(self, session_id, vc_id) -> None:
-        self._group(session_id).outages.append(
-            {"at": self.sim.now, "vc": str(vc_id)}
-        )
+        group = self._group(session_id)
+        self._dirty_groups[group.session_id] = None
+        group.outages.append({"at": self.sim.now, "vc": str(vc_id)})
 
     def record_group_recovery(self, session_id, vc_id) -> None:
-        self._group(session_id).recoveries.append(
-            {"at": self.sim.now, "vc": str(vc_id)}
-        )
+        group = self._group(session_id)
+        self._dirty_groups[group.session_id] = None
+        group.recoveries.append({"at": self.sim.now, "vc": str(vc_id)})
 
     def record_regulation_drop(self, session_id, vc_id,
                                count: int = 1) -> None:
         """File OSDUs dropped by LLO regulation for one stream."""
-        drops = self._group(session_id).regulation_drops
+        group = self._group(session_id)
+        self._dirty_groups[group.session_id] = None
+        drops = group.regulation_drops
         key = str(vc_id)
         drops[key] = drops.get(key, 0) + count
 
@@ -423,10 +447,50 @@ class QoSAuditor:
         return snapshot
 
     def export(self, path: str) -> str:
-        """Write :meth:`snapshot` as JSON; returns ``path``."""
+        """Write :meth:`snapshot` as JSON; returns ``path``.
+
+        Streams one connection/group dict at a time instead of
+        materialising the whole snapshot, so exporting a fleet-scale
+        audit needs O(largest record) transient memory.  The bytes are
+        identical to ``json.dumps(self.snapshot(), indent=2)`` (pinned
+        by ``tests/obs/test_export.py``).
+        """
         with open(path, "w") as handle:
-            json.dump(self.snapshot(), handle, indent=2)
+            for chunk in self.iter_json():
+                handle.write(chunk)
         return path
+
+    def iter_json(self):
+        """Yield :meth:`snapshot` as JSON text in bounded chunks."""
+        yield (
+            '{\n  "kind": "repro-audit",\n  "now": '
+            + json.dumps(self.sim.now) + ",\n"
+        )
+        summary = _summarize_objects(self._connections.values())
+        yield '  "summary": ' + _dumps_at(summary, 1) + ",\n"
+        yield from _iter_array(
+            "connections",
+            (conn.to_dict() for conn in self._connections.values()),
+            len(self._connections),
+        )
+        yield from _iter_array(
+            "groups",
+            (group.to_dict() for group in self._groups.values()),
+            len(self._groups),
+        )
+        hists = {
+            "delay_s": self.delay_hist.to_dict(),
+            "jitter_s": self.jitter_hist.to_dict(),
+        }
+        tail = ",\n" if self._sections else "\n"
+        yield '  "histograms": ' + _dumps_at(hists, 1) + tail
+        if self._sections:
+            sections = {
+                name: provider()
+                for name, provider in sorted(self._sections.items())
+            }
+            yield '  "sections": ' + _dumps_at(sections, 1) + "\n"
+        yield "}"
 
 
 def _summarize(connections: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -457,6 +521,65 @@ def _summarize(connections: List[Dict[str, Any]]) -> Dict[str, Any]:
         "renegotiations": reneg,
         "releases": releases,
     }
+
+
+def _summarize_objects(records) -> Dict[str, Any]:
+    """:func:`_summarize` computed from live audit records.
+
+    Same arithmetic over the same iteration order, so the streaming
+    exporter's summary is byte-identical to the snapshot path's without
+    materialising every ``to_dict`` first.
+    """
+    totals = {"met": 0, "degraded": 0, "violated": 0, "idle": 0}
+    reneg: Dict[str, int] = {}
+    releases: Dict[str, int] = {}
+    ttfv: List[float] = []
+    count = 0
+    for conn in records:
+        count += 1
+        for verdict, filed in conn.counts.items():
+            totals[verdict] = totals.get(verdict, 0) + filed
+        for item in conn.renegotiations:
+            reneg[item["outcome"]] = reneg.get(item["outcome"], 0) + 1
+        if conn.released is not None:
+            reason = conn.released["reason"]
+            releases[reason] = releases.get(reason, 0) + 1
+        if conn.time_to_first_violation is not None:
+            ttfv.append(conn.time_to_first_violation)
+    judged = totals["met"] + totals["degraded"] + totals["violated"]
+    return {
+        "connections": count,
+        "periods": sum(totals.values()),
+        "counts": totals,
+        "conformance": totals["met"] / judged if judged else None,
+        "mean_time_to_first_violation": (
+            sum(ttfv) / len(ttfv) if ttfv else None
+        ),
+        "renegotiations": reneg,
+        "releases": releases,
+    }
+
+
+def _dumps_at(obj: Any, depth: int) -> str:
+    """``json.dumps(obj, indent=2)`` re-indented to nest at ``depth``."""
+    return json.dumps(obj, indent=2).replace("\n", "\n" + "  " * depth)
+
+
+def _iter_array(name: str, items, count: int):
+    """Yield a top-level JSON array one element at a time.
+
+    Renders exactly like the same array inside
+    ``json.dumps(document, indent=2)`` at nesting depth one.
+    """
+    if count == 0:
+        yield f'  "{name}": [],\n'
+        return
+    yield f'  "{name}": [\n'
+    last = count - 1
+    for index, item in enumerate(items):
+        text = "    " + _dumps_at(item, 2)
+        yield text + (",\n" if index != last else "\n")
+    yield "  ],\n"
 
 
 def merge_snapshots(

@@ -249,16 +249,28 @@ def _disambiguate(prom: str, emitted: set) -> str:
     return f"{prom}_{n}"
 
 
-def prometheus_text(registry) -> str:
-    """Prometheus text exposition of a registry's counters and gauges.
+def prometheus_text(
+    registry,
+    histograms: Optional[Dict[str, "FixedBucketHistogram"]] = None,
+) -> str:
+    """Prometheus text exposition of a registry (plus histograms).
 
-    One ``# TYPE`` line per metric followed by its sample; names are
+    One ``# TYPE`` line per metric followed by its sample(s); names are
     sanitised (``vc.v0.arrived_bits`` becomes ``vc_v0_arrived_bits``).
     Distinct registry names that sanitise identically are kept distinct
     by suffixing later colliders with ``_2``, ``_3``, ... in sorted
-    emission order (counters before gauges), so the exposition never
-    contains duplicate metric names.  Rendering reads current values
-    only -- it never mutates the registry.
+    emission order (counters, then gauges, then histograms), so the
+    exposition never contains duplicate metric names.
+
+    ``histograms`` maps names to :class:`FixedBucketHistogram` objects;
+    each renders as standard cumulative histogram exposition --
+    ``_bucket{le="..."}`` samples (an anchor at ``le=lo`` carrying the
+    underflow count, one edge per occupied bucket, ``le="+Inf"``),
+    then ``_sum`` and ``_count``.  Bucket edges are ``repr``-precision
+    floats, so a reader that knows ``lo``/``hi``/``buckets`` can map
+    every edge back to its bucket index exactly (round-trip pinned in
+    ``tests/obs/test_export.py``).  Rendering reads current values
+    only -- it never mutates the registry or the histograms.
     """
     lines: List[str] = []
     emitted: set = set()
@@ -273,11 +285,42 @@ def prometheus_text(registry) -> str:
         emitted.add(prom)
         lines.append(f"# TYPE {prom} gauge")
         lines.append(f"{prom} {value}")
+    for name, hist in sorted((histograms or {}).items()):
+        prom = _disambiguate(_prom_name(name), emitted)
+        emitted.add(prom)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = hist.underflow
+        lines.append(f'{prom}_bucket{{le="{hist.lo!r}"}} {cumulative}')
+        for idx, bucket_count in enumerate(hist.counts):
+            if bucket_count:
+                cumulative += bucket_count
+                edge = hist._bucket_upper(idx)
+                lines.append(f'{prom}_bucket{{le="{edge!r}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{prom}_sum {hist.total}")
+        lines.append(f"{prom}_count {hist.count}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
 def write_json_snapshot(registry, path: str) -> str:
-    """Dump ``registry.snapshot()`` as JSON; returns ``path``."""
+    """Stream ``registry.snapshot()`` to ``path`` as JSON.
+
+    Byte-identical to ``json.dump(registry.snapshot(), handle,
+    indent=2, sort_keys=True)`` -- pinned in
+    ``tests/obs/test_export.py`` -- but written one top-level section
+    at a time via
+    :meth:`~repro.obs.registry.MetricsRegistry.snapshot_sections`, so
+    the full snapshot document is never materialised alongside the
+    live registry at fleet scale.  Returns ``path``.
+    """
     with open(path, "w") as handle:
-        json.dump(registry.snapshot(), handle, indent=2, sort_keys=True)
+        handle.write("{")
+        first = True
+        for name, section in registry.snapshot_sections():
+            if not first:
+                handle.write(",")
+            first = False
+            body = json.dumps(section, indent=2, sort_keys=True)
+            handle.write(f'\n  "{name}": ' + body.replace("\n", "\n  "))
+        handle.write("\n}")
     return path

@@ -1,0 +1,239 @@
+"""Wall-clock span profiling for the simulator's hot subsystems.
+
+EXPERIMENTS.md "K1 revisited" concludes the remaining scheduler floor
+is Python call overhead -- but *where*?  This module hangs a
+:class:`WallProfiler` off ``sim.profile`` and instruments four spans at
+their call sites (no wrapper functions, so the disabled path costs one
+attribute load and a branch, exactly like ``sim.auditor``):
+
+- ``scheduler.dispatch`` -- one callback dispatch in ``Simulator.run``
+- ``link.commit``        -- one ``Link.send`` (admission + enqueue)
+- ``transport.deliver``  -- one ``TransportEntity._on_packet``
+- ``audit.evaluate``     -- one ``QoSAuditor.record_period``
+
+Spans nest (a dispatch envelopes the link/transport work it triggers);
+the per-subsystem table therefore reports *inclusive* time and the
+shares column is computed against ``scheduler.dispatch`` alone when
+present.  Enabled via :meth:`repro.core.runtime.Runtime.enable_profiling`
+or soak's ``--profile``; ``tests/obs/test_profile.py`` proves the
+disabled path changes nothing (event-count + audit identity, like
+PR 2's tracer guarantee).
+
+Exports: a JSON document (``kind: repro-profile``), a Chrome
+``traceEvents`` file loadable in ``chrome://tracing`` / Perfetto, and a
+per-subsystem text table.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.table import Table
+
+__all__ = [
+    "WallProfiler",
+    "merge_profiles",
+    "export_chrome_trace",
+    "render_profile_table",
+]
+
+
+class WallProfiler:
+    """Accumulates wall-clock spans per subsystem plus a bounded event log.
+
+    ``add(key, started, ended)`` takes two :func:`time.perf_counter`
+    readings (exposed as :attr:`clock` so call sites and the profiler
+    agree on the time base).  Aggregates are unbounded and O(1) per
+    span; individual events stop being logged after ``max_events`` and
+    are counted in ``dropped_events`` instead, so a profiled soak can
+    run for hours without the profiler itself becoming the memory hog.
+    """
+
+    __slots__ = ("max_events", "subsystems", "events", "dropped", "clock",
+                 "_t0")
+
+    def __init__(self, max_events: int = 100_000):
+        self.max_events = max_events
+        #: key -> [count, total_s, min_s, max_s]
+        self.subsystems: Dict[str, List[float]] = {}
+        #: [key, start_s (relative to profiler creation), duration_s]
+        self.events: List[List[Any]] = []
+        self.dropped = 0
+        self.clock = perf_counter
+        self._t0 = perf_counter()
+
+    def add(self, key: str, started: float, ended: float) -> None:
+        """File one completed span (``started``/``ended`` from clock())."""
+        elapsed = ended - started
+        stats = self.subsystems.get(key)
+        if stats is None:
+            stats = self.subsystems[key] = [0, 0.0, math.inf, 0.0]
+        stats[0] += 1
+        stats[1] += elapsed
+        if elapsed < stats[2]:
+            stats[2] = elapsed
+        if elapsed > stats[3]:
+            stats[3] = elapsed
+        if len(self.events) < self.max_events:
+            self.events.append([key, started - self._t0, elapsed])
+        else:
+            self.dropped += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The profile as a plain JSON-serialisable document."""
+        return {
+            "kind": "repro-profile",
+            "subsystems": {
+                key: {
+                    "count": stats[0],
+                    "total_s": stats[1],
+                    "min_s": stats[2] if stats[0] else None,
+                    "max_s": stats[3] if stats[0] else None,
+                }
+                for key, stats in sorted(self.subsystems.items())
+            },
+            "events": self.events,
+            "dropped_events": self.dropped,
+        }
+
+    def export(self, path: str) -> str:
+        """Write the profile document as JSON; returns ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+        return path
+
+
+def merge_profiles(profiles: List[Dict[str, Any]],
+                   labels: Optional[List[str]] = None) -> Dict[str, Any]:
+    """Fold per-shard profile documents into one.
+
+    Subsystem aggregates add (min/max fold); events gain a source index
+    (rendered as the ``pid`` in the Chrome trace, named by ``labels``).
+    """
+    if labels is not None and len(labels) != len(profiles):
+        raise ValueError(
+            f"got {len(labels)} labels for {len(profiles)} profiles"
+        )
+    subsystems: Dict[str, List[float]] = {}
+    events: List[List[Any]] = []
+    dropped = 0
+    for source, profile in enumerate(profiles):
+        for key, stats in profile.get("subsystems", {}).items():
+            merged = subsystems.get(key)
+            if merged is None:
+                subsystems[key] = [
+                    stats["count"], stats["total_s"],
+                    stats["min_s"] if stats["min_s"] is not None
+                    else math.inf,
+                    stats["max_s"] if stats["max_s"] is not None else 0.0,
+                ]
+            else:
+                merged[0] += stats["count"]
+                merged[1] += stats["total_s"]
+                if stats["min_s"] is not None:
+                    merged[2] = min(merged[2], stats["min_s"])
+                if stats["max_s"] is not None:
+                    merged[3] = max(merged[3], stats["max_s"])
+        for event in profile.get("events", ()):
+            if len(event) == 3:
+                events.append([source, *event])
+            else:  # already merged once: keep the original source
+                events.append(list(event))
+        dropped += profile.get("dropped_events", 0)
+    return {
+        "kind": "repro-profile",
+        "sources": list(labels) if labels is not None else len(profiles),
+        "subsystems": {
+            key: {
+                "count": stats[0],
+                "total_s": stats[1],
+                "min_s": stats[2] if stats[0] else None,
+                "max_s": stats[3] if stats[0] else None,
+            }
+            for key, stats in sorted(subsystems.items())
+        },
+        "events": events,
+        "dropped_events": dropped,
+    }
+
+
+def export_chrome_trace(profile: Dict[str, Any], path: str) -> str:
+    """Write a profile document as a Chrome ``traceEvents`` JSON file.
+
+    Each source (shard) becomes a ``pid``, each subsystem a ``tid``
+    within it; spans are complete ("X") events in microseconds.
+    """
+    sources = profile.get("sources")
+    if isinstance(sources, list):
+        names = {index: str(label) for index, label in enumerate(sources)}
+    elif isinstance(sources, int):
+        names = {index: f"source {index}" for index in range(sources)}
+    else:
+        names = {0: "profile"}
+    tids: Dict[str, int] = {}
+    trace: List[Dict[str, Any]] = []
+    for pid, name in names.items():
+        trace.append({
+            "ph": "M", "pid": pid, "name": "process_name",
+            "args": {"name": name},
+        })
+    for event in profile.get("events", ()):
+        if len(event) == 4:
+            pid, key, start, duration = event
+        else:
+            key, start, duration = event
+            pid = 0
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            for p in names:
+                trace.append({
+                    "ph": "M", "pid": p, "tid": tid,
+                    "name": "thread_name", "args": {"name": key},
+                })
+        trace.append({
+            "ph": "X", "pid": pid, "tid": tid, "name": key,
+            "cat": "profile",
+            "ts": start * 1e6, "dur": duration * 1e6,
+        })
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": trace}, handle)
+    return path
+
+
+def render_profile_table(profile: Dict[str, Any]) -> str:
+    """The per-subsystem aggregate table as monospace text."""
+    subsystems = profile.get("subsystems", {})
+    dispatch = subsystems.get("scheduler.dispatch", {}).get("total_s")
+    table = Table(
+        ("subsystem", "spans", "total s", "mean us", "min us", "max us",
+         "share"),
+        title="wall-clock profile (inclusive spans)",
+    )
+    for key, stats in subsystems.items():
+        count = stats["count"]
+        total = stats["total_s"]
+        share = (
+            f"{100.0 * total / dispatch:.1f}%"
+            if dispatch and key != "scheduler.dispatch" else
+            ("100%" if key == "scheduler.dispatch" else "-")
+        )
+        table.add(
+            key,
+            str(count),
+            f"{total:.3f}",
+            f"{1e6 * total / count:.2f}" if count else "-",
+            f"{1e6 * stats['min_s']:.2f}"
+            if stats["min_s"] is not None else "-",
+            f"{1e6 * stats['max_s']:.2f}"
+            if stats["max_s"] is not None else "-",
+            share,
+        )
+    dropped = profile.get("dropped_events", 0)
+    text = table.render()
+    if dropped:
+        text += f"\n({dropped} span event(s) dropped beyond the log cap)"
+    return text

@@ -360,6 +360,41 @@ class MetricsRegistry:
             },
         }
 
+    def snapshot_sections(self) -> Iterator[Tuple[str, object]]:
+        """:meth:`snapshot`'s top-level sections, one at a time.
+
+        Yields ``(key, value)`` pairs in *sorted key order* (the order
+        ``json.dumps(..., sort_keys=True)`` would emit them), building
+        each section only when requested -- the granularity the
+        streaming JSON writer in :mod:`repro.obs.export` works at, so
+        the full snapshot dict never has to be materialised.
+        """
+        yield "counters", {
+            name: counter.value
+            for name, counter in sorted(self._counters.items())
+        }
+        yield "gauges", {
+            name: gauge.value
+            for name, gauge in sorted(self._gauges.items())
+        }
+        yield "now", self._clock()
+        yield "series", {
+            name: len(series)
+            for name, series in sorted(self._series.items())
+        }
+        windows: Dict[str, Dict[str, object]] = {}
+        for name, window in sorted(self._windows.items()):
+            snap = window.snapshot()
+            windows[name] = {
+                "start": snap.start,
+                "end": snap.end,
+                "count": snap.count,
+                "total": snap.total,
+                "min": None if snap.count == 0 else snap.minimum,
+                "max": None if snap.count == 0 else snap.maximum,
+            }
+        yield "windows", windows
+
 
 def merge_snapshots(
     snapshots: List[Dict[str, object]],

@@ -161,26 +161,36 @@ def _reneg_cell(renegotiations: List[Dict[str, Any]]) -> str:
     return ", ".join(f"{n} {outcome}" for outcome, n in sorted(counts.items()))
 
 
-def _conformance_table(connections: List[Dict[str, Any]],
-                       max_rows: Optional[int] = None) -> str:
-    """Per-VC Table-2 rows; capped at ``max_rows`` worst VCs if set.
+def _worst_connections(
+    connections: List[Dict[str, Any]], max_rows: Optional[int],
+) -> List[Dict[str, Any]]:
+    """The ``max_rows`` worst VCs (all of them when under the cap).
 
     "Worst" ranks by violated-period count, then lowest conformance,
     then vc id -- a fleet report surfaces the misbehaving connections
-    and summarises the healthy bulk in a trailing note.
+    and summarises the healthy bulk elsewhere.
     """
-    shown = connections
+    if max_rows is None or len(connections) <= max_rows:
+        return connections
+
+    def _rank(conn: Dict[str, Any]):
+        counts = conn.get("counts", {})
+        conformance = conn.get("conformance")
+        return (
+            -counts.get("violated", 0),
+            conformance if conformance is not None else 2.0,
+            str(conn.get("vc", "")),
+        )
+
+    return sorted(connections, key=_rank)[:max_rows]
+
+
+def _conformance_table(connections: List[Dict[str, Any]],
+                       max_rows: Optional[int] = None) -> str:
+    """Per-VC Table-2 rows; capped at ``max_rows`` worst VCs if set."""
+    shown = _worst_connections(connections, max_rows)
     note = ""
-    if max_rows is not None and len(connections) > max_rows:
-        def _rank(conn: Dict[str, Any]):
-            counts = conn.get("counts", {})
-            conformance = conn.get("conformance")
-            return (
-                -counts.get("violated", 0),
-                conformance if conformance is not None else 2.0,
-                str(conn.get("vc", "")),
-            )
-        shown = sorted(connections, key=_rank)[:max_rows]
+    if len(shown) < len(connections):
         note = (
             f"\n  ... and {len(connections) - max_rows} more "
             "connection(s) not shown (rows capped; fleet totals in the "
@@ -477,6 +487,59 @@ def render_run(path: str, max_rows: Optional[int] = 200) -> str:
     return "\n\n".join(blocks)
 
 
+def render_run_json(
+    path: str, max_rows: Optional[int] = 200,
+) -> Dict[str, Any]:
+    """The run report as a machine-readable document.
+
+    Mirrors :func:`render_run` section for section -- summary header,
+    merge provenance, baseline diff, the ranked/capped per-VC rows
+    (with the same per-dimension violated-period counts the table
+    derives from timelines), groups, attached sections, histograms --
+    so scripts can consume what the text report shows without scraping
+    tables.  Raises the same exceptions as :func:`render_run` on a
+    malformed snapshot, so the CLI's exit codes are unchanged.
+    """
+    data = load_audit(path)
+    connections = data["connections"]
+    shown = _worst_connections(connections, max_rows)
+    rows: List[Dict[str, Any]] = []
+    for conn in shown:
+        by_dim: Dict[str, int] = defaultdict(int)
+        for entry in conn.get("timeline", ()):
+            for violation in entry.get("violations", ()):
+                by_dim[violation.get("parameter", "?")] += 1
+        released = conn.get("released")
+        rows.append({
+            "vc": conn.get("vc"),
+            "counts": dict(conn.get("counts", {})),
+            "conformance": conn.get("conformance"),
+            "time_to_first_violation":
+                conn.get("time_to_first_violation"),
+            "violations_by_dimension":
+                {dim: by_dim[dim] for dim in _DIMENSIONS if by_dim[dim]},
+            "renegotiations": len(conn.get("renegotiations", ())),
+            "released": released.get("reason") if released else None,
+            "drilldowns": conn.get("drilldowns", []),
+            "drilldowns_suppressed":
+                conn.get("drilldowns_suppressed", 0),
+        })
+    return {
+        "kind": "repro-run-report",
+        "path": path,
+        "now": data.get("now"),
+        "summary": data.get("summary", {}),
+        "merged_from": data.get("merged_from"),
+        "baseline_diff": data.get("baseline_diff"),
+        "connections_total": len(connections),
+        "connections_shown": len(shown),
+        "connections": rows,
+        "groups": data.get("groups", []),
+        "sections": data.get("sections", {}),
+        "histograms": data.get("histograms", {}),
+    }
+
+
 # ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
@@ -494,12 +557,20 @@ def _main_run(argv: List[str]) -> int:
         help="cap the per-VC table at the N worst connections "
              "(0 = unlimited; default 200)",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the report sections as machine-readable JSON "
+             "instead of rendered tables (same exit codes)",
+    )
     args = parser.parse_args(argv)
+    max_rows = args.max_rows if args.max_rows > 0 else None
     try:
-        text = render_run(
-            args.audit,
-            max_rows=args.max_rows if args.max_rows > 0 else None,
-        )
+        if args.json:
+            text = json.dumps(
+                render_run_json(args.audit, max_rows=max_rows), indent=2,
+            )
+        else:
+            text = render_run(args.audit, max_rows=max_rows)
     except OSError as exc:
         print(f"cannot read {args.audit!r}: {exc}", file=sys.stderr)
         return 1

@@ -1,0 +1,628 @@
+"""Streaming observability: per-window snapshot deltas and their folder.
+
+PR 8's sharded soak ships each worker's *whole* audit and metrics
+snapshot at finish time, so the coordinator's peak RSS is O(fleet) --
+the per-shard documents, their pickle buffers and the merged copy all
+coexist (see docs/SCALING.md).  This module makes the telemetry
+incremental instead:
+
+- :class:`DeltaEncoder` runs inside a shard worker.  At every
+  synchronization barrier it emits a *delta*: counter/gauge/window
+  values that changed, audit verdict periods filed, renegotiations,
+  releases and drill-downs appended since the previous barrier.  The
+  encoder piggybacks on the ``("window", ...)`` pipe message of
+  :mod:`repro.sim.shard.runner`, so streaming adds zero extra round
+  trips.
+- :class:`DeltaFolder` runs inside the coordinator.  It folds each
+  delta into per-shard state as it arrives and, at finish time,
+  reproduces **byte-for-byte** the documents the snapshot-merge path
+  (:func:`repro.obs.audit.merge_snapshots` /
+  :func:`repro.obs.registry.merge_snapshots`) would have produced --
+  the property tests in ``tests/obs/test_stream.py`` pin this.  The
+  folder also maintains an O(1) rolling summary (conformance so far,
+  first breach time, skew bound overshoots) that feeds the live SLO
+  watcher (:mod:`repro.obs.live`).
+- :class:`LiveWriter` appends rolling records as JSON lines to any
+  file-like sink, one line per barrier plus one final record, flushed
+  eagerly so ``tail -f`` and the watch CLI see them immediately.
+
+Delta protocol (one dict per barrier, ``None`` when nothing changed)::
+
+    {"v": 1, "final": bool, "now": <shard virtual time>,
+     "audit": {"connections": {vc: {"full": <to_dict>} | <sparse>},
+               "groups": {...}, "histograms": {...}, "sections": {...}},
+     "metrics": {"counters": {...}, "gauges": {...},
+                 "windows": {...}, "series": {...}}}
+
+A connection's first appearance ships its complete ``to_dict`` (the
+"registration storm" -- that data must cross once either way);
+afterwards only increments travel: absolute verdict counts (small ints,
+exact), the timeline *tail* (new entries, already truncated to the
+auditor's ``max_timeline`` discipline so the folded tail matches the
+snapshot's), appended renegotiations/drill-downs, and first-violation /
+release marks.  Metrics ship sparse absolute values -- floats are
+*copied*, never re-derived by subtraction, which is what makes the fold
+bit-exact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Optional, TextIO, Tuple
+
+from repro.obs.audit import _contract_dict, _summarize
+from repro.obs.export import FixedBucketHistogram
+from repro.obs.registry import merge_snapshots as _merge_metrics
+
+__all__ = [
+    "DeltaEncoder",
+    "DeltaFolder",
+    "LiveWriter",
+    "open_live_sink",
+]
+
+#: Delta wire-format version (bump on incompatible change).
+DELTA_VERSION = 1
+
+#: Audit histogram names, in per-shard snapshot order.
+_AUDIT_HISTS = ("delay_s", "jitter_s")
+
+
+class _ConnCursor:
+    """What the encoder has already shipped for one connection."""
+
+    __slots__ = (
+        "filed", "reneg", "drill", "released", "fv", "contract",
+        "suppressed",
+    )
+
+    def __init__(self, conn):
+        self.filed = sum(conn.counts.values())
+        self.reneg = len(conn.renegotiations)
+        self.drill = len(conn.drilldowns)
+        self.released = conn.released
+        self.fv = conn.first_violation_at is not None
+        self.contract = conn.contract
+        self.suppressed = conn.drilldowns_suppressed
+
+    def delta(self, conn) -> Dict[str, Any]:
+        d: Dict[str, Any] = {}
+        filed = sum(conn.counts.values())
+        if filed != self.filed:
+            new = filed - self.filed
+            self.filed = filed
+            d["counts"] = dict(conn.counts)
+            timeline = conn.timeline
+            if timeline:
+                # The newest entries are the last ones; truncation only
+                # ever drops from the front, so the tail slice is exactly
+                # the filed-period entries the auditor still retains.
+                d["timeline"] = timeline[-min(new, len(timeline)):]
+        if conn.contract is not self.contract:
+            self.contract = conn.contract
+            d["contract"] = _contract_dict(conn.contract)
+        if not self.fv and conn.first_violation_at is not None:
+            self.fv = True
+            d["first_violation_at"] = conn.first_violation_at
+        if len(conn.renegotiations) > self.reneg:
+            d["renegotiations"] = conn.renegotiations[self.reneg:]
+            self.reneg = len(conn.renegotiations)
+        if conn.released is not self.released:
+            self.released = conn.released
+            d["released"] = conn.released
+        if len(conn.drilldowns) > self.drill:
+            d["drilldowns"] = conn.drilldowns[self.drill:]
+            self.drill = len(conn.drilldowns)
+        if conn.drilldowns_suppressed != self.suppressed:
+            self.suppressed = conn.drilldowns_suppressed
+            d["drilldowns_suppressed"] = conn.drilldowns_suppressed
+        return d
+
+
+class _GroupCursor:
+    """What the encoder has already shipped for one orchestration group."""
+
+    __slots__ = ("skew_count", "over_bound", "outages", "recoveries",
+                 "reg_total")
+
+    def __init__(self, group):
+        self.skew_count = group.skew_hist.count
+        self.over_bound = group.over_bound
+        self.outages = len(group.outages)
+        self.recoveries = len(group.recoveries)
+        self.reg_total = sum(group.regulation_drops.values())
+
+    def delta(self, group) -> Dict[str, Any]:
+        d: Dict[str, Any] = {}
+        if group.skew_hist.count != self.skew_count:
+            self.skew_count = group.skew_hist.count
+            d["skew"] = group.skew_hist.to_dict()
+        if group.over_bound != self.over_bound:
+            self.over_bound = group.over_bound
+            d["over_bound"] = group.over_bound
+        if len(group.outages) > self.outages:
+            d["outages"] = group.outages[self.outages:]
+            self.outages = len(group.outages)
+        if len(group.recoveries) > self.recoveries:
+            d["recoveries"] = group.recoveries[self.recoveries:]
+            self.recoveries = len(group.recoveries)
+        reg_total = sum(group.regulation_drops.values())
+        if reg_total != self.reg_total:
+            self.reg_total = reg_total
+            d["regulation_drops"] = dict(group.regulation_drops)
+        return d
+
+
+class DeltaEncoder:
+    """Worker-side incremental snapshot encoder.
+
+    Wraps a :class:`~repro.obs.audit.QoSAuditor` and/or a
+    :class:`~repro.obs.registry.MetricsRegistry` and turns "what changed
+    since the last call" into one picklable delta dict per barrier.
+    Audit changes are discovered through the auditor's dirty sets (a
+    dict insert per recording call -- connections and groups untouched
+    during a window cost nothing); registry changes by a linear scan of
+    the instruments against last-shipped values, which for fleet-scale
+    registries is a few thousand compares per barrier.
+
+    ``delta(final=True)`` must be called exactly once, after the run
+    finishes: it re-ships every windowed stat (their ``end`` edge is the
+    clock, which moves even without observations), the audit histograms
+    and the lazily rendered report sections, so the folder's final state
+    matches a finish-time snapshot exactly.
+    """
+
+    def __init__(self, auditor=None, registry=None):
+        if auditor is None and registry is None:
+            raise ValueError("need an auditor and/or a registry to stream")
+        self.auditor = auditor
+        self.registry = registry
+        self._conns: Dict[str, _ConnCursor] = {}
+        self._groups: Dict[str, _GroupCursor] = {}
+        # Seed with the attach-time counts so an idle histogram does
+        # not look changed on the first barrier (final re-ships all).
+        self._hist_counts: Dict[str, int] = {}
+        if auditor is not None:
+            for name, hist in zip(
+                _AUDIT_HISTS, (auditor.delay_hist, auditor.jitter_hist),
+            ):
+                self._hist_counts[name] = hist.count
+        self._counter_last: Dict[str, float] = {}
+        self._gauge_last: Dict[str, float] = {}
+        self._window_last: Dict[str, Tuple[float, int, float]] = {}
+        self._series_last: Dict[str, int] = {}
+
+    def _now(self) -> float:
+        if self.auditor is not None:
+            return self.auditor.sim.now
+        return self.registry.now
+
+    def delta(self, final: bool = False) -> Optional[Dict[str, Any]]:
+        """The changes since the previous call (``None`` when nothing).
+
+        A final delta is never ``None``: it always carries the closing
+        windowed stats, histograms and sections.
+        """
+        out: Dict[str, Any] = {
+            "v": DELTA_VERSION, "final": final, "now": self._now(),
+        }
+        changed = False
+        if self.auditor is not None:
+            audit = self._audit_delta(final)
+            if audit:
+                out["audit"] = audit
+                changed = True
+        if self.registry is not None:
+            metrics = self._metrics_delta(final)
+            # A final delta always carries the metrics key (possibly
+            # empty): its presence tells the folder a registry exists
+            # on this shard, so the merged metrics document and its
+            # closing ``now`` match the snapshot-merge path even for a
+            # registry that never recorded anything.
+            if metrics or final:
+                out["metrics"] = metrics
+                changed = changed or bool(metrics)
+        if not changed and not final:
+            return None
+        return out
+
+    # -- audit -------------------------------------------------------------
+
+    def _audit_delta(self, final: bool) -> Dict[str, Any]:
+        aud = self.auditor
+        out: Dict[str, Any] = {}
+        dirty = aud._dirty_connections
+        if dirty:
+            aud._dirty_connections = {}
+            conns: Dict[str, Any] = {}
+            records = aud._connections
+            cursors = self._conns
+            for key in dirty:
+                conn = records.get(key)
+                if conn is None:  # pragma: no cover - defensive
+                    continue
+                cursor = cursors.get(key)
+                if cursor is None:
+                    cursors[key] = _ConnCursor(conn)
+                    conns[key] = {"full": conn.to_dict()}
+                else:
+                    d = cursor.delta(conn)
+                    if d:
+                        conns[key] = d
+            if conns:
+                out["connections"] = conns
+        dirty_groups = aud._dirty_groups
+        if dirty_groups:
+            aud._dirty_groups = {}
+            groups: Dict[str, Any] = {}
+            for key in dirty_groups:
+                group = aud._groups.get(key)
+                if group is None:  # pragma: no cover - defensive
+                    continue
+                cursor = self._groups.get(key)
+                if cursor is None:
+                    self._groups[key] = _GroupCursor(group)
+                    groups[key] = {"full": group.to_dict()}
+                else:
+                    d = cursor.delta(group)
+                    if d:
+                        groups[key] = d
+            if groups:
+                out["groups"] = groups
+        hists: Dict[str, Any] = {}
+        for name, hist in zip(_AUDIT_HISTS, (aud.delay_hist, aud.jitter_hist)):
+            if final or hist.count != self._hist_counts.get(name):
+                self._hist_counts[name] = hist.count
+                hists[name] = hist.to_dict()
+        if hists:
+            out["histograms"] = hists
+        if final and aud._sections:
+            out["sections"] = {
+                name: provider()
+                for name, provider in sorted(aud._sections.items())
+            }
+        return out
+
+    # -- metrics -----------------------------------------------------------
+
+    def _metrics_delta(self, final: bool) -> Dict[str, Any]:
+        reg = self.registry
+        out: Dict[str, Any] = {}
+        counters: Dict[str, float] = {}
+        last = self._counter_last
+        for name, counter in reg._counters.items():
+            value = counter.value
+            if last.get(name) != value:
+                last[name] = value
+                counters[name] = value
+        if counters:
+            out["counters"] = counters
+        gauges: Dict[str, float] = {}
+        last = self._gauge_last
+        for name, gauge in reg._gauges.items():
+            value = gauge.value
+            if last.get(name) != value:
+                last[name] = value
+                gauges[name] = value
+        if gauges:
+            out["gauges"] = gauges
+        windows: Dict[str, Any] = {}
+        wlast = self._window_last
+        for name, window in reg._windows.items():
+            key = (window.window_start, window.count, window.total)
+            if final or wlast.get(name) != key:
+                wlast[name] = key
+                snap = window.snapshot()
+                windows[name] = {
+                    "start": snap.start,
+                    "end": snap.end,
+                    "count": snap.count,
+                    "total": snap.total,
+                    "min": None if snap.count == 0 else snap.minimum,
+                    "max": None if snap.count == 0 else snap.maximum,
+                }
+        if windows:
+            out["windows"] = windows
+        series: Dict[str, int] = {}
+        slast = self._series_last
+        for name, samples in reg._series.items():
+            length = len(samples)
+            if final or slast.get(name) != length:
+                slast[name] = length
+                series[name] = length
+        if series:
+            out["series"] = series
+        return out
+
+
+class DeltaFolder:
+    """Coordinator-side fold of per-shard deltas into merged documents.
+
+    Resident state is exactly one evolving copy of the merged document
+    (which the run's output needs anyway) plus O(1) rolling aggregates;
+    the per-window transient is one delta.  ``result_audit()`` /
+    ``result_metrics()`` return documents byte-identical (same values,
+    same key order) to what the finish-time
+    ``merge_snapshots(per-shard snapshots, labels=...)`` path produces.
+    """
+
+    def __init__(self, shards: int, labels: Optional[List[str]] = None,
+                 max_timeline: Optional[int] = None):
+        if labels is not None and len(labels) != shards:
+            raise ValueError(
+                f"got {len(labels)} labels for {shards} shards"
+            )
+        self.shards = shards
+        self.labels = list(labels) if labels is not None else None
+        self.max_timeline = max_timeline
+        #: Barriers folded so far (maintained by the caller's progress
+        #: hook; purely informational).
+        self.windows = 0
+        self._now = [0.0] * shards
+        self._conns: List[Dict[str, Dict[str, Any]]] = [
+            {} for _ in range(shards)
+        ]
+        self._groups: List[Dict[str, Dict[str, Any]]] = [
+            {} for _ in range(shards)
+        ]
+        self._hists: List[Dict[str, Any]] = [{} for _ in range(shards)]
+        self._sections: List[Dict[str, Any]] = [{} for _ in range(shards)]
+        self._metrics: List[Dict[str, Any]] = [
+            {"now": 0.0, "counters": {}, "gauges": {}, "windows": {},
+             "series": {}}
+            for _ in range(shards)
+        ]
+        self._have_metrics = False
+        # Rolling aggregates (O(1) to read; fed by every fold).
+        self._counts = {"met": 0, "degraded": 0, "violated": 0, "idle": 0}
+        self._conn_total = 0
+        self._first_breach: Optional[float] = None
+        self._over_bound = 0
+        self._reneg = 0
+        self._releases = 0
+
+    # -- folding -----------------------------------------------------------
+
+    def fold(self, shard: int, delta: Optional[Dict[str, Any]]) -> None:
+        """Fold one shard's barrier delta (``None`` is a no-op)."""
+        if delta is None:
+            return
+        now = delta.get("now")
+        final = bool(delta.get("final"))
+        if now is not None and now > self._now[shard]:
+            self._now[shard] = now
+        audit = delta.get("audit")
+        if audit:
+            self._fold_audit(shard, audit, final)
+        metrics = delta.get("metrics")
+        if metrics is not None:
+            self._fold_metrics(shard, metrics, now)
+
+    def _fold_audit(self, shard: int, audit: Dict[str, Any],
+                    final: bool) -> None:
+        conns = self._conns[shard]
+        for vc, d in audit.get("connections", {}).items():
+            full = d.get("full")
+            if full is not None:
+                conns[vc] = full
+                self._conn_total += 1
+                for verdict, count in full["counts"].items():
+                    self._counts[verdict] = (
+                        self._counts.get(verdict, 0) + count
+                    )
+                self._reneg += len(full["renegotiations"])
+                if full["released"] is not None:
+                    self._releases += 1
+                ttfv = full["time_to_first_violation"]
+                if ttfv is not None:
+                    self._breach(full["registered_at"] + ttfv)
+                continue
+            conn = conns.get(vc)
+            if conn is None:  # mid-stream reader missed the full record
+                continue
+            counts = d.get("counts")
+            if counts is not None:
+                old = conn["counts"]
+                for verdict, count in counts.items():
+                    self._counts[verdict] = (
+                        self._counts.get(verdict, 0)
+                        + count - old.get(verdict, 0)
+                    )
+                conn["counts"] = counts
+            tail = d.get("timeline")
+            if tail:
+                timeline = conn["timeline"]
+                timeline.extend(tail)
+                limit = self.max_timeline
+                if limit is not None and len(timeline) > limit:
+                    del timeline[: len(timeline) - limit]
+            contract = d.get("contract")
+            if contract is not None:
+                conn["contract"] = contract
+            fv = d.get("first_violation_at")
+            if fv is not None:
+                conn["time_to_first_violation"] = fv - conn["registered_at"]
+                self._breach(fv)
+            reneg = d.get("renegotiations")
+            if reneg:
+                conn["renegotiations"].extend(reneg)
+                self._reneg += len(reneg)
+            released = d.get("released")
+            if released is not None:
+                if conn["released"] is None:
+                    self._releases += 1
+                conn["released"] = released
+            drills = d.get("drilldowns")
+            if drills:
+                conn["drilldowns"].extend(drills)
+            suppressed = d.get("drilldowns_suppressed")
+            if suppressed is not None:
+                conn["drilldowns_suppressed"] = suppressed
+        groups = self._groups[shard]
+        for session, d in audit.get("groups", {}).items():
+            full = d.get("full")
+            if full is not None:
+                groups[session] = full
+                self._over_bound += full["over_bound"]
+                continue
+            group = groups.get(session)
+            if group is None:
+                continue
+            skew = d.get("skew")
+            if skew is not None:
+                group["skew"] = skew
+                group["intervals"] = skew["count"]
+            over = d.get("over_bound")
+            if over is not None:
+                self._over_bound += over - group["over_bound"]
+                group["over_bound"] = over
+            for key in ("outages", "recoveries"):
+                tail = d.get(key)
+                if tail:
+                    group[key].extend(tail)
+            drops = d.get("regulation_drops")
+            if drops is not None:
+                group["regulation_drops"] = drops
+        hists = audit.get("histograms")
+        if hists:
+            if final:
+                # The final delta ships every histogram in canonical
+                # snapshot order; rebuilding pins the merged key order
+                # to the snapshot-merge path's.
+                self._hists[shard] = dict(hists)
+            else:
+                self._hists[shard].update(hists)
+        sections = audit.get("sections")
+        if sections is not None:
+            self._sections[shard] = sections
+
+    def _fold_metrics(self, shard: int, metrics: Dict[str, Any],
+                      now: Optional[float]) -> None:
+        self._have_metrics = True
+        state = self._metrics[shard]
+        if now is not None:
+            state["now"] = now
+        for section in ("counters", "gauges", "windows", "series"):
+            update = metrics.get(section)
+            if update:
+                state[section].update(update)
+
+    def _breach(self, at: float) -> None:
+        if self._first_breach is None or at < self._first_breach:
+            self._first_breach = at
+
+    # -- rolling summary ---------------------------------------------------
+
+    def rolling(self) -> Dict[str, Any]:
+        """O(1) snapshot of the run so far (for live SLO evaluation)."""
+        counts = self._counts
+        judged = counts["met"] + counts["degraded"] + counts["violated"]
+        return {
+            "t": max(self._now, default=0.0),
+            "windows": self.windows,
+            "connections": self._conn_total,
+            "periods": sum(counts.values()),
+            "counts": dict(counts),
+            "conformance": counts["met"] / judged if judged else None,
+            "first_breach_at": self._first_breach,
+            "skew_over_bound": self._over_bound,
+            "renegotiations": self._reneg,
+            "releases": self._releases,
+        }
+
+    # -- finish-time documents ---------------------------------------------
+
+    def result_audit(self) -> Dict[str, Any]:
+        """The merged audit document (see class docstring for identity)."""
+        connections: List[Dict[str, Any]] = []
+        for shard in range(self.shards):
+            for conn in self._conns[shard].values():
+                counts = conn["counts"]
+                judged = (
+                    counts["met"] + counts["degraded"] + counts["violated"]
+                )
+                conn["conformance"] = (
+                    counts["met"] / judged if judged else None
+                )
+                connections.append(conn)
+        groups: List[Dict[str, Any]] = []
+        for shard in range(self.shards):
+            groups.extend(self._groups[shard].values())
+        hists: Dict[str, FixedBucketHistogram] = {}
+        for shard in range(self.shards):
+            for name, data in self._hists[shard].items():
+                incoming = FixedBucketHistogram.from_dict(data)
+                existing = hists.get(name)
+                if existing is None:
+                    hists[name] = incoming
+                elif (existing.lo, existing.hi, existing.buckets) == (
+                    incoming.lo, incoming.hi, incoming.buckets
+                ):
+                    for idx, count in enumerate(incoming.counts):
+                        existing.counts[idx] += count
+                    existing.underflow += incoming.underflow
+                    existing.overflow += incoming.overflow
+                    existing.count += incoming.count
+                    existing.total += incoming.total
+                    existing.minimum = min(
+                        existing.minimum, incoming.minimum
+                    )
+                    existing.maximum = max(
+                        existing.maximum, incoming.maximum
+                    )
+        sections: Dict[str, List[Any]] = {}
+        for shard in range(self.shards):
+            for name, value in self._sections[shard].items():
+                sections.setdefault(name, []).append(value)
+        merged = {
+            "kind": "repro-audit",
+            "now": max(self._now, default=0.0),
+            "summary": _summarize(connections),
+            "connections": connections,
+            "groups": groups,
+            "histograms": {
+                name: hist.to_dict() for name, hist in hists.items()
+            },
+        }
+        if self.labels is not None or self.shards > 1:
+            merged["merged_from"] = {
+                "snapshots": self.shards,
+                "labels": (
+                    list(self.labels) if self.labels is not None else None
+                ),
+                "namespaced": False,
+            }
+        if sections:
+            merged["sections"] = sections
+        return merged
+
+    def result_metrics(self) -> Dict[str, Any]:
+        """The merged registry document (empty-shaped when un-streamed)."""
+        return _merge_metrics(self._metrics if self._have_metrics else [])
+
+
+class LiveWriter:
+    """Append rolling records as flushed JSON lines to a sink."""
+
+    def __init__(self, sink: TextIO):
+        self.sink = sink
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self.sink.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.sink.flush()
+
+
+def open_live_sink(spec: str) -> Tuple[TextIO, bool]:
+    """Resolve a ``--live`` argument to ``(sink, caller_should_close)``.
+
+    ``"-"`` is stdout, a bare integer is an inherited file descriptor,
+    anything else a path opened for writing.
+    """
+    if spec == "-":
+        return sys.stdout, False
+    if spec.isdigit():
+        import os
+
+        return os.fdopen(int(spec), "w"), True
+    return open(spec, "w"), True

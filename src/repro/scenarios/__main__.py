@@ -19,6 +19,7 @@ non-reproducing replay, 2 usage error.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -64,6 +65,25 @@ def _parser() -> argparse.ArgumentParser:
                         help="directory for shrunk repro files")
     parser.add_argument("--max-probes", type=int, default=200,
                         help="shrinker probe budget per degraded cell")
+    cell = parser.add_argument_group(
+        "cell sizing (--cell mode only)",
+        "override the matrix-default fleet sizing of the one cell "
+        "being run; the scenario id (and thus its baseline entry) is "
+        "unchanged, so keep overrides shard-count-only when diffing "
+        "against baselines",
+    )
+    cell.add_argument("--shards", type=int, default=None,
+                      help="worker processes (>1 enables sharding)")
+    cell.add_argument("--cells", type=int, default=None)
+    cell.add_argument("--vcs-per-cell", type=int, default=None)
+    cell.add_argument("--duration", type=float, default=None,
+                      help="virtual seconds to simulate")
+    cell.add_argument("--stream", action="store_true",
+                      help="per-window telemetry deltas instead of "
+                           "finish-time snapshots (sharded cells only)")
+    cell.add_argument("--live", default=None, metavar="PATH|FD",
+                      help="rolling JSONL telemetry sink ('-' for "
+                           "stdout); tail with python -m repro.obs.live")
     return parser
 
 
@@ -106,10 +126,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.cell:
         try:
             spec = parse_scenario_id(args.cell)
+            overrides = {
+                name: value for name, value in (
+                    ("shards", args.shards),
+                    ("cells", args.cells),
+                    ("vcs_per_cell", args.vcs_per_cell),
+                    ("duration", args.duration),
+                ) if value is not None
+            }
+            if overrides:
+                spec = dataclasses.replace(spec, **overrides)
             spec.validate()
         except ValueError as exc:
             parser.error(str(exc))
-        result = run_cell(spec)
+        if args.stream and spec.shards == 1:
+            parser.error("--stream needs a sharded cell (--shards > 1)")
+        live_sink = None
+        close_live = False
+        if args.live is not None:
+            from repro.obs.stream import open_live_sink
+
+            live_sink, close_live = open_live_sink(args.live)
+        try:
+            result = run_cell(
+                spec, stream=args.stream, live=live_sink,
+            )
+        finally:
+            if close_live and live_sink is not None:
+                live_sink.close()
         outcome = cell_outcome(spec, result, baselines, args.tolerance)
         print(f"{outcome.scenario_id}: {outcome.status} "
               f"(conformance {outcome.conformance}, "

@@ -234,6 +234,11 @@ class Simulator:
         #: ``if sim.auditor is not None:`` -- the auditor, like the
         #: tracer, only records in memory and never schedules events.
         self.auditor = None
+        #: Wall-clock span profiler; None until a runtime installs one
+        #: (see ``Runtime.enable_profiling``).  Guarded the same way at
+        #: each instrumented site, so disabled it costs one attribute
+        #: load and a branch -- never an extra Python call.
+        self.profile = None
 
     def _clock(self) -> float:
         return self._now
@@ -480,6 +485,9 @@ class Simulator:
         # pointer is re-read every iteration because callbacks may
         # insert into the unconsumed suffix (never before it).
         cur = self._cur
+        # Hoisted: enabling profiling mid-run takes effect on the next
+        # run() call; the unprofiled loop stays branch-identical.
+        prof = self.profile
         try:
             while True:
                 i = self._cur_i
@@ -494,7 +502,14 @@ class Simulator:
                         self._count -= 1
                         self._now = when
                         handle._live = False
-                        handle._fn()
+                        if prof is None:
+                            handle._fn()
+                        else:
+                            _t0 = prof.clock()
+                            handle._fn()
+                            prof.add(
+                                "scheduler.dispatch", _t0, prof.clock()
+                            )
                     else:
                         self._cur_i = i + 1
                         self._count -= 1

@@ -87,6 +87,7 @@ def run_sharded(
     window: Optional[float] = None,
     mp_context: str = "spawn",
     progress: Optional[Callable[[float, int], None]] = None,
+    on_delta: Optional[Callable[[int, float, Any], None]] = None,
 ) -> ShardedRun:
     """Run ``factory(shard_index, *args, **kwargs)`` on every shard.
 
@@ -97,6 +98,10 @@ def run_sharded(
     width below the lookahead -- a smaller window is always safe and
     useful for exercising the protocol in tests.  ``progress``, when
     given, is called after every barrier with ``(t_end, windows)``.
+    ``on_delta`` receives ``(shard, t_end, delta)`` for every non-empty
+    telemetry delta a streaming context ships with its window message
+    (before ``progress`` fires for the barrier); see
+    :mod:`repro.obs.stream`.
 
     Raises :class:`ShardError` with the remote traceback if any worker
     fails, and :class:`ValueError` for a non-positive effective window.
@@ -145,8 +150,10 @@ def run_sharded(
             pending = [[] for _ in range(shards)]
             for k in range(shards):
                 msg = _expect(_recv(conns[k], procs[k], k), "window", k)
-                _, _, outbound, peek = msg
+                _, _, outbound, peek, delta = msg
                 peeks[k] = peek
+                if on_delta is not None and delta is not None:
+                    on_delta(k, t_end, delta)
                 for arrival, seq, dst_shard, dst_node, packet in outbound:
                     pending[dst_shard].append(
                         (arrival, k, seq, dst_node, packet)

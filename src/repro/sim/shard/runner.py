@@ -9,8 +9,9 @@ synchronization window):
 ========================  =============================================
 coordinator → worker       worker → coordinator
 ========================  =============================================
-``("advance", t_end,       ``("window", shard, outbox_items, peek)``
-msgs)``                    after running virtual time up to ``t_end``
+``("advance", t_end,       ``("window", shard, outbox_items, peek,
+msgs)``                    delta)`` after running virtual time up to
+                           ``t_end``
 ``("finish",)``            ``("results", shard, payload)`` and exit
 ========================  =============================================
 
@@ -26,6 +27,14 @@ an object with a ``sim`` attribute (the shard's simulator), an
 ``inject(dst_node, arrival, packet)`` method scheduling a cross-shard
 arrival, and a ``collect()`` method returning the shard's picklable
 results (snapshots, counters) once the run finishes.
+
+``delta`` streams telemetry: a context exposing a ``delta_stream``
+attribute (a :class:`repro.obs.stream.DeltaEncoder`) ships what changed
+since the previous barrier inside the window message the worker sends
+anyway -- zero extra round trips -- and ``None`` when idle or when the
+context doesn't stream.  The *final* delta travels inside the
+``collect()`` payload (streaming contexts put it under ``"delta"``),
+not in a window message.
 """
 
 from __future__ import annotations
@@ -124,6 +133,7 @@ def shard_worker(conn, factory, shard_index: int,
         ctx = factory(shard_index, *factory_args, **factory_kwargs)
         sim = ctx.sim
         outbox = ctx.outbox
+        stream = getattr(ctx, "delta_stream", None)
         conn.send(("ready", shard_index, sim.next_event_time()))
         while True:
             msg = conn.recv()
@@ -138,6 +148,7 @@ def shard_worker(conn, factory, shard_index: int,
                 conn.send((
                     "window", shard_index, outbox.drain(),
                     sim.next_event_time(),
+                    stream.delta() if stream is not None else None,
                 ))
             elif kind == "finish":
                 conn.send(("results", shard_index, ctx.collect()))

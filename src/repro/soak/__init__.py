@@ -21,7 +21,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.audit import merge_snapshots
+from repro.obs.profile import merge_profiles
 from repro.obs.registry import merge_snapshots as merge_metrics
+from repro.obs.stream import DeltaFolder, LiveWriter
 from repro.obs.trace import merge_traces
 from repro.sim.shard import reset_process_state, run_sharded
 from repro.soak.fleet import (
@@ -63,6 +65,8 @@ class FleetResult:
     audit: Dict[str, Any] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
     trace: Optional[Dict[str, Any]] = None
+    #: Merged wall-clock profile (``spec.profile`` runs only).
+    profile: Optional[Dict[str, Any]] = None
 
     def _count(self, name: str) -> int:
         return sum(p["counts"][name] for p in self.payloads)
@@ -157,6 +161,40 @@ class FleetResult:
         return failures
 
 
+def _final_record(audit: Dict[str, Any], payloads: List[Dict[str, Any]],
+                  windows: int, wall_s: float) -> Dict[str, Any]:
+    """The closing live-telemetry record, from the merged documents."""
+    summary = audit.get("summary", {})
+    first: Optional[float] = None
+    for conn in audit.get("connections", ()):
+        ttfv = conn.get("time_to_first_violation")
+        if ttfv is not None:
+            at = conn.get("registered_at", 0.0) + ttfv
+            if first is None or at < first:
+                first = at
+    return {
+        "kind": "final",
+        "t": audit.get("now", 0.0),
+        "windows": windows,
+        "connections": summary.get("connections", 0),
+        "periods": summary.get("periods", 0),
+        "counts": summary.get("counts", {}),
+        "conformance": summary.get("conformance"),
+        "first_breach_at": first,
+        "skew_over_bound": sum(
+            group.get("over_bound", 0) for group in audit.get("groups", ())
+        ),
+        "renegotiations": sum(
+            summary.get("renegotiations", {}).values()
+        ),
+        "releases": sum(summary.get("releases", {}).values()),
+        "lease_violations": sum(
+            len(p["controlplane"]["lease_violations"]) for p in payloads
+        ),
+        "wall_s": wall_s,
+    }
+
+
 def run_fleet(
     spec: FleetSpec,
     *,
@@ -164,6 +202,7 @@ def run_fleet(
     window: Optional[float] = None,
     mp_context: str = "spawn",
     progress: Optional[Callable[[float, int], None]] = None,
+    live: Optional[Any] = None,
 ) -> FleetResult:
     """Run one fleet spec to completion and merge its outputs.
 
@@ -173,39 +212,93 @@ def run_fleet(
     ``spec.shards`` worker processes run the conservative window
     protocol.  ``window`` and ``mp_context`` pass through to
     :func:`repro.sim.shard.run_sharded`.
+
+    With ``spec.stream`` set (sharded runs only), workers ship
+    per-barrier telemetry deltas that a :class:`DeltaFolder` folds as
+    they arrive, and the merged audit/metrics come out of the folder --
+    byte-identical to the snapshot-merge path, without the per-shard
+    finish-time snapshots ever existing.  ``live`` is an optional
+    file-like sink: one rolling JSON line per barrier (streaming runs)
+    plus a ``final`` record (every run), consumed by
+    ``python -m repro.obs.live``.  The caller owns closing the sink.
     """
     spec.validate()
     lookahead = fleet_partition(spec).lookahead
+    writer = LiveWriter(live) if live is not None else None
     if inline:
         reset_process_state()
         started = time.perf_counter()
         ctx = build_fleet_inline(spec)
         ctx.sim.run(until=spec.duration)
         payload = ctx.collect()
-        return FleetResult(
+        result = FleetResult(
             spec=spec, mode="inline", lookahead=lookahead,
             wall_s=time.perf_counter() - started,
             payloads=[payload],
             audit=payload["audit"], metrics=payload["metrics"],
             trace=payload["trace"],
         )
+        if payload.get("profile") is not None:
+            result.profile = merge_profiles([payload["profile"]])
+        if writer is not None:
+            writer.write(_final_record(
+                result.audit, result.payloads, result.windows,
+                result.wall_s,
+            ))
+        return result
+    labels = [f"s{k}" for k in range(spec.shards)]
+    folder: Optional[DeltaFolder] = None
+    on_delta = None
+    barrier_cb = progress
+    if spec.stream:
+        folder = DeltaFolder(
+            spec.shards, labels=labels, max_timeline=spec.max_timeline,
+        )
+
+        def on_delta(shard: int, _t_end: float, delta: Any) -> None:
+            folder.fold(shard, delta)
+
+        def barrier_cb(t_end: float, windows: int,
+                       _user: Optional[Callable] = progress) -> None:
+            folder.windows = windows
+            if writer is not None:
+                writer.write({"kind": "window", **folder.rolling()})
+            if _user is not None:
+                _user(t_end, windows)
+
     run = run_sharded(
         build_fleet_shard, spec.shards, until=spec.duration,
         lookahead=lookahead, args=(spec,), window=window,
-        mp_context=mp_context, progress=progress,
+        mp_context=mp_context, progress=barrier_cb, on_delta=on_delta,
     )
-    labels = [f"s{k}" for k in range(spec.shards)]
-    audit = merge_snapshots(
-        [p["audit"] for p in run.results], labels=labels,
-    )
-    metrics = merge_metrics([p["metrics"] for p in run.results])
+    if folder is not None:
+        for payload in run.results:
+            folder.fold(payload["shard"], payload.pop("delta", None))
+        audit = folder.result_audit()
+        metrics = folder.result_metrics()
+    else:
+        audit = merge_snapshots(
+            [p["audit"] for p in run.results], labels=labels,
+        )
+        metrics = merge_metrics([p["metrics"] for p in run.results])
     trace = None
     if spec.trace:
         trace = merge_traces(
             [p["trace"] for p in run.results], labels=labels,
         )
-    return FleetResult(
+    profile = None
+    if any(p.get("profile") is not None for p in run.results):
+        profile = merge_profiles(
+            [p["profile"] for p in run.results], labels=labels,
+        )
+    result = FleetResult(
         spec=spec, mode="sharded", lookahead=lookahead,
         wall_s=run.wall_s, windows=run.windows, messages=run.messages,
         payloads=run.results, audit=audit, metrics=metrics, trace=trace,
+        profile=profile,
     )
+    if writer is not None:
+        writer.write(_final_record(
+            audit, run.results, run.windows, run.wall_s,
+        ))
+    return result

@@ -97,6 +97,17 @@ def _parser() -> argparse.ArgumentParser:
                              "lookahead (protocol stress testing)")
     parser.add_argument("--mp-context", default="spawn",
                         choices=("spawn", "fork", "forkserver"))
+    parser.add_argument("--stream", action="store_true",
+                        help="ship per-window telemetry deltas instead of "
+                             "finish-time snapshots (sharded runs only)")
+    parser.add_argument("--live", default=None, metavar="PATH|FD",
+                        help="write rolling JSONL telemetry records here "
+                             "('-' for stdout, digits for an inherited fd); "
+                             "tail with python -m repro.obs.live")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="enable wall-clock span profiling and write a "
+                             "Chrome trace here (also prints the "
+                             "per-subsystem table)")
     parser.add_argument("--out", default=None,
                         help="write the merged audit snapshot JSON here")
     parser.add_argument("--render", action="store_true",
@@ -141,7 +152,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         flow=args.flow,
         topology=args.topology,
         fanout=args.fanout,
+        stream=args.stream,
+        profile=args.profile is not None,
     )
+    if args.stream and args.inline:
+        parser.error("--stream requires a sharded run (drop --inline)")
     try:
         spec.validate()
     except ValueError as exc:
@@ -151,11 +166,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  window {windows}: virtual time {t_end:.3f}/"
               f"{spec.duration:.3f} s", file=sys.stderr)
 
-    result = run_fleet(
-        spec, inline=args.inline, window=args.window,
-        mp_context=args.mp_context,
-        progress=progress if not args.inline else None,
-    )
+    live_sink = None
+    close_live = False
+    if args.live is not None:
+        from repro.obs.stream import open_live_sink
+
+        live_sink, close_live = open_live_sink(args.live)
+    try:
+        result = run_fleet(
+            spec, inline=args.inline, window=args.window,
+            mp_context=args.mp_context,
+            progress=progress if not args.inline else None,
+            live=live_sink,
+        )
+    finally:
+        if close_live and live_sink is not None:
+            live_sink.close()
 
     summary = result.audit.get("summary", {})
     counts = summary.get("counts", {})
@@ -184,6 +210,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"(met {counts.get('met', 0)}, violated "
         f"{counts.get('violated', 0)})"
     )
+    try:
+        import resource
+
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        print(f"  coordinator peak RSS: {rss_kb / 1024:.1f} MiB"
+              f"{' (streaming deltas)' if spec.stream else ''}")
+    except ImportError:  # pragma: no cover - non-POSIX
+        pass
+
+    if args.profile and result.profile is not None:
+        from repro.obs.profile import (
+            export_chrome_trace,
+            render_profile_table,
+        )
+
+        export_chrome_trace(result.profile, args.profile)
+        print(f"  profile trace written to {args.profile}")
+        print(render_profile_table(result.profile))
 
     if args.out:
         with open(args.out, "w") as handle:

@@ -1358,6 +1358,9 @@ class TransportEntity:
 
     def _on_packet(self, packet: Packet) -> None:
         payload = packet.payload
+        prof = self.sim.profile
+        if prof is not None:
+            _t0 = prof.clock()
         # The data/flow-control TPDUs are recycled through freelists:
         # once the VC handler returns, every field the receiver keeps
         # has been copied out, so the shells go back to their pools.
@@ -1366,27 +1369,37 @@ class TransportEntity:
             if recv_vc is not None:
                 recv_vc.on_data(payload, corrupted=packet.corrupted)
             DataTPDU.release(payload)
+            if prof is not None:
+                prof.add("transport.deliver", _t0, prof.clock())
             return
         if isinstance(payload, CreditTPDU):
             send_vc = self.send_vcs.get(payload.vc_id)
             if send_vc is not None:
                 send_vc.on_credit(payload.credits, from_node=packet.src)
             CreditTPDU.release(payload)
+            if prof is not None:
+                prof.add("transport.deliver", _t0, prof.clock())
             return
         if isinstance(payload, NackTPDU):
             send_vc = self.send_vcs.get(payload.vc_id)
             if send_vc is not None:
                 send_vc.on_nack(payload.missing, from_node=packet.src)
+            if prof is not None:
+                prof.add("transport.deliver", _t0, prof.clock())
             return
         if isinstance(payload, AckTPDU):
             send_vc = self.send_vcs.get(payload.vc_id)
             if send_vc is not None:
                 send_vc.on_ack(payload.cumulative_seq, payload.advertised)
             AckTPDU.release(payload)
+            if prof is not None:
+                prof.add("transport.deliver", _t0, prof.clock())
             return
         handler = self._control_dispatch.get(type(payload))
         if handler is not None:
             handler(payload)
+        if prof is not None:
+            prof.add("transport.deliver", _t0, prof.clock())
 
     def _send_control(self, dst_node: str, tpdu) -> None:
         packet = Packet(

@@ -1,0 +1,70 @@
+"""Streaming telemetry equals snapshot merging, over real fleets.
+
+The PR 10 contract extending ``docs/SCALING.md``: a sharded run whose
+workers ship per-window deltas (``FleetSpec.stream``) must produce the
+same merged audit and metrics documents -- byte for byte -- as the
+finish-time snapshot-merge path, while the coordinator only ever holds
+one evolving copy of the merged document.  Pinned over a plain
+cross-traffic fleet with control planes, and over a chaotic scenario
+cell where faults drive renegotiations, releases and drill-downs
+through the delta encoder.
+
+Spawned worker processes make these slow; specs stay CI-small.
+"""
+
+import dataclasses
+import json
+
+from repro.scenarios.runner import run_cell
+from repro.scenarios.spec import parse_scenario_id
+from repro.soak import FleetSpec, run_fleet
+
+SPEC = FleetSpec(
+    cells=3, vcs_per_cell=5, shards=2, cp_pairs=2,
+    duration=8.0, seed=3, cross_traffic=True, tight_every=7,
+)
+
+
+def _dumps(doc) -> str:
+    return json.dumps(doc, indent=2)
+
+
+class TestStreamedFleetIdentity:
+    def test_streamed_documents_byte_identical_to_merge(self):
+        merged = run_fleet(SPEC)
+        streamed = run_fleet(dataclasses.replace(SPEC, stream=True))
+        assert _dumps(streamed.audit) == _dumps(merged.audit)
+        assert _dumps(streamed.metrics) == _dumps(merged.metrics)
+        # Streaming workers never ship finish-time snapshots at all.
+        assert all(p["audit"] is None for p in streamed.payloads)
+        assert all(p["metrics"] is None for p in streamed.payloads)
+        assert all(p["audit"] is not None for p in merged.payloads)
+
+    def test_chaotic_sharded_cell_streams_identically(self):
+        spec = dataclasses.replace(
+            parse_scenario_id("cbr/cells/chaos@s0"), shards=2,
+        )
+        merged = run_cell(spec)
+        streamed = run_cell(spec, stream=True)
+        assert _dumps(streamed.audit) == _dumps(merged.audit)
+        assert _dumps(streamed.metrics) == _dumps(merged.metrics)
+
+    def test_live_sink_records_windows_and_final(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        with open(path, "w") as sink:
+            run_fleet(dataclasses.replace(SPEC, stream=True), live=sink)
+        records = [
+            json.loads(line) for line in open(path) if line.strip()
+        ]
+        assert records, "live sink stayed empty"
+        kinds = [record["kind"] for record in records]
+        assert kinds[-1] == "final"
+        assert all(kind == "window" for kind in kinds[:-1])
+        final = records[-1]
+        # The rolling fold and the merged document agree on the run.
+        merged = run_fleet(SPEC)
+        summary = merged.audit["summary"]
+        assert final["connections"] == summary["connections"]
+        assert final["periods"] == summary["periods"]
+        assert final["conformance"] == summary["conformance"]
+        assert final["counts"] == summary["counts"]

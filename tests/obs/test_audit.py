@@ -324,3 +324,31 @@ class TestRuntimeExport:
         stack = _one_vc_stack()
         with pytest.raises(RuntimeError):
             stack.export_audit("/tmp/never.json")
+
+
+class TestStreamedAuditExport:
+    def test_export_byte_identical_to_buffered_dump(self, tmp_path):
+        stack = _one_vc_stack()
+        auditor = stack.enable_audit()
+        _open_vc(stack)
+        auditor.register_group("orch-1", bound=0.08, streams=["v1"],
+                               interval_length=0.2)
+        auditor.record_skew("orch-1", 0.01)
+        auditor.attach_section("controlplane", lambda: {"converged": True})
+        path = stack.export_audit(str(tmp_path / "audit.json"))
+        expected = json.dumps(auditor.snapshot(), indent=2)
+        assert open(path).read() == expected
+
+    def test_export_byte_identical_when_empty(self, tmp_path):
+        sim = Simulator()
+        auditor = QoSAuditor(sim)
+        path = auditor.export(str(tmp_path / "empty.json"))
+        expected = json.dumps(auditor.snapshot(), indent=2)
+        assert open(path).read() == expected
+
+    def test_iter_json_chunks_concatenate_to_the_document(self):
+        stack = _one_vc_stack()
+        auditor = stack.enable_audit()
+        _open_vc(stack)
+        text = "".join(auditor.iter_json())
+        assert json.loads(text) == auditor.snapshot()

@@ -229,3 +229,102 @@ class TestPrometheusText:
         with open(path) as handle:
             doc = json.load(handle)
         assert doc["counters"]["c"] == 1
+
+
+class TestPrometheusHistograms:
+    def _hist(self):
+        hist = FixedBucketHistogram(lo=1e-3, hi=10.0, buckets=32)
+        for value in (0.0001, 0.002, 0.002, 0.05, 1.5, 42.0):
+            hist.record(value)
+        return hist
+
+    def test_exposition_shape(self):
+        registry = MetricsRegistry(FakeClock())
+        hist = self._hist()
+        text = prometheus_text(registry, histograms={"delay.s": hist})
+        assert "# TYPE delay_s histogram" in text
+        assert 'delay_s_bucket{le="0.001"} 1' in text  # underflow anchor
+        assert 'delay_s_bucket{le="+Inf"} 6' in text
+        assert f"delay_s_sum {hist.total}" in text
+        assert "delay_s_count 6" in text
+        # Cumulative and monotone.
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines() if "_bucket" in line
+        ]
+        assert counts == sorted(counts)
+
+    def test_round_trips_through_exposition(self):
+        registry = MetricsRegistry(FakeClock())
+        hist = self._hist()
+        text = prometheus_text(registry, histograms={"h": hist})
+        # A reader that knows the bucket layout reconstructs the exact
+        # per-bucket counts from the cumulative ``le`` samples.
+        rebuilt = FixedBucketHistogram(
+            lo=hist.lo, hi=hist.hi, buckets=hist.buckets,
+        )
+        edges = []
+        for line in text.splitlines():
+            if not line.startswith("h_bucket"):
+                continue
+            le = line.split('le="', 1)[1].split('"', 1)[0]
+            cumulative = int(line.rsplit(" ", 1)[1])
+            edges.append((le, cumulative))
+        previous = 0
+        for le, cumulative in edges:
+            mass = cumulative - previous
+            previous = cumulative
+            if le == repr(hist.lo):
+                rebuilt.underflow = mass
+            elif le == "+Inf":
+                rebuilt.overflow = mass
+            else:
+                upper = float(le)
+                idx = min(
+                    range(hist.buckets),
+                    key=lambda k: abs(hist._bucket_upper(k) - upper),
+                )
+                rebuilt.counts[idx] = mass
+        assert rebuilt.counts == hist.counts
+        assert rebuilt.underflow == hist.underflow
+        assert rebuilt.overflow == hist.overflow
+
+    def test_histogram_name_collides_with_counter(self):
+        registry = MetricsRegistry(FakeClock())
+        registry.counter("delay.s").inc(1)
+        text = prometheus_text(
+            registry, histograms={"delay_s": self._hist()},
+        )
+        assert "# TYPE delay_s counter" in text
+        assert "# TYPE delay_s_2 histogram" in text
+
+    def test_empty_histogram_renders_zero_buckets(self):
+        registry = MetricsRegistry(FakeClock())
+        hist = FixedBucketHistogram(lo=1e-3, hi=1.0, buckets=4)
+        text = prometheus_text(registry, histograms={"h": hist})
+        assert 'h_bucket{le="+Inf"} 0' in text
+        assert "h_count 0" in text
+
+
+class TestStreamedJsonSnapshot:
+    def test_byte_identical_to_buffered_dump(self, tmp_path):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock)
+        registry.counter("vc.v1.osdus").inc(3)
+        registry.gauge("vc.v1.rate").set(2e6)
+        registry.window("vc.v1.delay").add(0.01)
+        registry.series("vc.v1.jitter").add(0.001)
+        clock.t = 4.25
+        path = write_json_snapshot(registry, str(tmp_path / "m.json"))
+        expected = json.dumps(
+            registry.snapshot(), indent=2, sort_keys=True,
+        )
+        assert open(path).read() == expected
+
+    def test_empty_registry_byte_identical(self, tmp_path):
+        registry = MetricsRegistry(FakeClock())
+        path = write_json_snapshot(registry, str(tmp_path / "m.json"))
+        expected = json.dumps(
+            registry.snapshot(), indent=2, sort_keys=True,
+        )
+        assert open(path).read() == expected

@@ -1,0 +1,130 @@
+"""Tests for wall-clock profiling: hooks, merge, export, zero cost.
+
+The load-bearing guarantee mirrors PR 2's tracer contract: with
+``sim.profile`` left at ``None`` (the default) the instrumented call
+sites must not change what the simulation computes -- proven here by
+running the same fleet spec with and without profiling and comparing
+the audit documents and delivery counts byte for byte.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs.profile import (
+    WallProfiler,
+    export_chrome_trace,
+    merge_profiles,
+    render_profile_table,
+)
+from repro.obs.report import load_events
+from repro.soak import FleetSpec, run_fleet
+
+SPEC = FleetSpec(
+    cells=2, vcs_per_cell=3, shards=1, cp_pairs=1,
+    duration=6.0, seed=5, tight_every=4,
+)
+
+
+class TestWallProfiler:
+    def test_aggregates_per_key(self):
+        prof = WallProfiler()
+        prof.add("link.commit", 1.0, 1.5)
+        prof.add("link.commit", 2.0, 2.1)
+        doc = prof.to_dict()
+        stats = doc["subsystems"]["link.commit"]
+        assert stats["count"] == 2
+        assert stats["total_s"] == pytest.approx(0.6)
+        assert stats["min_s"] == pytest.approx(0.1)
+        assert stats["max_s"] == pytest.approx(0.5)
+        assert doc["kind"] == "repro-profile"
+
+    def test_event_log_is_bounded(self):
+        prof = WallProfiler(max_events=3)
+        for k in range(10):
+            prof.add("x", float(k), float(k) + 0.5)
+        assert len(prof.events) == 3
+        assert prof.to_dict()["dropped_events"] == 7
+        # Aggregates keep counting past the cap.
+        assert prof.subsystems["x"][0] == 10
+
+    def test_export_writes_json(self, tmp_path):
+        prof = WallProfiler()
+        prof.add("x", 0.0, 1.0)
+        path = prof.export(str(tmp_path / "prof.json"))
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["subsystems"]["x"]["count"] == 1
+
+
+class TestMergeAndExport:
+    def _two_profiles(self):
+        a, b = WallProfiler(), WallProfiler()
+        a.add("link.commit", 0.0, 0.2)
+        b.add("link.commit", 0.0, 0.4)
+        b.add("scheduler.dispatch", 0.0, 1.0)
+        return a.to_dict(), b.to_dict()
+
+    def test_merge_adds_and_folds_extrema(self):
+        a, b = self._two_profiles()
+        merged = merge_profiles([a, b], labels=["s0", "s1"])
+        link = merged["subsystems"]["link.commit"]
+        assert link["count"] == 2
+        assert link["min_s"] == pytest.approx(0.2)
+        assert link["max_s"] == pytest.approx(0.4)
+        assert merged["sources"] == ["s0", "s1"]
+        # Events carry their source index for the Chrome trace's pids.
+        assert {event[0] for event in merged["events"]} == {0, 1}
+
+    def test_merge_rejects_label_mismatch(self):
+        a, b = self._two_profiles()
+        with pytest.raises(ValueError):
+            merge_profiles([a, b], labels=["only-one"])
+
+    def test_chrome_trace_loads_and_scales_to_us(self, tmp_path):
+        a, b = self._two_profiles()
+        merged = merge_profiles([a, b], labels=["s0", "s1"])
+        path = export_chrome_trace(merged, str(tmp_path / "trace.json"))
+        events = load_events(path)  # validates Chrome-trace shape
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 3
+        assert any(e["dur"] == pytest.approx(0.4e6) for e in spans)
+        names = [e for e in events if e["ph"] == "M"]
+        assert any(e["args"]["name"] == "s1" for e in names)
+
+    def test_single_profile_trace_defaults_pid_zero(self, tmp_path):
+        prof = WallProfiler()
+        prof.add("x", 0.0, 0.1)
+        path = export_chrome_trace(
+            prof.to_dict(), str(tmp_path / "one.json"),
+        )
+        spans = [e for e in load_events(path) if e["ph"] == "X"]
+        assert spans and all(e["pid"] == 0 for e in spans)
+
+    def test_table_reports_share_of_dispatch(self):
+        a, b = self._two_profiles()
+        merged = merge_profiles([a, b])
+        text = render_profile_table(merged)
+        assert "scheduler.dispatch" in text
+        assert "100%" in text
+        assert "60.0%" in text  # link.commit 0.6s of 1.0s dispatch
+
+
+class TestZeroCostWhenDisabled:
+    def test_disabled_profiling_changes_nothing(self):
+        baseline = run_fleet(SPEC, inline=True)
+        profiled = run_fleet(
+            dataclasses.replace(SPEC, profile=True), inline=True,
+        )
+        assert profiled.profile is not None
+        spans = profiled.profile["subsystems"]
+        assert spans["scheduler.dispatch"]["count"] > 0
+        assert spans["link.commit"]["count"] > 0
+        assert spans["audit.evaluate"]["count"] > 0
+        # The audited simulation itself is untouched: same deliveries,
+        # same audit document, byte for byte.
+        assert (profiled.payloads[0]["counts"]
+                == baseline.payloads[0]["counts"])
+        assert (json.dumps(profiled.audit, sort_keys=True)
+                == json.dumps(baseline.audit, sort_keys=True))

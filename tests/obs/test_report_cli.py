@@ -158,3 +158,41 @@ class TestRunMode:
         }))
         assert report_main(["run", str(path)]) == 0
         assert "0 connection(s)" in capsys.readouterr().out
+
+
+class TestRunModeJson:
+    def test_json_mirrors_the_rendered_sections(self, tmp_path, capsys):
+        path = tmp_path / "audit.json"
+        path.write_text(json.dumps(_audit_doc()))
+        assert report_main(["run", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "repro-run-report"
+        assert doc["summary"]["conformance"] == 1 / 3
+        assert doc["connections_total"] == doc["connections_shown"] == 1
+        row = doc["connections"][0]
+        assert row["vc"] == "v1"
+        # Same per-dimension violation counts the table derives.
+        assert row["violations_by_dimension"] == {"throughput": 1}
+        assert row["drilldowns_suppressed"] == 4
+        assert doc["groups"][0]["session"] == "orch-1"
+
+    def test_json_caps_rows_like_the_table(self, tmp_path, capsys):
+        base = _audit_doc()
+        conn = base["connections"][0]
+        base["connections"] = [
+            {**conn, "vc": f"v{k}"} for k in range(5)
+        ]
+        path = tmp_path / "audit.json"
+        path.write_text(json.dumps(base))
+        assert report_main(
+            ["run", str(path), "--json", "--max-rows", "2"],
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["connections_total"] == 5
+        assert doc["connections_shown"] == len(doc["connections"]) == 2
+
+    def test_json_keeps_error_exit_codes(self, tmp_path, capsys):
+        assert report_main(
+            ["run", str(tmp_path / "nope.json"), "--json"],
+        ) == 1
+        assert "cannot read" in capsys.readouterr().err
